@@ -1,0 +1,122 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports, asserts the
+qualitative *shape* (who wins, by roughly what factor, where crossovers
+fall), prints the rows, and writes them to
+``benchmarks/results/<experiment>.txt`` so the regenerated data
+survives pytest's output capture.
+
+Model builds, profiles, and runs are memoized process-wide: several
+figures share the same underlying sweeps.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.memsys.system import MemorySystem
+from repro.models import build_model
+from repro.pimflow import CompiledModel, PimFlow, PimFlowConfig
+from repro.runtime.engine import RunResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The five CNN models of the main evaluation (Section 5).
+EVALUATED_MODELS = ("efficientnet-v1-b0", "mnasnet-1.0", "mobilenet-v2",
+                    "resnet-50", "vgg-16")
+
+#: The offloading mechanisms of Fig. 9.
+MECHANISM_ORDER = ("gpu", "newton+", "newton++", "pimflow-md", "pimflow-pl",
+                   "pimflow")
+
+
+@functools.lru_cache(maxsize=None)
+def get_model(name: str) -> Graph:
+    return build_model(name)
+
+
+@functools.lru_cache(maxsize=None)
+def get_flow(mechanism: str, pim_channels: int = 16, stages: int = 2,
+             ratio_step: float = 0.1) -> PimFlow:
+    return PimFlow(PimFlowConfig(
+        mechanism=mechanism,
+        memory=MemorySystem(32, pim_channels),
+        pipeline_stages=stages,
+        ratio_step=ratio_step,
+    ))
+
+
+@functools.lru_cache(maxsize=None)
+def compile_model(name: str, mechanism: str, pim_channels: int = 16,
+                  stages: int = 2, ratio_step: float = 0.1) -> CompiledModel:
+    flow = get_flow(mechanism, pim_channels, stages, ratio_step)
+    return flow.compile(get_model(name))
+
+
+@functools.lru_cache(maxsize=None)
+def run_model(name: str, mechanism: str, pim_channels: int = 16,
+              stages: int = 2, ratio_step: float = 0.1) -> RunResult:
+    flow = get_flow(mechanism, pim_channels, stages, ratio_step)
+    if mechanism == "gpu":
+        return flow.run(get_model(name))
+    compiled = compile_model(name, mechanism, pim_channels, stages, ratio_step)
+    return flow.engine.run(compiled.graph)
+
+
+@functools.lru_cache(maxsize=None)
+def _candidate_names(name: str) -> frozenset:
+    from repro.analysis.ratios import candidate_layer_names
+
+    prepared = get_flow("gpu").prepare(get_model(name))
+    return frozenset(candidate_layer_names(prepared))
+
+
+@functools.lru_cache(maxsize=None)
+def conv_layer_time_us(name: str, mechanism: str,
+                       pim_channels: int = 16) -> float:
+    """Total execution time of all PIM-candidate layers (Fig. 9 top).
+
+    Summed over the per-region times the search measured: regions whose
+    decision touches at least one PIM-candidate node contribute their
+    decided time; the GPU baseline sums the candidates' GPU samples.
+    The candidate layers execute back-to-back in these models, so the
+    sum is the region's serialized execution time.
+    """
+    candidates = _candidate_names(name)
+
+    def gpu_time(table, layer):
+        return next(m for m in table.options(layer, 1)
+                    if m.mode == "gpu").time_us
+
+    if mechanism == "gpu":
+        table = compile_model(name, "newton++", pim_channels).table
+        return sum(gpu_time(table, layer) for layer in candidates)
+
+    compiled = compile_model(name, mechanism, pim_channels)
+    total = 0.0
+    for d in compiled.decisions:
+        in_region = [n for n in d.nodes if n in candidates]
+        if not in_region:
+            continue
+        if len(d.nodes) == 1:
+            total += d.time_us
+            continue
+        # Pipeline decisions span non-candidate chain members (DW convs,
+        # fused elementwise pieces); prorate the chained time by the
+        # candidates' GPU-time share so the metric stays comparable.
+        share = sum(gpu_time(compiled.table, n) for n in in_region)
+        whole = sum(gpu_time(compiled.table, n) for n in d.nodes)
+        total += d.time_us * (share / whole)
+    return total
+
+
+def report(experiment: str, lines: Iterable[str]) -> None:
+    """Print and persist one experiment's regenerated rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {experiment} ===\n{text}")
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")

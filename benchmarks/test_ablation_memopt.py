@@ -1,0 +1,50 @@
+"""Ablation — the memory-layout optimization (paper Section 4.3.2).
+
+The paper notes that without the co-allocated NHWC layout, the
+Slice/Pad/Concat data copies "make most splitting attempts futile".
+This bench disables the elision on an already-transformed model and
+measures how much of the MD-DP gain survives.
+"""
+
+import pytest
+
+from conftest import compile_model, get_flow, report, run_model
+
+
+def _strip_elision(graph):
+    g = graph.clone()
+    for node in g.nodes:
+        node.attrs.pop("elided", None)
+    return g
+
+
+def _measure():
+    model = "mobilenet-v2"
+    flow = get_flow("pimflow-md")
+    compiled = compile_model(model, "pimflow-md")
+    gpu_time = run_model(model, "gpu").makespan_us
+    with_opt = flow.engine.run(compiled.graph).makespan_us
+    without_opt = flow.engine.run(_strip_elision(compiled.graph)).makespan_us
+    return gpu_time, with_opt, without_opt
+
+
+def test_ablation_memory_optimizer(benchmark):
+    gpu_time, with_opt, without_opt = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+
+    lines = [
+        f"GPU baseline:            {gpu_time:9.1f} us",
+        f"MD-DP with memopt:       {with_opt:9.1f} us "
+        f"({gpu_time / with_opt:.2f}x)",
+        f"MD-DP without memopt:    {without_opt:9.1f} us "
+        f"({gpu_time / without_opt:.2f}x)",
+        f"memopt contribution:     {without_opt / with_opt:9.2f}x",
+    ]
+    report("ablation_memopt", lines)
+
+    # The optimizer is load-bearing: copies eat a large share of the gain.
+    assert without_opt > 1.15 * with_opt
+    # Without it, splitting gains mostly evaporate ("futile" in the paper).
+    gain_with = gpu_time / with_opt - 1.0
+    gain_without = gpu_time / without_opt - 1.0
+    assert gain_without < 0.6 * gain_with

@@ -1,0 +1,58 @@
+"""Extension — cross-validation of the two GPU timing paths.
+
+The roofline model (used by the search, thousands of evaluations) and
+the block-level SIMT scheduler (explicit waves, the step toward
+Accel-Sim) must tell the same story across a real model's GEMM-class
+kernel population: same bound classification for the overwhelming
+majority and magnitudes within a small factor.
+"""
+
+import pytest
+
+from conftest import get_flow, get_model, report
+from repro.gpu.config import RTX2060
+from repro.gpu.kernels import node_cost
+from repro.gpu.simt import simulate_gemm_node
+from repro.graph.ops import is_pim_candidate
+
+MODELS = ("mobilenet-v2", "resnet-50")
+
+
+def _compare():
+    rows = []
+    for model in MODELS:
+        graph = get_flow("gpu").prepare(get_model(model))
+        for node in graph.nodes:
+            if node.op_type not in ("Conv", "Gemm"):
+                continue
+            shapes = [graph.tensors[t].shape for t in node.inputs]
+            if not is_pim_candidate(node, shapes):
+                continue
+            roof = node_cost(node, graph, RTX2060)
+            simt = simulate_gemm_node(node, graph, RTX2060)
+            rows.append((model, node.name, roof.time_us, simt.time_us,
+                         roof.bound, simt.bound))
+    return rows
+
+
+def test_ext_simt_cross_validation(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+
+    ratios = [simt / roof for _, _, roof, simt, _, _ in rows]
+    agree = sum(1 for _, _, _, _, rb, sb in rows
+                if rb == sb or rb == "latency")
+    lines = [
+        f"layers compared:        {len(rows)}",
+        f"simt/roofline ratio:    min {min(ratios):.2f}  "
+        f"median {sorted(ratios)[len(ratios) // 2]:.2f}  max {max(ratios):.2f}",
+        f"bound agreement:        {agree}/{len(rows)}",
+    ]
+    report("ext_simt_validation", lines)
+
+    assert len(rows) > 50
+    # Magnitudes within a small factor everywhere.
+    assert all(0.2 < r < 5.0 for r in ratios)
+    # Median near parity.
+    assert 0.5 < sorted(ratios)[len(ratios) // 2] < 2.0
+    # Bound classification agrees on the large majority.
+    assert agree / len(rows) > 0.75

@@ -1,0 +1,85 @@
+"""Fig. 1 — GPU runtime breakdown and conv arithmetic intensity.
+
+Left: fraction of inference runtime per kernel class on the GPU
+baseline, per model.  Right: arithmetic intensity (MACs per byte) of
+convolution layers, showing 1x1 convolutions in the low-intensity
+regime that motivates PIM offload.
+"""
+
+import pytest
+
+from conftest import EVALUATED_MODELS, get_flow, get_model, report
+from repro.analysis.breakdown import arithmetic_intensities, runtime_breakdown
+from repro.gpu.device import GpuDevice
+
+CATEGORIES = ("conv", "conv1x1", "dwconv", "fc", "other")
+
+
+def _breakdowns():
+    gpu = GpuDevice()
+    rows = {}
+    for model in EVALUATED_MODELS:
+        graph = get_flow("gpu").prepare(get_model(model))
+        breakdown = runtime_breakdown(graph, gpu)
+        total = sum(breakdown.values())
+        rows[model] = {cat: breakdown.get(cat, 0.0) / total
+                       for cat in CATEGORIES}
+    return rows
+
+
+def test_fig01_runtime_breakdown(benchmark):
+    rows = benchmark(_breakdowns)
+
+    lines = ["model                 " + "  ".join(f"{c:>8s}" for c in CATEGORIES)]
+    for model, fracs in rows.items():
+        lines.append(f"{model:20s} " + "  ".join(
+            f"{fracs[c] * 100:7.1f}%" for c in CATEGORIES))
+    report("fig01_breakdown", lines)
+
+    # Convolution layers dominate CNN inference (the paper's premise).
+    for model, fracs in rows.items():
+        conv_total = fracs["conv"] + fracs["conv1x1"] + fracs["dwconv"]
+        assert conv_total > 0.5, model
+    # Mobile models are 1x1-heavy; VGG16 is 3x3-heavy.
+    assert rows["mobilenet-v2"]["conv1x1"] > rows["vgg-16"]["conv1x1"]
+    assert rows["vgg-16"]["conv"] > rows["mobilenet-v2"]["conv"]
+    # VGG16's FC layers are a visible share of its runtime.
+    assert rows["vgg-16"]["fc"] > 0.05
+
+
+def test_fig01_arithmetic_intensity(benchmark):
+    def collect():
+        out = {}
+        for model in EVALUATED_MODELS:
+            graph = get_model(model)
+            ai = arithmetic_intensities(graph)
+            pointwise, spatial = [], []
+            for name, value in ai:
+                node = graph.node(name)
+                kh, kw = node.attr("kernel_shape")
+                if kh == 1 and kw == 1 and int(node.attr("group", 1)) == 1:
+                    pointwise.append(value)
+                elif int(node.attr("group", 1)) == 1:
+                    spatial.append(value)
+            out[model] = (pointwise, spatial)
+        return out
+
+    data = benchmark(collect)
+    lines = ["model                 mean AI (1x1)   mean AI (kxk)"]
+    for model, (pw, sp) in data.items():
+        mean_pw = sum(pw) / len(pw) if pw else float("nan")
+        mean_sp = sum(sp) / len(sp) if sp else float("nan")
+        lines.append(f"{model:20s} {mean_pw:14.1f} {mean_sp:15.1f}")
+    report("fig01_intensity", lines)
+
+    # 1x1 convolutions sit at much lower arithmetic intensity than deep
+    # spatial convolutions (Fig. 1 right).  ResNet50 contains both in
+    # volume; the mobile models' only spatial convs are tiny stems, and
+    # VGG16 has no pointwise layers at all.
+    res_pw, res_sp = data["resnet-50"]
+    assert sum(res_pw) / len(res_pw) < 0.6 * sum(res_sp) / len(res_sp)
+    vgg_sp = data["vgg-16"][1]
+    vgg_mean = sum(vgg_sp) / len(vgg_sp)
+    for model in ("mobilenet-v2", "mnasnet-1.0", "efficientnet-v1-b0"):
+        pw = data[model][0]
+        assert sum(pw) / len(pw) < 0.2 * vgg_mean, model

@@ -1,0 +1,46 @@
+"""Fig. 3 — GPU inference time vs. number of memory channels.
+
+The preliminary observation enabling the GPU/PIM channel split:
+compute-intensive models are barely hurt when memory channels are taken
+away from the GPU, because their roofline sits on the compute side.
+"""
+
+import pytest
+
+from conftest import get_flow, get_model, report
+from repro.gpu.device import GpuDevice
+
+MODELS = ("resnet-50", "vgg-16", "mobilenet-v2")
+CHANNELS = (8, 12, 16, 20, 24, 28, 32)
+
+
+def _sweep():
+    rows = {}
+    for model in MODELS:
+        graph = get_flow("gpu").prepare(get_model(model))
+        times = {c: GpuDevice().with_channels(c).run_graph(graph).time_us
+                 for c in CHANNELS}
+        base = times[24]
+        rows[model] = {c: t / base for c, t in times.items()}
+    return rows
+
+
+def test_fig03_channel_sensitivity(benchmark):
+    rows = benchmark(_sweep)
+
+    lines = ["model                 " + "  ".join(f"{c:>5d}ch" for c in CHANNELS)
+             + "   (normalized to 24ch)"]
+    for model, series in rows.items():
+        lines.append(f"{model:20s} " + "  ".join(
+            f"{series[c]:7.3f}" for c in CHANNELS))
+    report("fig03_channels", lines)
+
+    for model, series in rows.items():
+        # Monotone: fewer channels never help.
+        values = [series[c] for c in CHANNELS]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:])), model
+        # Halving channels from 32 to 16 costs far less than 2x for
+        # compute-intensive models (the paper's enabling observation).
+        assert series[16] / series[32] < 1.5, model
+    # VGG16 (most compute-bound) is the least sensitive at 16 channels.
+    assert rows["vgg-16"][16] <= rows["mobilenet-v2"][16] + 0.05

@@ -1,0 +1,107 @@
+"""Fig. 11 — pipelined subgraphs vs. the same nodes in MD-DP mode.
+
+Two panels:
+
+1. The pipelining candidates the Algorithm-1 solver actually adopted,
+   with their time relative to the best MD-DP treatment of the same
+   chain.  By construction of the DP every adopted chain wins; the
+   paper's Fig. 11 similarly filters to subgraphs with >10% speedup or
+   <25% slowdown.
+2. A depth-spread raw sample of every pattern type, pipelined
+   unconditionally — showing why the search must be selective: early
+   large-spatial instances lose badly when their 1x1 layers are forced
+   onto PIM.
+
+Divergence note: the paper finds the Type 1 (1x1-DW) pattern the most
+profitable; under our cost model the solver most often adopts the
+longer Type 3 (1x1-DW-1x1) chains, which overlap the GPU depthwise with
+*two* PIM stages.  The load-bearing shape — pipelining only pays on
+chains mixing PIM-friendly 1x1 convs with the GPU-bound depthwise, and
+only when selected judiciously — is preserved.
+"""
+
+import pytest
+
+from conftest import compile_model, get_flow, get_model, report
+from repro.search.profiler import extract_subgraph, profile_pipeline
+from repro.transform.patterns import find_pipeline_candidates
+
+MODELS = ("mobilenet-v2", "mnasnet-1.0", "efficientnet-v1-b0")
+
+
+def _mddp_time(flow, graph, chain):
+    """Best per-node (MD-DP or device) time for the chain, serialized."""
+    table = flow.profile(extract_subgraph(graph, chain))
+    return sum(table.best(name, 1).time_us for name in chain)
+
+
+def _selected():
+    """Solver-adopted pipeline chains and their win over MD-DP."""
+    flow = get_flow("pimflow")
+    rows = []
+    for model in MODELS:
+        prepared = flow.prepare(get_model(model))
+        kinds = {tuple(p.chain): p.kind
+                 for p in find_pipeline_candidates(prepared)}
+        compiled = compile_model(model, "pimflow")
+        table = compiled.table
+        for d in compiled.decisions:
+            if d.mode != "pipeline":
+                continue
+            alternative = sum(table.best(n, 1).time_us for n in d.nodes)
+            rows.append((model, kinds.get(tuple(d.nodes), "?"),
+                         d.time_us / alternative))
+    return rows
+
+
+def _sampled():
+    """Unconditional pipelining of depth-spread pattern samples."""
+    flow = get_flow("pimflow")
+    ratios = {}
+    for model in MODELS:
+        graph = flow.prepare(get_model(model))
+        by_kind = {}
+        for pattern in find_pipeline_candidates(graph):
+            by_kind.setdefault(pattern.kind, []).append(pattern)
+        for kind, patterns in by_kind.items():
+            step = max(1, len(patterns) // 4)
+            for pattern in patterns[::step][:4]:
+                pl = profile_pipeline(graph, pattern.chain, flow.engine,
+                                      num_stages=2)
+                if pl is None:
+                    continue
+                md = _mddp_time(flow, graph, pattern.chain)
+                ratios.setdefault(pattern.kind, []).append(pl / md)
+    return ratios
+
+
+def test_fig11_pipeline_vs_mddp(benchmark):
+    selected, sampled = benchmark.pedantic(
+        lambda: (_selected(), _sampled()), rounds=1, iterations=1)
+
+    lines = ["-- solver-adopted pipelines (pipelined / MD-DP) --",
+             "model                 kind           ratio"]
+    for model, kind, ratio in selected:
+        lines.append(f"{model:20s} {kind:12s} {ratio:7.3f}")
+    lines.append("")
+    lines.append("-- unconditional depth-spread sample --")
+    lines.append("pattern        n    mean    best   worst")
+    for kind, values in sorted(sampled.items()):
+        lines.append(f"{kind:12s} {len(values):3d} {sum(values) / len(values):7.3f} "
+                     f"{min(values):7.3f} {max(values):7.3f}")
+    report("fig11_pipeline", lines)
+
+    # The search adopts pipelines somewhere (MobileNet-family models).
+    assert selected, "no pipelines adopted — calibration regression"
+    # Every adopted chain beats its MD-DP alternative (the DP guarantees
+    # it; this checks decision bookkeeping end to end).
+    for model, kind, ratio in selected:
+        assert ratio <= 1.0 + 1e-9, (model, kind, ratio)
+    # Adopted chains always combine 1x1 (PIM) with depthwise (GPU).
+    assert all(kind in ("1x1-dw", "dw-1x1", "1x1-dw-1x1")
+               for _, kind, _ in selected)
+    # Unconditional pipelining loses on early instances — selection is
+    # load-bearing (paper's Fig. 11 filtering).
+    assert any(max(v) > 1.25 for v in sampled.values())
+    # And wins on the right instances.
+    assert any(min(v) < 1.0 for v in sampled.values())

@@ -1,0 +1,49 @@
+"""Fig. 12 — energy consumption normalized to the GPU baseline.
+
+Paper: Newton++ and PIMFlow cut energy by 18% and 26% on average; the
+fixed-function MAC logic needs less energy per operation than GPU cores
+and the shorter runtime saves static energy.  ResNet50/VGG16, with
+small speedups, show limited or negative gains.
+"""
+
+import pytest
+
+from conftest import EVALUATED_MODELS, report, run_model
+
+MECHANISMS = ("gpu", "newton++", "pimflow")
+MOBILE = ("efficientnet-v1-b0", "mnasnet-1.0", "mobilenet-v2")
+
+
+def _energies():
+    rows = {}
+    for model in EVALUATED_MODELS:
+        base = run_model(model, "gpu").energy.total_mj
+        rows[model] = {m: run_model(model, m).energy.total_mj / base
+                       for m in MECHANISMS}
+    return rows
+
+
+def test_fig12_energy(benchmark):
+    rows = benchmark.pedantic(_energies, rounds=1, iterations=1)
+
+    lines = ["model                 " + "  ".join(f"{m:>10s}" for m in MECHANISMS)
+             + "   (normalized energy)"]
+    for model, row in rows.items():
+        lines.append(f"{model:20s} " + "  ".join(
+            f"{row[m]:10.3f}" for m in MECHANISMS))
+    avg = {m: sum(r[m] for r in rows.values()) / len(rows) for m in MECHANISMS}
+    lines.append(f"{'average':20s} " + "  ".join(
+        f"{avg[m]:10.3f}" for m in MECHANISMS))
+    report("fig12_energy", lines)
+
+    # PIMFlow saves energy on average (paper: 26%).
+    assert 0.55 < avg["pimflow"] < 0.95
+    # Newton++ saves too, but less than PIMFlow.
+    assert avg["pimflow"] <= avg["newton++"] + 0.02
+    assert avg["newton++"] < 1.0
+    # Mobile models see clear savings.
+    for model in MOBILE:
+        assert rows[model]["pimflow"] < 0.9, model
+    # The small-speedup models show limited (possibly negative) gains.
+    for model in ("resnet-50", "vgg-16"):
+        assert rows[model]["pimflow"] > 0.55, model

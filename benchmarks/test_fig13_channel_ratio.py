@@ -1,0 +1,57 @@
+"""Fig. 13 — sensitivity to the GPU/PIM memory channel split.
+
+Sweeps the number of PIM-enabled channels in the 32-channel memory.
+Paper: performance improves with more PIM channels up to 16, then
+degrades as the GPU starves for bandwidth; the 16-16 split is the
+design point.  Newton++ suffers more at the extremes than PIMFlow, and
+compute-heavy ResNet50 more than EfficientNetB0.
+"""
+
+import pytest
+
+from conftest import get_model, report, run_model
+
+MODELS = ("efficientnet-v1-b0", "resnet-50")
+MECHANISMS = ("newton++", "pimflow")
+PIM_CHANNELS = (4, 8, 12, 16, 20, 24, 28)
+
+
+def _sweep():
+    rows = {}
+    for model in MODELS:
+        base = run_model(model, "gpu").makespan_us
+        for mech in MECHANISMS:
+            series = {}
+            for pc in PIM_CHANNELS:
+                series[pc] = base / run_model(model, mech,
+                                              pim_channels=pc).makespan_us
+            rows[(model, mech)] = series
+    return rows
+
+
+def test_fig13_channel_ratio(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = ["model/mechanism                    " + "  ".join(
+        f"{pc:>4d}pim" for pc in PIM_CHANNELS) + "   (speedup vs 32ch GPU)"]
+    for (model, mech), series in rows.items():
+        lines.append(f"{model:22s} {mech:10s} " + "  ".join(
+            f"{series[pc]:7.2f}" for pc in PIM_CHANNELS))
+    report("fig13_channel_ratio", lines)
+
+    for (model, mech), series in rows.items():
+        best_pc = max(series, key=series.get)
+        # The sweet spot sits in the middle of the sweep (paper: 16).
+        assert 8 <= best_pc <= 20, (model, mech, best_pc)
+        # Extremes lose against the middle.
+        assert series[4] < series[16]
+        assert series[28] < series[16]
+    # PIMFlow dominates Newton++ across the sweep for both models.
+    for model in MODELS:
+        for pc in PIM_CHANNELS:
+            assert rows[(model, "pimflow")][pc] >= \
+                rows[(model, "newton++")][pc] - 1e-6, (model, pc)
+    # The 16-16 split is within a few percent of the best point
+    # (the paper's design-point justification).
+    for key, series in rows.items():
+        assert series[16] >= 0.93 * max(series.values()), key

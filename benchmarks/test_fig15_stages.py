@@ -1,0 +1,53 @@
+"""Fig. 15 — pipeline stage-count sensitivity.
+
+More stages shrink prologue/epilogue serialization but multiply kernel
+launch and synchronization overheads.  Paper: more than two stages
+costs more than the extra overlap buys.
+"""
+
+import pytest
+
+from conftest import get_flow, get_model, report
+from repro.search.profiler import profile_pipeline
+from repro.transform.patterns import find_pipeline_candidates
+
+STAGES = (2, 3, 4, 5)
+MODEL = "mobilenet-v2"
+
+
+def _sweep():
+    flow = get_flow("pimflow")
+    graph = flow.prepare(get_model(MODEL))
+    patterns = [p for p in find_pipeline_candidates(graph)
+                if p.kind == "1x1-dw"]
+    assert patterns
+    # Sample across network depth; the late 1x1-heavy blocks are where
+    # pipelining is actually adopted.
+    step = max(1, len(patterns) // 6)
+    totals = {s: 0.0 for s in STAGES}
+    usable = 0
+    for pattern in patterns[::step][:8]:
+        times = {s: profile_pipeline(graph, pattern.chain, flow.engine,
+                                     num_stages=s) for s in STAGES}
+        if any(t is None for t in times.values()):
+            continue
+        usable += 1
+        for s in STAGES:
+            totals[s] += times[s]
+    assert usable >= 3
+    return {s: totals[s] / usable for s in STAGES}
+
+
+def test_fig15_stage_granularity(benchmark):
+    means = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = ["stages   mean pipelined subgraph time (us)   vs 2 stages"]
+    for s in STAGES:
+        lines.append(f"{s:6d} {means[s]:28.2f} {means[s] / means[2]:13.3f}")
+    report("fig15_stages", lines)
+
+    # Two stages is the sweet spot, within noise (paper Fig. 15).
+    assert means[2] <= 1.02 * min(means.values())
+    # Overheads grow with stage count; five stages clearly lose.
+    assert means[5] > means[2]
+    assert means[5] >= means[3] - 0.5

@@ -1,0 +1,75 @@
+"""Fig. 16 — model type and size sensitivity.
+
+* BERT: with the tiny 1x3 input, PIMFlow performs like Newton++ (FC
+  layers are too small to split profitably); with a 1x64 input the
+  MD-DP mode buys a significant extra speedup over Newton++ (paper:
+  +32%).
+* Scaled EfficientNets: PIMFlow's acceleration shrinks as the model
+  grows — larger 1x1 convolutions gain arithmetic intensity and favor
+  the GPU (paper: down to 7% for ENetB6).
+"""
+
+import pytest
+
+from conftest import report, run_model
+
+ENET_VARIANTS = ("efficientnet-v1-b0", "efficientnet-v1-b1",
+                 "efficientnet-v1-b2", "efficientnet-v1-b3")
+
+
+def _bert():
+    rows = {}
+    for model in ("bert-seq3", "bert-seq64"):
+        base = run_model(model, "gpu").makespan_us
+        rows[model] = {
+            "newton++": base / run_model(model, "newton++").makespan_us,
+            "pimflow": base / run_model(model, "pimflow").makespan_us,
+        }
+    return rows
+
+
+def _enet():
+    rows = {}
+    for model in ENET_VARIANTS:
+        base = run_model(model, "gpu").makespan_us
+        rows[model] = base / run_model(model, "pimflow").makespan_us
+    return rows
+
+
+def test_fig16_bert(benchmark):
+    rows = benchmark.pedantic(_bert, rounds=1, iterations=1)
+    lines = ["model        newton++   pimflow   extra from MD-DP"]
+    for model, row in rows.items():
+        extra = row["pimflow"] / row["newton++"]
+        lines.append(f"{model:11s} {row['newton++']:8.2f}x {row['pimflow']:8.2f}x"
+                     f" {extra:10.2f}x")
+    report("fig16_bert", lines)
+
+    # Tiny input: PIMFlow adds nothing over Newton++ (paper: "performs
+    # the same") — batch-1 GEMVs either offload fully or stay put.
+    small_extra = rows["bert-seq3"]["pimflow"] / rows["bert-seq3"]["newton++"]
+    assert small_extra < 1.05
+    # Long input: MD-DP splitting of FC layers buys extra speedup over
+    # Newton++ (paper: +32%; our GPU model keeps the large FC layers
+    # more GPU-favorable, so the margin is smaller but present).
+    large_extra = rows["bert-seq64"]["pimflow"] / rows["bert-seq64"]["newton++"]
+    assert large_extra > 1.01
+    assert large_extra > small_extra
+
+
+def test_fig16_efficientnet_scaling(benchmark):
+    rows = benchmark.pedantic(_enet, rounds=1, iterations=1)
+    lines = ["variant                 PIMFlow speedup vs GPU"]
+    for model, speedup in rows.items():
+        lines.append(f"{model:22s} {speedup:10.2f}x")
+    report("fig16_enet_scaling", lines)
+
+    speedups = [rows[m] for m in ENET_VARIANTS]
+    # Acceleration decreases as the model scales up (paper Fig. 16: B6
+    # bottoms out at +7%; our model declines somewhat faster because
+    # the scaled-up spatial extents land in the PIM-unfriendly regime).
+    assert speedups[0] > speedups[-1]
+    assert speedups[0] > speedups[2]
+    # B0 gains clearly; the large variants approach break-even.
+    assert speedups[0] > 1.2
+    assert all(s > 0.9 for s in speedups)

@@ -1,0 +1,60 @@
+"""Model-type study: BERT FC layers on DRAM-PIM (paper Fig. 16).
+
+Transformer encoders are FC-dominated — the original sweet spot for
+DRAM-PIM.  This example compares Newton++-style full offloading with
+PIMFlow's MD-DP splitting for two sequence lengths and prints the
+per-layer-class decisions, reproducing the paper's observation that
+short inputs are fully-offload territory while longer inputs open room
+for GPU/PIM splits.
+
+Run:  python examples/bert_offload.py
+"""
+
+from collections import Counter
+
+from repro import PimFlow, PimFlowConfig, build_model
+
+
+def classify(name: str) -> str:
+    for tag in ("_q", "_k", "_v", "_attn_out", "_ff1", "_ff2"):
+        if tag in name:
+            return tag.lstrip("_")
+    return "classifier"
+
+
+def study(model_name: str) -> None:
+    print(f"\n=== {model_name} ===")
+    model = build_model(model_name)
+    baseline = PimFlow(PimFlowConfig(mechanism="gpu")).run(model)
+
+    for mechanism in ("newton++", "pimflow"):
+        flow = PimFlow(PimFlowConfig(mechanism=mechanism))
+        compiled = flow.compile(model)
+        result = flow.engine.run(compiled.graph)
+        speedup = baseline.makespan_us / result.makespan_us
+        print(f"{mechanism:10s}: {result.makespan_us:9.1f} us "
+              f"({speedup:.2f}x vs GPU)")
+        if mechanism == "pimflow":
+            placement = Counter()
+            for d in compiled.decisions:
+                if d.mode != "split":
+                    continue
+                kind = classify(d.nodes[0])
+                if d.ratio_gpu == 0.0:
+                    placement[f"{kind}: full PIM"] += 1
+                else:
+                    placement[f"{kind}: split {int(d.ratio_gpu * 100)}/"
+                              f"{int((1 - d.ratio_gpu) * 100)}"] += 1
+            for key, count in sorted(placement.items()):
+                print(f"    {key:28s} x{count}")
+
+
+def main() -> None:
+    print("BERT-base encoder stack, batch 1 "
+          "(q/k/v/attn_out: 768x768, ff1: 768x3072, ff2: 3072x768)")
+    study("bert-seq3")
+    study("bert-seq64")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Hardware design-space exploration (artifact Appendix A.7).
+
+Sweeps the two main hardware knobs the paper studies:
+
+1. The GPU/PIM memory-channel split of the 32-channel memory (Fig. 13).
+2. The PIM command-level optimizations (Fig. 14): GWRITE latency
+   hiding and the number of global buffers.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.sweep import channel_split_sweep
+from repro.models import build_model
+from repro.pim.config import PimOptimizations
+from repro.pimflow import PimFlow, PimFlowConfig
+
+
+def channel_sweep(model, baseline_us):
+    print("\n--- GPU/PIM channel split (32 channels total) ---")
+    print("PIM channels   speedup vs 32-channel GPU")
+    sweep = channel_split_sweep(model, (4, 8, 12, 16, 20, 24, 28))
+    for pim_channels, speedup in sweep.items():
+        bar = "#" * int(30 * speedup / 2.0)
+        print(f"    {pim_channels:4d}        {speedup:5.2f}x  {bar}")
+    best = max(sweep, key=sweep.get)
+    print(f"  -> best split: {best} PIM channels "
+          f"(the paper lands on 16)")
+
+
+def command_opt_sweep(model, baseline_us):
+    print("\n--- PIM command optimizations (Newton+ offloading) ---")
+    configs = {
+        "1 buffer, serial commands   ": PimOptimizations(),
+        "1 buffer, latency hiding    ": PimOptimizations(
+            gwrite_latency_hiding=True),
+        "4 buffers, serial commands  ": PimOptimizations(
+            num_gwrite_buffers=4),
+        "4 buffers + hiding (Newton++)": PimOptimizations(
+            num_gwrite_buffers=4, gwrite_latency_hiding=True,
+            strided_gwrite=True),
+    }
+    for label, opts in configs.items():
+        cfg = PimFlowConfig(mechanism="newton+", pim_opts=opts)
+        t = PimFlow(cfg).run(model).makespan_us
+        print(f"  {label} {baseline_us / t:5.2f}x vs GPU")
+
+
+def main() -> None:
+    model = build_model("mobilenet-v2")
+    print("Model: MobileNetV2 (batch 1)")
+    baseline_us = PimFlow(PimFlowConfig(mechanism="gpu")).run(model).makespan_us
+    print(f"GPU baseline: {baseline_us:.1f} us")
+    channel_sweep(model, baseline_us)
+    command_opt_sweep(model, baseline_us)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: the environment lacks the wheel package, so editable
+installs fall back to ``python setup.py develop`` via this file."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""PIMFlow reproduction: compiler and runtime support for CNN models on
+processing-in-memory DRAM (Shin et al., CGO 2023).
+
+Quickstart::
+
+    from repro import PimFlow, PimFlowConfig, build_model
+
+    model = build_model("mobilenet-v2")
+    baseline = PimFlow(PimFlowConfig(mechanism="gpu")).run(model)
+    pimflow = PimFlow(PimFlowConfig(mechanism="pimflow")).run(model)
+    print(baseline.makespan_us / pimflow.makespan_us, "x speedup")
+
+See :mod:`repro.pimflow` for the toolchain API, :mod:`repro.transform`
+for the graph passes, :mod:`repro.pim` / :mod:`repro.gpu` for the
+device simulators, and the ``pimflow`` CLI for the artifact-style
+workflow.
+"""
+
+from repro.graph import Graph, GraphBuilder, Node, TensorInfo
+from repro.models import build_model, list_models
+from repro.pimflow import (
+    MECHANISMS,
+    CompiledModel,
+    PimFlow,
+    PimFlowConfig,
+    run_mechanism,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "TensorInfo",
+    "build_model",
+    "list_models",
+    "MECHANISMS",
+    "CompiledModel",
+    "PimFlow",
+    "PimFlowConfig",
+    "run_mechanism",
+    "__version__",
+]

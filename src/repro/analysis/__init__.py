@@ -1,0 +1,32 @@
+"""Analysis helpers behind the paper's descriptive figures."""
+
+from repro.analysis.breakdown import (
+    runtime_breakdown,
+    arithmetic_intensities,
+    conv_only_graph,
+    op_category,
+)
+from repro.analysis.ratios import mddp_ratio_distribution, candidate_layer_names
+from repro.analysis.gantt import render_gantt, utilization
+from repro.analysis.report import compilation_report, format_report
+from repro.analysis.sweep import (
+    channel_split_sweep,
+    mechanism_comparison,
+    stage_count_sweep,
+)
+
+__all__ = [
+    "runtime_breakdown",
+    "arithmetic_intensities",
+    "conv_only_graph",
+    "op_category",
+    "mddp_ratio_distribution",
+    "candidate_layer_names",
+    "render_gantt",
+    "utilization",
+    "compilation_report",
+    "format_report",
+    "channel_split_sweep",
+    "mechanism_comparison",
+    "stage_count_sweep",
+]

@@ -1,0 +1,67 @@
+"""Runtime breakdown and arithmetic intensity (paper Fig. 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.ops import is_depthwise, is_pim_candidate
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernels import node_flops_bytes
+from repro.search.profiler import extract_subgraph
+
+
+def op_category(node: Node, graph: Graph) -> str:
+    """Kernel category used by the Fig. 1 runtime breakdown."""
+    if node.op_type == "Conv":
+        in_shape = graph.tensors[node.inputs[0]].shape
+        if is_depthwise(node, [in_shape]):
+            return "dwconv"
+        kh, kw = node.attr("kernel_shape")
+        if kh == 1 and kw == 1 and int(node.attr("group", 1)) == 1:
+            return "conv1x1"
+        return "conv"
+    if node.op_type in ("Gemm", "MatMul"):
+        return "fc"
+    return "other"
+
+
+def runtime_breakdown(graph: Graph, gpu: GpuDevice) -> Dict[str, float]:
+    """GPU time per kernel category, in microseconds."""
+    result = gpu.run_graph(graph)
+    breakdown: Dict[str, float] = {}
+    for node in graph.nodes:
+        cat = op_category(node, graph)
+        breakdown[cat] = breakdown.get(cat, 0.0) + result.per_node[node.name].time_us
+    return breakdown
+
+
+def arithmetic_intensities(graph: Graph) -> List[Tuple[str, float]]:
+    """MACs per DRAM byte for every convolution layer (Fig. 1 right)."""
+    out: List[Tuple[str, float]] = []
+    for node in graph.nodes:
+        if node.op_type != "Conv":
+            continue
+        flops, dram_bytes = node_flops_bytes(node, graph)
+        out.append((node.name, (flops / 2.0) / max(dram_bytes, 1.0)))
+    return out
+
+
+def conv_only_graph(graph: Graph) -> Graph:
+    """Region graph containing only the PIM-candidate CONV layers.
+
+    Used to report "execution time of all PIM-candidate CONV layers"
+    (Fig. 9 top): the candidate convolutions execute back-to-back with
+    their original shapes, inputs fed from region inputs.
+    """
+    names = []
+    for node in graph.nodes:
+        if node.op_type != "Conv":
+            continue
+        input_shapes = [graph.tensors[t].shape for t in node.inputs]
+        if is_pim_candidate(node, input_shapes):
+            names.append(node.name)
+    if not names:
+        raise ValueError("graph has no PIM-candidate convolutions")
+    return extract_subgraph(graph, names)

@@ -1,0 +1,46 @@
+"""Text Gantt rendering of execution-engine schedules."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.engine import RunResult
+
+DEVICE_MARKS = {"gpu": "#", "pim": "="}
+
+
+def render_gantt(result: RunResult, width: int = 64,
+                 devices: tuple = ("gpu", "pim")) -> List[str]:
+    """Render a schedule as one text row per device.
+
+    GPU kernels render as ``#``, PIM kernels as ``=``; elided nodes
+    occupy no space.  The chart is proportional to the makespan.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    span = max(result.makespan_us, 1e-9)
+    lines = []
+    for device in devices:
+        row = [" "] * width
+        mark = DEVICE_MARKS.get(device, "*")
+        for e in result.events:
+            if e.device != device or e.duration_us <= 0:
+                continue
+            lo = int(e.start_us / span * (width - 1))
+            hi = max(lo + 1, round(e.finish_us / span * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                row[i] = mark
+        busy = sum(e.duration_us for e in result.events if e.device == device)
+        lines.append(f"{device.upper():4s} |{''.join(row)}| "
+                     f"{busy:8.1f} us busy")
+    return lines
+
+
+def utilization(result: RunResult) -> dict:
+    """Busy fraction per device over the makespan."""
+    span = max(result.makespan_us, 1e-9)
+    return {
+        "gpu": result.gpu_busy_us / span,
+        "pim": result.pim_busy_us / span,
+        "overlap": result.overlap_us / span,
+    }

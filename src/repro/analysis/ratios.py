@@ -1,0 +1,49 @@
+"""MD-DP split-ratio distribution (paper Table 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.graph.ops import is_pim_candidate
+from repro.search.solver import Decision
+
+
+def candidate_layer_names(graph: Graph) -> Set[str]:
+    """Names of all PIM-candidate nodes in a graph."""
+    names: Set[str] = set()
+    for node in graph.nodes:
+        input_shapes = [graph.tensors[t].shape for t in node.inputs]
+        if is_pim_candidate(node, input_shapes):
+            names.add(node.name)
+    return names
+
+
+def mddp_ratio_distribution(decisions: Iterable[Decision],
+                            candidates: Optional[Set[str]] = None,
+                            step: float = 0.1) -> Dict[int, float]:
+    """Fraction of PIM-candidate layers per GPU-split-ratio bucket.
+
+    Buckets are percentage points (0, 10, ..., 100): 0 means total PIM
+    offload and 100 means the candidate stayed fully on the GPU,
+    matching Table 2's axis.  ``candidates`` restricts which
+    ``gpu``-mode decisions count toward the 100 bucket (non-candidate
+    ops are not part of the paper's distribution); pipeline decisions
+    are excluded, as in the paper.
+    """
+    buckets = {int(round(i * step * 100)): 0
+               for i in range(int(round(1 / step)) + 1)}
+    total = 0
+    for d in decisions:
+        if d.mode == "split":
+            bucket = int(round((d.ratio_gpu or 0.0) * 100))
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+            total += 1
+        elif d.mode == "gpu" and candidates is not None:
+            for name in d.nodes:
+                if name in candidates:
+                    buckets[100] += 1
+                    total += 1
+    if total == 0:
+        return {k: 0.0 for k in buckets}
+    return {k: v / total for k, v in sorted(buckets.items())}

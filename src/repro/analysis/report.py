@@ -1,0 +1,79 @@
+"""Structured compilation reports.
+
+Summarizes a compiled model — decisions, per-region times, device
+placement, energy — as a JSON-compatible dict and a human-readable
+text block.  This is the library-level equivalent of the artifact's
+result-plotting scripts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.pimflow import CompiledModel
+from repro.runtime.engine import RunResult
+
+
+def compilation_report(compiled: CompiledModel,
+                       result: RunResult) -> Dict:
+    """JSON-compatible summary of a compiled model and its run."""
+    modes = Counter(d.mode for d in compiled.decisions)
+    splits = [d for d in compiled.decisions if d.mode == "split"]
+    full_offloads = sum(1 for d in splits if d.ratio_gpu == 0.0)
+    regions = [
+        {
+            "nodes": list(d.nodes),
+            "mode": d.mode,
+            "ratio_gpu": d.ratio_gpu,
+            "stages": d.stages if d.mode == "pipeline" else None,
+            "measured_us": d.time_us,
+        }
+        for d in compiled.decisions
+    ]
+    return {
+        "predicted_time_us": compiled.predicted_time_us,
+        "makespan_us": result.makespan_us,
+        "gpu_busy_us": result.gpu_busy_us,
+        "pim_busy_us": result.pim_busy_us,
+        "overlap_us": result.overlap_us,
+        "energy": result.energy.as_dict(),
+        "decision_counts": {
+            "gpu": modes.get("gpu", 0),
+            "split": len(splits) - full_offloads,
+            "full_offload": full_offloads,
+            "pipeline": modes.get("pipeline", 0),
+        },
+        "regions": regions,
+    }
+
+
+def format_report(report: Dict, max_regions: int = 12) -> List[str]:
+    """Render a report dict as text lines."""
+    counts = report["decision_counts"]
+    lines = [
+        f"predicted {report['predicted_time_us']:.1f} us, "
+        f"scheduled {report['makespan_us']:.1f} us "
+        f"(gpu {report['gpu_busy_us']:.1f} / pim {report['pim_busy_us']:.1f} "
+        f"/ overlap {report['overlap_us']:.1f})",
+        f"energy {report['energy']['total_mj']:.2f} mJ",
+        f"decisions: {counts['gpu']} gpu, {counts['split']} splits, "
+        f"{counts['full_offload']} full offloads, "
+        f"{counts['pipeline']} pipelines",
+    ]
+    shown = 0
+    for region in report["regions"]:
+        if region["mode"] == "gpu":
+            continue
+        if shown >= max_regions:
+            lines.append("  ...")
+            break
+        label = region["mode"]
+        if region["mode"] == "split":
+            label += (" 0/100 (full PIM)" if region["ratio_gpu"] == 0.0 else
+                      f" {int(region['ratio_gpu'] * 100)}/"
+                      f"{int((1 - region['ratio_gpu']) * 100)}")
+        lines.append(f"  {region['nodes'][0]:30s} {label} "
+                     f"({region['measured_us']:.1f} us)")
+        shown += 1
+    return lines

@@ -1,0 +1,71 @@
+"""Design-space sweep helpers (artifact Appendix A.7).
+
+Library-level versions of the sweeps the benchmarks and examples run:
+mechanism comparisons and hardware-knob sweeps, each returning plain
+dicts ready for tabulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.memsys.system import MemorySystem
+from repro.pimflow import PimFlow, PimFlowConfig
+
+
+def mechanism_comparison(graph: Graph,
+                         mechanisms: Sequence[str] = ("gpu", "newton+",
+                                                      "newton++",
+                                                      "pimflow-md",
+                                                      "pimflow-pl",
+                                                      "pimflow"),
+                         base_config: Optional[PimFlowConfig] = None,
+                         ) -> Dict[str, Dict[str, float]]:
+    """Makespan/energy of ``graph`` under each offloading mechanism.
+
+    Returns ``{mechanism: {"time_us", "energy_mj", "speedup"}}`` with
+    speedups normalized to the first mechanism listed.
+    """
+    from dataclasses import replace
+
+    base = base_config or PimFlowConfig()
+    rows: Dict[str, Dict[str, float]] = {}
+    reference = None
+    for mechanism in mechanisms:
+        flow = PimFlow(replace(base, mechanism=mechanism))
+        result = flow.run(graph)
+        if reference is None:
+            reference = result.makespan_us
+        rows[mechanism] = {
+            "time_us": result.makespan_us,
+            "energy_mj": result.energy.total_mj,
+            "speedup": reference / result.makespan_us,
+        }
+    return rows
+
+
+def channel_split_sweep(graph: Graph, pim_channels: Iterable[int],
+                        mechanism: str = "pimflow",
+                        total_channels: int = 32) -> Dict[int, float]:
+    """Speedup vs. the all-channel GPU baseline per PIM-channel count.
+
+    The Fig. 13 sweep as a reusable helper.
+    """
+    baseline = PimFlow(PimFlowConfig(mechanism="gpu")).run(graph).makespan_us
+    out: Dict[int, float] = {}
+    for pc in pim_channels:
+        cfg = PimFlowConfig(mechanism=mechanism,
+                            memory=MemorySystem(total_channels, pc))
+        out[pc] = baseline / PimFlow(cfg).run(graph).makespan_us
+    return out
+
+
+def stage_count_sweep(graph: Graph, stage_counts: Iterable[int],
+                      mechanism: str = "pimflow") -> Dict[int, float]:
+    """End-to-end time per configured pipeline stage count (Fig. 15)."""
+    out: Dict[int, float] = {}
+    for stages in stage_counts:
+        cfg = PimFlowConfig(mechanism=mechanism, pipeline_stages=stages)
+        out[stages] = PimFlow(cfg).run(graph).makespan_us
+    return out

@@ -1,0 +1,282 @@
+"""The ``pimflow`` command-line driver, mirroring the artifact (Appendix A.5).
+
+Workflow::
+
+    pimflow -m=profile -t=split -n=<net>     # Step 1a: MD-DP profiling
+    pimflow -m=profile -t=pipeline -n=<net>  # Step 1b: pipeline profiling
+    pimflow -m=solve -n=<net>                # Step 2: optimal graph (DP)
+    pimflow -m=run --gpu_only -n=<net>       # Step 3: GPU baseline
+    pimflow -m=run -n=<net>                  # Step 3: PIMFlow execution
+    pimflow -m=stat -n=<net>                 # Table-2-style statistics
+
+``<net>`` is one of the registry names (``pimflow -m=list`` prints
+them).  ``--policy`` selects the offloading mechanism for ``run``:
+Newton+, Newton++, MDDP, Pipeline, or PIMFlow (default).
+
+Profiling results and solved graphs persist under ``--workdir``
+(default ``./pimflow_out``), so ``solve`` and ``run`` can reuse earlier
+steps exactly like the original scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.ratios import candidate_layer_names, mddp_ratio_distribution
+from repro.graph.serialize import load_graph, save_graph
+from repro.models import build_model, list_models
+from repro.pimflow import MECHANISMS, PimFlow, PimFlowConfig
+from repro.search.table import MeasurementTable
+
+#: Artifact policy names -> mechanism keys.
+POLICIES = {
+    "Newton": "newton",
+    "Newton+": "newton+",
+    "Newton++": "newton++",
+    "MDDP": "pimflow-md",
+    "Pipeline": "pimflow-pl",
+    "PIMFlow": "pimflow",
+}
+
+
+def _preprocess_argv(argv: List[str]) -> List[str]:
+    """Support the artifact's ``-m=value`` single-dash syntax."""
+    out: List[str] = []
+    for arg in argv:
+        if arg.startswith("-") and not arg.startswith("--") and "=" in arg:
+            flag, value = arg.split("=", 1)
+            out.extend([flag, value])
+        else:
+            out.append(arg)
+    return out
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pimflow",
+        description="PIMFlow: compiler and runtime support for CNN models "
+                    "on processing-in-memory DRAM (reproduction)")
+    parser.add_argument("-m", "--mode", required=True,
+                        choices=["profile", "solve", "run", "stat", "trace",
+                                 "report", "list"],
+                        help="workflow step")
+    parser.add_argument("--layer", default=None,
+                        help="layer name for -m=trace (default: the "
+                             "largest PIM-candidate layer)")
+    parser.add_argument("-n", "--net", default="toy",
+                        help="model name (see -m=list)")
+    parser.add_argument("-t", "--type", dest="profile_type", default="split",
+                        choices=["split", "pipeline"],
+                        help="profiling pass for -m=profile")
+    parser.add_argument("--policy", default="PIMFlow", choices=sorted(POLICIES),
+                        help="offloading mechanism for -m=run")
+    parser.add_argument("--gpu_only", action="store_true",
+                        help="run the GPU-only baseline")
+    parser.add_argument("--pim_channels", type=int, default=16,
+                        help="PIM-enabled channels out of 32")
+    parser.add_argument("--stages", type=int, default=2,
+                        help="pipeline stage count")
+    parser.add_argument("--ratio_step", type=float, default=0.1,
+                        help="MD-DP split-ratio interval")
+    parser.add_argument("--workdir", default="pimflow_out",
+                        help="directory for profiles and solved graphs")
+    return parser
+
+
+def _config(args: argparse.Namespace, mechanism: str) -> PimFlowConfig:
+    from repro.memsys.system import MemorySystem
+
+    return PimFlowConfig(
+        mechanism=mechanism,
+        memory=MemorySystem(32, args.pim_channels),
+        ratio_step=args.ratio_step,
+        pipeline_stages=args.stages,
+    )
+
+
+def _paths(args: argparse.Namespace) -> dict:
+    base = Path(args.workdir) / args.net
+    return {
+        "base": base,
+        "split": base / "profile_split.json",
+        "pipeline": base / "profile_pipeline.json",
+        "graph": base / "solved_graph.json",
+        "summary": base / "solve_summary.json",
+    }
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    paths = _paths(args)
+    paths["base"].mkdir(parents=True, exist_ok=True)
+    mechanism = "pimflow-md" if args.profile_type == "split" else "pimflow-pl"
+    flow = PimFlow(_config(args, mechanism))
+    graph = flow.prepare(build_model(args.net))
+    table = flow.profile(graph)
+    out = paths[args.profile_type]
+    table.save(out)
+    print(f"profiled {len(table)} samples ({args.profile_type}) -> {out}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    paths = _paths(args)
+    flow = PimFlow(_config(args, "pimflow"))
+    graph = flow.prepare(build_model(args.net))
+
+    table = MeasurementTable()
+    found = False
+    for kind in ("split", "pipeline"):
+        path = paths[kind]
+        if path.exists():
+            found = True
+            table.merge(MeasurementTable.load(path))
+    if not found:
+        print("no profiles found; running the full profile step first",
+              file=sys.stderr)
+        table = flow.profile(graph)
+
+    compiled = flow.compile(graph, table)
+    save_graph(compiled.graph, paths["graph"])
+    summary = {
+        "predicted_time_us": compiled.predicted_time_us,
+        "decisions": [
+            {"nodes": list(d.nodes), "mode": d.mode, "time_us": d.time_us,
+             "ratio_gpu": d.ratio_gpu, "stages": d.stages}
+            for d in compiled.decisions
+        ],
+    }
+    paths["summary"].write_text(json.dumps(summary, indent=2))
+    print(f"solved: predicted {compiled.predicted_time_us:.1f} us over "
+          f"{len(compiled.decisions)} regions -> {paths['graph']}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    paths = _paths(args)
+    if args.gpu_only:
+        flow = PimFlow(_config(args, "gpu"))
+        result = flow.run(build_model(args.net))
+        print(f"{args.net} [GPU baseline]: {result.makespan_us:.1f} us, "
+              f"{result.energy.total_mj:.2f} mJ")
+        return 0
+
+    mechanism = POLICIES[args.policy]
+    flow = PimFlow(_config(args, mechanism))
+    if args.policy == "PIMFlow" and paths["graph"].exists():
+        graph = load_graph(paths["graph"])
+        result = flow.engine.run(graph)
+    else:
+        result = flow.run(build_model(args.net))
+    print(f"{args.net} [{args.policy}]: {result.makespan_us:.1f} us, "
+          f"{result.energy.total_mj:.2f} mJ "
+          f"(gpu busy {result.gpu_busy_us:.1f} us, "
+          f"pim busy {result.pim_busy_us:.1f} us)")
+    return 0
+
+
+def cmd_stat(args: argparse.Namespace) -> int:
+    flow = PimFlow(_config(args, "pimflow-md"))
+    graph = flow.prepare(build_model(args.net))
+    compiled = flow.compile(graph)
+    dist = mddp_ratio_distribution(compiled.decisions,
+                                   candidate_layer_names(graph))
+    print("Split ratio to GPU (0: total offload):")
+    print("  " + "  ".join(f"{k:>3d}%" for k in dist))
+    print("  " + "  ".join(f"{v * 100:3.0f}%" for v in dist.values()))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate and persist the PIM command trace for one layer."""
+    from repro.codegen.generator import generate_trace
+    from repro.codegen.trace_io import save_trace
+    from repro.graph.ops import is_pim_candidate
+    from repro.lowering.im2col import lower_node
+    from repro.pim.simulator import simulate_trace
+
+    flow = PimFlow(_config(args, "pimflow"))
+    graph = flow.prepare(build_model(args.net))
+
+    candidates = []
+    for node in graph.toposort():
+        shapes = [graph.tensors[t].shape for t in node.inputs]
+        if is_pim_candidate(node, shapes):
+            candidates.append(node)
+    if not candidates:
+        print(f"{args.net} has no PIM-candidate layers", file=sys.stderr)
+        return 1
+    if args.layer:
+        matches = [n for n in candidates if n.name == args.layer]
+        if not matches:
+            names = ", ".join(n.name for n in candidates[:10])
+            print(f"unknown layer {args.layer!r}; candidates include: "
+                  f"{names} ...", file=sys.stderr)
+            return 2
+        node = matches[0]
+    else:
+        node = max(candidates,
+                   key=lambda n: lower_node(n, graph).macs)
+
+    gemv = lower_node(node, graph)
+    trace = generate_trace(gemv, flow.pim.config, flow.pim.opts)
+    result = simulate_trace(trace, flow.pim.config)
+
+    paths = _paths(args)
+    paths["base"].mkdir(parents=True, exist_ok=True)
+    out = paths["base"] / f"trace_{node.name}.json"
+    save_trace(trace, out)
+    counts = ", ".join(f"{k}:{v}" for k, v in sorted(trace.counts().items()))
+    print(f"{node.name}: {trace.num_commands} commands ({counts}) over "
+          f"{len(trace.programs)} channels, {result.cycles} cycles "
+          f"-> {out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Compile a model and print the full compilation report + schedule."""
+    from repro.analysis.gantt import render_gantt
+    from repro.analysis.report import compilation_report, format_report
+
+    flow = PimFlow(_config(args, POLICIES[args.policy]))
+    compiled = flow.compile(build_model(args.net))
+    result = flow.engine.run(compiled.graph)
+    print(f"{args.net} [{args.policy}]")
+    for line in format_report(compilation_report(compiled, result)):
+        print("  " + line)
+    print("  schedule ('#' GPU, '=' PIM):")
+    for line in render_gantt(result):
+        print("    " + line)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(_preprocess_argv(
+        list(sys.argv[1:] if argv is None else argv)))
+    if args.mode == "list":
+        for name in list_models():
+            print(name)
+        return 0
+    if args.net not in list_models():
+        print(f"unknown net {args.net!r}; use -m=list", file=sys.stderr)
+        return 2
+    if args.mode == "profile":
+        return cmd_profile(args)
+    if args.mode == "solve":
+        return cmd_solve(args)
+    if args.mode == "run":
+        return cmd_run(args)
+    if args.mode == "stat":
+        return cmd_stat(args)
+    if args.mode == "trace":
+        return cmd_trace(args)
+    if args.mode == "report":
+        return cmd_report(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""DRAM-PIM command generation (the TVM BYOC back-end substitute).
+
+Turns lowered GEMV descriptors into explicit per-channel command
+programs — GWRITE / G_ACT / COMP / READRES with the PIMFlow extensions —
+whose dependency structure encodes the optimization level.  The
+programs run on the event-driven simulator and are cross-validated
+against the closed-form cost model.
+"""
+
+from repro.codegen.generator import generate_trace, tile_program, CommandBudgetError
+from repro.codegen.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+__all__ = [
+    "generate_trace",
+    "tile_program",
+    "CommandBudgetError",
+    "load_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+]

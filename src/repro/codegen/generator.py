@@ -1,0 +1,146 @@
+"""Explicit PIM command-program generation.
+
+The emitted program structure matches the closed-form model in
+:mod:`repro.pim.cost` command-for-command:
+
+* Each global buffer holds one lowered input vector; K beyond the
+  buffer capacity is processed in passes with result-latch
+  accumulation.
+* A group is one buffer generation (``num_gwrite_buffers`` vectors):
+  its GWRITEs (merged into GWRITE_2/GWRITE_4 when enabled, or exploded
+  into one command per contiguous run when the layer is strided and the
+  strided-GWRITE extension is off), the G_ACTs opening the filter rows,
+  one COMP per vector, and one batched READRES on the final pass.
+* Dependencies encode the optimization level: a group's GWRITE waits on
+  the previous group's last COMP (buffers in use until then).  Without
+  GWRITE latency hiding, the G_ACT additionally waits for the GWRITE —
+  the documented serial GWRITE-G_ACT-COMP-READRES sequence.  With
+  hiding, G_ACTs float free on the compute path, overlapping row
+  activation with the data fetch from the GPU channels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import ChannelTile, tile_over_channels, tiles_by_channel
+from repro.pim.commands import CmdKind, CommandTrace, PimCommand
+from repro.pim.config import PimConfig, PimOptimizations
+from repro.pim.cost import buffer_k_tiles
+
+
+class CommandBudgetError(RuntimeError):
+    """Raised when a trace would exceed the explicit-command budget."""
+
+
+class _ChannelEmitter:
+    """Builds one channel's program, tracking resource tails for deps."""
+
+    def __init__(self, max_commands: int) -> None:
+        self.commands: List[PimCommand] = []
+        self.max_commands = max_commands
+
+    def emit(self, cmd: PimCommand, extra_deps: List[Optional[int]]) -> int:
+        if len(self.commands) >= self.max_commands:
+            raise CommandBudgetError(
+                f"trace exceeds {self.max_commands} explicit commands; "
+                "use the closed-form cost model instead")
+        deps = tuple(sorted({d for d in extra_deps if d is not None}))
+        cmd = PimCommand(kind=cmd.kind, bytes=cmd.bytes, segments=cmd.segments,
+                         width=cmd.width, ops=cmd.ops, banks=cmd.banks, deps=deps)
+        self.commands.append(cmd)
+        return len(self.commands) - 1
+
+
+def _emit_tile(emitter: _ChannelEmitter, tile: ChannelTile, gemv: LoweredGemv,
+               config: PimConfig, opts: PimOptimizations) -> None:
+    elem = config.elem_bytes
+    cap = config.buffer_capacity_elems
+    k_tiles = buffer_k_tiles(tile.k, config)
+    nb = opts.num_gwrite_buffers
+    groups = math.ceil(tile.rows / nb)
+    hiding = opts.gwrite_latency_hiding
+
+    prev_comp: Optional[int] = None
+    for kt in range(k_tiles):
+        kt_len = min(cap, tile.k - kt * cap)
+        last_pass = kt == k_tiles - 1
+        num_rows = math.ceil(tile.n * kt_len / config.weights_per_activation)
+        ops_per_vector = math.ceil(kt_len * tile.n / config.macs_per_comp)
+
+        for g in range(groups):
+            vectors = min(nb, tile.rows - g * nb)
+
+            # --- GWRITEs: wait for the previous group's buffers --------
+            gwrite_idxs: List[int] = []
+            if gemv.strided and not opts.strided_gwrite:
+                segments = math.ceil(kt_len / max(gemv.contiguous_k, 1))
+                run_bytes = min(gemv.contiguous_k, kt_len) * elem
+                for _ in range(vectors * segments):
+                    gwrite_idxs.append(emitter.emit(
+                        PimCommand(CmdKind.GWRITE, bytes=run_bytes, segments=1,
+                                   width=1),
+                        [prev_comp]))
+            else:
+                remaining = vectors
+                while remaining > 0:
+                    w = min(nb, remaining)
+                    segs = 1
+                    if gemv.strided and opts.strided_gwrite:
+                        segs = math.ceil(kt_len / max(gemv.contiguous_k, 1)) * w
+                    gwrite_idxs.append(emitter.emit(
+                        PimCommand(CmdKind.GWRITE, bytes=w * kt_len * elem,
+                                   segments=segs, width=w),
+                        [prev_comp]))
+                    remaining -= w
+
+            # --- G_ACTs -------------------------------------------------
+            gact_idx: Optional[int] = None
+            for _ in range(num_rows):
+                deps: List[Optional[int]] = []
+                if not hiding:
+                    deps.append(gwrite_idxs[-1])
+                gact_idx = emitter.emit(
+                    PimCommand(CmdKind.G_ACT, banks=config.banks_per_channel),
+                    deps)
+
+            # --- COMPs ---------------------------------------------------
+            comp_idx: Optional[int] = None
+            for _ in range(vectors):
+                comp_idx = emitter.emit(
+                    PimCommand(CmdKind.COMP, ops=ops_per_vector),
+                    [gwrite_idxs[-1], gact_idx])
+            prev_comp = comp_idx
+
+            # --- READRES (batched per group) -----------------------------
+            if last_pass:
+                emitter.emit(
+                    PimCommand(CmdKind.READRES, bytes=vectors * tile.n * elem),
+                    [comp_idx])
+
+
+def tile_program(tile: ChannelTile, gemv: LoweredGemv, config: PimConfig,
+                 opts: PimOptimizations,
+                 max_commands: int = 1_000_000) -> List[PimCommand]:
+    """Generate one channel tile's command program."""
+    emitter = _ChannelEmitter(max_commands)
+    _emit_tile(emitter, tile, gemv, config, opts)
+    return emitter.commands
+
+
+def generate_trace(gemv: LoweredGemv, config: PimConfig, opts: PimOptimizations,
+                   max_commands: int = 1_000_000) -> CommandTrace:
+    """Generate the full multi-channel trace for a lowered GEMV."""
+    tiles = tile_over_channels(gemv, config.num_channels, opts.scheduling)
+    trace = CommandTrace()
+    emitters: Dict[int, _ChannelEmitter] = {}
+    for ch, channel_tiles in tiles_by_channel(tiles).items():
+        emitter = emitters.setdefault(ch, _ChannelEmitter(max_commands))
+        for tile in channel_tiles:
+            _emit_tile(emitter, tile, gemv, config, opts)
+    for ch, emitter in emitters.items():
+        for cmd in emitter.commands:
+            trace.add(ch, cmd)
+    return trace

@@ -1,0 +1,63 @@
+"""Command-trace (de)serialization.
+
+The artifact ships pre-generated GPU and DRAM-PIM traces; this module
+provides the equivalent for our stack — explicit per-channel PIM
+command programs written to JSON, reloadable for offline inspection or
+replay through the event simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.pim.commands import CmdKind, CommandTrace, PimCommand
+
+
+def trace_to_dict(trace: CommandTrace) -> dict:
+    """Serialize a trace to a JSON-compatible dict."""
+    return {
+        "channels": {
+            str(ch): [
+                {
+                    "kind": cmd.kind.value,
+                    "bytes": cmd.bytes,
+                    "segments": cmd.segments,
+                    "width": cmd.width,
+                    "ops": cmd.ops,
+                    "banks": cmd.banks,
+                    "deps": list(cmd.deps),
+                }
+                for cmd in prog
+            ]
+            for ch, prog in trace.programs.items()
+        }
+    }
+
+
+def trace_from_dict(data: dict) -> CommandTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    trace = CommandTrace()
+    for ch, prog in data["channels"].items():
+        for cmd in prog:
+            trace.add(int(ch), PimCommand(
+                kind=CmdKind(cmd["kind"]),
+                bytes=cmd["bytes"],
+                segments=cmd["segments"],
+                width=cmd["width"],
+                ops=cmd["ops"],
+                banks=cmd["banks"],
+                deps=tuple(cmd["deps"]),
+            ))
+    return trace
+
+
+def save_trace(trace: CommandTrace, path: Union[str, Path]) -> None:
+    """Write a trace to a JSON file."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> CommandTrace:
+    """Read a trace from a JSON file written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

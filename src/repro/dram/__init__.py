@@ -1,0 +1,36 @@
+"""Request-level DRAM channel simulator (Ramulator-style substrate).
+
+The paper extends Ramulator's DRAM controller to process both regular
+GPU memory commands and PIM commands, and measures controller
+contention by interleaving Accel-Sim memory request streams with PIM
+command sequences (Section 7).  This package provides that substrate:
+
+* :mod:`repro.dram.request` — memory requests and synthetic request
+  stream generators (streaming / strided / random), standing in for
+  Accel-Sim traces.
+* :mod:`repro.dram.bank` — per-bank row-buffer state machine with
+  ACT/PRE/RD/WR timing.
+* :mod:`repro.dram.controller` — per-channel controller: FR-FCFS-lite
+  scheduling (row hits first within a lookahead window), statistics,
+  and support for *blocked intervals* during which the controller
+  services PIM traffic and regular requests stall.
+"""
+
+from repro.dram.request import Request, streaming_trace, strided_trace, random_trace
+from repro.dram.bank import Bank, DramTiming
+from repro.dram.controller import ChannelController, ChannelStats, BlockedInterval
+from repro.dram.memory import MemoryStats, MultiChannelMemory
+
+__all__ = [
+    "Request",
+    "streaming_trace",
+    "strided_trace",
+    "random_trace",
+    "Bank",
+    "DramTiming",
+    "ChannelController",
+    "ChannelStats",
+    "BlockedInterval",
+    "MemoryStats",
+    "MultiChannelMemory",
+]

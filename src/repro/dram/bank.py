@@ -1,0 +1,63 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Core DRAM timing constraints in command-clock cycles.
+
+    Defaults align with the PIM side's Table 1 constants (GDDR6-class).
+    """
+
+    t_rcd: int = 11   # ACT -> RD/WR
+    t_rp: int = 11    # PRE -> ACT
+    t_cl: int = 11    # RD -> data
+    t_ccd: int = 2    # back-to-back column bursts (same bank group)
+    t_ras: int = 25   # ACT -> PRE minimum
+    t_wr: int = 12    # write recovery
+
+
+class Bank:
+    """Open-page bank: tracks the open row and the next-ready cycle."""
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.ready_at = 0          # cycle at which a new column op may issue
+        self.activated_at = 0      # for tRAS accounting
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+
+    def access(self, row: int, now: int, is_write: bool = False) -> int:
+        """Issue a column access to ``row`` at or after ``now``.
+
+        Returns the cycle at which the burst's data completes.  Handles
+        row-hit (CAS only), row-miss on a closed bank (ACT + CAS), and
+        row-conflict (PRE + ACT + CAS) with tRAS respected.
+        """
+        t = self.timing
+        start = max(now, self.ready_at)
+        if self.open_row == row:
+            self.row_hits += 1
+            issue = start
+        elif self.open_row is None:
+            self.row_misses += 1
+            issue = start + t.t_rcd
+            self.open_row = row
+            self.activated_at = start
+        else:
+            self.row_conflicts += 1
+            # Respect tRAS before precharging the old row.
+            pre_at = max(start, self.activated_at + t.t_ras)
+            act_at = pre_at + t.t_rp
+            issue = act_at + t.t_rcd
+            self.open_row = row
+            self.activated_at = act_at
+        done = issue + (t.t_wr if is_write else t.t_cl)
+        self.ready_at = issue + t.t_ccd
+        return done

@@ -1,0 +1,132 @@
+"""Per-channel memory controller with FR-FCFS-lite scheduling.
+
+Processes a request stream against the channel's banks, sharing one
+command/data bus (one column burst per ``t_ccd`` cycles).  The
+controller can be handed *blocked intervals* — windows during which it
+services PIM traffic (GWRITE/READRES streaming through the shared
+controller) and regular requests stall — which is exactly how the paper
+measures GPU/PIM controller contention (Section 7).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dram.bank import Bank, DramTiming
+from repro.dram.request import Request
+
+
+@dataclass(frozen=True)
+class BlockedInterval:
+    """A window [start, end) during which the controller serves PIM."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty blocked interval [{self.start}, {self.end})")
+
+
+@dataclass
+class ChannelStats:
+    """Outcome of simulating one request stream."""
+
+    finish_cycle: int
+    requests: int
+    row_hits: int
+    row_misses: int
+    row_conflicts: int
+    stalled_cycles: int
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.row_hits / self.requests
+
+    def bandwidth_bytes_per_cycle(self, burst_bytes: int = 32) -> float:
+        if self.finish_cycle == 0:
+            return 0.0
+        return self.requests * burst_bytes / self.finish_cycle
+
+
+class ChannelController:
+    """One channel: banks plus a shared data bus."""
+
+    def __init__(self, banks: int = 16,
+                 timing: Optional[DramTiming] = None,
+                 lookahead: int = 8) -> None:
+        if banks <= 0:
+            raise ValueError("banks must be positive")
+        self.timing = timing or DramTiming()
+        self.banks = [Bank(self.timing) for _ in range(banks)]
+        self.lookahead = lookahead
+
+    def _advance_past_blocks(self, now: int, blocks: Sequence[BlockedInterval],
+                             stalled: List[int]) -> int:
+        """Move ``now`` out of any blocked window, accumulating stall."""
+        for interval in blocks:
+            if interval.start <= now < interval.end:
+                stalled[0] += interval.end - now
+                now = interval.end
+        return now
+
+    def simulate(self, requests: Sequence[Request],
+                 blocked: Sequence[BlockedInterval] = ()) -> ChannelStats:
+        """Process a request stream; returns timing and locality stats.
+
+        Scheduling is FR-FCFS-lite: within a small lookahead window of
+        the queue head, row-buffer hits issue first; otherwise FIFO.
+        The data bus serializes bursts at ``t_ccd``.
+        """
+        queue = sorted(requests, key=lambda r: r.arrival)
+        blocks = sorted(blocked, key=lambda b: b.start)
+        bus_free = 0
+        stalled = [0]
+        index = 0
+        pending: List[Request] = []
+        finish = 0
+        served = 0
+
+        while index < len(queue) or pending:
+            # Refill the pending window.
+            now = bus_free
+            while index < len(queue) and (queue[index].arrival <= now
+                                          or not pending):
+                pending.append(queue[index])
+                index += 1
+                if len(pending) >= self.lookahead * 4:
+                    break
+            if not pending:
+                continue
+
+            window = pending[:self.lookahead]
+            # Row hits first (FR), then oldest (FCFS).
+            chosen = None
+            for req in window:
+                if self.banks[req.bank % len(self.banks)].open_row == req.row:
+                    chosen = req
+                    break
+            if chosen is None:
+                chosen = window[0]
+            pending.remove(chosen)
+
+            now = max(bus_free, chosen.arrival)
+            now = self._advance_past_blocks(now, blocks, stalled)
+            bank = self.banks[chosen.bank % len(self.banks)]
+            done = bank.access(chosen.row, now, chosen.is_write)
+            bus_free = max(now + self.timing.t_ccd, bank.ready_at)
+            finish = max(finish, done)
+            served += 1
+
+        return ChannelStats(
+            finish_cycle=finish,
+            requests=served,
+            row_hits=sum(b.row_hits for b in self.banks),
+            row_misses=sum(b.row_misses for b in self.banks),
+            row_conflicts=sum(b.row_conflicts for b in self.banks),
+            stalled_cycles=stalled[0],
+        )

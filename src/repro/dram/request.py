@@ -1,0 +1,93 @@
+"""Memory requests and synthetic request-stream generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Request:
+    """One DRAM column access (a 32-byte burst).
+
+    ``arrival`` is the cycle at which the request enters the controller
+    queue; ``bank``/``row``/``column`` address one column burst.
+    """
+
+    arrival: int
+    bank: int
+    row: int
+    column: int
+    is_write: bool = False
+
+
+def _bytes_to_bursts(num_bytes: int, burst_bytes: int = 32) -> int:
+    return max(1, (num_bytes + burst_bytes - 1) // burst_bytes)
+
+
+def streaming_trace(num_bytes: int, banks: int = 16, row_bytes: int = 2048,
+                    arrival_rate: float = 1.0,
+                    burst_bytes: int = 32) -> List[Request]:
+    """Sequential read stream: maximal row-buffer locality.
+
+    Consecutive bursts walk each row before moving on, interleaving
+    across banks at row granularity — the access pattern of a
+    well-coalesced GPU kernel streaming a tensor.
+    """
+    bursts = _bytes_to_bursts(num_bytes, burst_bytes)
+    per_row = row_bytes // burst_bytes
+    requests = []
+    for i in range(bursts):
+        row_index = i // per_row
+        requests.append(Request(
+            arrival=int(i / arrival_rate),
+            bank=row_index % banks,
+            row=row_index // banks,
+            column=i % per_row,
+        ))
+    return requests
+
+
+def strided_trace(num_bytes: int, stride_bursts: int = 16, banks: int = 16,
+                  row_bytes: int = 2048, arrival_rate: float = 1.0,
+                  burst_bytes: int = 32) -> List[Request]:
+    """Strided stream: consecutive bursts ``stride_bursts`` columns apart.
+
+    Models partially-coalesced access (e.g. spatially-strided reads):
+    each activated row serves ``row_bytes / burst_bytes / stride_bursts``
+    bursts instead of the full row, so locality sits between streaming
+    and random.
+    """
+    bursts = _bytes_to_bursts(num_bytes, burst_bytes)
+    per_row = row_bytes // burst_bytes
+    requests = []
+    for i in range(bursts):
+        linear = i * stride_bursts
+        row_index = linear // per_row
+        requests.append(Request(
+            arrival=int(i / arrival_rate),
+            bank=row_index % banks,
+            row=row_index // banks,
+            column=linear % per_row,
+        ))
+    return requests
+
+
+def random_trace(num_bytes: int, banks: int = 16, row_bytes: int = 2048,
+                 num_rows: int = 4096, arrival_rate: float = 1.0,
+                 burst_bytes: int = 32, seed: int = 0) -> List[Request]:
+    """Uniformly random bursts: worst-case row-buffer behaviour."""
+    bursts = _bytes_to_bursts(num_bytes, burst_bytes)
+    rng = np.random.default_rng(seed)
+    per_row = row_bytes // burst_bytes
+    requests = []
+    for i in range(bursts):
+        requests.append(Request(
+            arrival=int(i / arrival_rate),
+            bank=int(rng.integers(banks)),
+            row=int(rng.integers(num_rows)),
+            column=int(rng.integers(per_row)),
+        ))
+    return requests

@@ -1,0 +1,6 @@
+"""Energy accounting shared by the GPU and PIM simulators."""
+
+from repro.energy.constants import GpuEnergyModel, PimEnergyModel
+from repro.energy.accumulator import EnergyBreakdown
+
+__all__ = ["GpuEnergyModel", "PimEnergyModel", "EnergyBreakdown"]

@@ -1,0 +1,40 @@
+"""Mutable energy breakdown accumulated over a model run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy totals (millijoules) for one inference."""
+
+    gpu_dynamic_mj: float = 0.0
+    gpu_static_mj: float = 0.0
+    pim_dynamic_mj: float = 0.0
+    pim_static_mj: float = 0.0
+    movement_mj: float = 0.0
+
+    @property
+    def total_mj(self) -> float:
+        return (self.gpu_dynamic_mj + self.gpu_static_mj + self.pim_dynamic_mj
+                + self.pim_static_mj + self.movement_mj)
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.gpu_dynamic_mj += other.gpu_dynamic_mj
+        self.gpu_static_mj += other.gpu_static_mj
+        self.pim_dynamic_mj += other.pim_dynamic_mj
+        self.pim_static_mj += other.pim_static_mj
+        self.movement_mj += other.movement_mj
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "gpu_dynamic_mj": self.gpu_dynamic_mj,
+            "gpu_static_mj": self.gpu_static_mj,
+            "pim_dynamic_mj": self.pim_dynamic_mj,
+            "pim_static_mj": self.pim_static_mj,
+            "movement_mj": self.movement_mj,
+            "total_mj": self.total_mj,
+        }

@@ -1,0 +1,30 @@
+"""Analytical GPU timing simulator (Accel-Sim substitute).
+
+The original evaluation replays NVBit traces of cuDNN/CUTLASS kernels
+through Accel-Sim.  This package reproduces the quantities the paper
+consumes — per-kernel latency, FLOP count, DRAM traffic, and energy —
+with a calibrated roofline model: kernels are the max of compute time
+(peak throughput derated by an occupancy-style utilization factor) and
+memory time (bandwidth proportional to the number of memory channels),
+plus a fixed launch overhead.
+"""
+
+from repro.gpu.config import GpuConfig, RTX2060, TITAN_V
+from repro.gpu.kernels import KernelCost, node_cost, node_flops_bytes
+from repro.gpu.device import GpuDevice
+from repro.gpu.simt import KernelLaunch, SimtGpu, SimtResult, launch_from_gemm, simulate_gemm_node
+
+__all__ = [
+    "GpuConfig",
+    "RTX2060",
+    "TITAN_V",
+    "KernelCost",
+    "node_cost",
+    "node_flops_bytes",
+    "GpuDevice",
+    "KernelLaunch",
+    "SimtGpu",
+    "SimtResult",
+    "launch_from_gemm",
+    "simulate_gemm_node",
+]

@@ -1,0 +1,76 @@
+"""GPU device configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Parameters of the roofline GPU model.
+
+    ``mem_channels`` is the number of memory channels visible to GPU
+    kernels.  The PIM-enabled GPU memory dedicates a subset of the 32
+    channels to PIM, shrinking this number (paper Section 4.1); Fig. 3
+    and Fig. 13 sweep it.
+    """
+
+    name: str = "rtx2060"
+    num_sms: int = 30
+    clock_ghz: float = 1.68
+    fp16_flops_per_sm_per_cycle: int = 256
+    mem_channels: int = 32
+    gbps_per_channel: float = 14.0
+    l2_bytes: int = 3 * 1024 * 1024
+    launch_overhead_us: float = 2.0
+    #: Launch cost for elementwise/batchnorm kernels, which the TVM
+    #: back-end fuses into their producing kernel; only a small epilogue
+    #: cost remains.
+    fused_launch_overhead_us: float = 0.3
+    #: GEMM-row count at which the device saturates (tile quantization
+    #: derate below this; small-M kernels run far from peak on cuDNN).
+    saturation_rows: int = 512
+    #: Utilization floor for the GEMM tile model: a kernel with a single
+    #: 64x64 output tile still keeps a few SMs busy.  Calibrated so that
+    #: split-off small GPU shares behave like cuDNN on tiny problems,
+    #: which drives the paper's Table 2 (41% of candidate layers prefer
+    #: full PIM offload over keeping a sliver on the GPU).
+    min_utilization: float = 0.03
+    base_compute_efficiency: float = 0.60
+    base_memory_efficiency: float = 0.70
+    #: Multiplicative slowdown for the write-through cache mode required
+    #: for GPU/PIM coherence (paper Section 5 reports ~2.8%).
+    write_through_penalty: float = 1.028
+
+    @property
+    def peak_flops_per_us(self) -> float:
+        """Peak fp16 FLOPs per microsecond."""
+        return self.num_sms * self.fp16_flops_per_sm_per_cycle * self.clock_ghz * 1e3
+
+    @property
+    def bandwidth_bytes_per_us(self) -> float:
+        """Aggregate DRAM bandwidth in bytes per microsecond."""
+        return self.mem_channels * self.gbps_per_channel * 1e3
+
+    def with_channels(self, mem_channels: int) -> "GpuConfig":
+        """Copy of this config with a different channel count."""
+        if mem_channels <= 0:
+            raise ValueError("mem_channels must be positive")
+        return replace(self, mem_channels=mem_channels)
+
+
+#: Baseline device of the evaluation (Section 5): GeForce RTX 2060.
+RTX2060 = GpuConfig()
+
+#: Device used only for the Fig. 8 simulator validation, matching the
+#: Newton paper's setup: Titan V with 24 memory channels (HBM2).
+TITAN_V = GpuConfig(
+    name="titanv",
+    num_sms=80,
+    clock_ghz=1.46,
+    fp16_flops_per_sm_per_cycle=256,
+    mem_channels=24,
+    gbps_per_channel=27.0,
+    l2_bytes=4608 * 1024,
+    launch_overhead_us=2.5,
+)

@@ -1,0 +1,72 @@
+"""GPU device: runs whole graphs and reports latency/energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.constants import GpuEnergyModel
+from repro.gpu.config import GpuConfig, RTX2060
+from repro.gpu.kernels import KernelCost, node_cost
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+
+
+@dataclass(frozen=True)
+class GraphCost:
+    """Aggregate cost of executing a graph serially on the GPU."""
+
+    time_us: float
+    flops: float
+    dram_bytes: float
+    energy_mj: float
+    per_node: Dict[str, KernelCost]
+
+
+class GpuDevice:
+    """Serial (heterogeneous-parallel baseline) GPU executor model.
+
+    The DL-framework baseline launches one kernel per graph node in
+    topological order; end-to-end latency is the sum of kernel
+    latencies.  ``run_graph`` reproduces that behaviour; the
+    mixed-parallel engine in :mod:`repro.runtime.engine` instead calls
+    ``run_node`` for the GPU side of each parallel region.
+    """
+
+    def __init__(self, config: GpuConfig = RTX2060,
+                 energy_model: Optional[GpuEnergyModel] = None,
+                 write_through: bool = False) -> None:
+        self.config = config
+        self.energy_model = energy_model or GpuEnergyModel()
+        self.write_through = write_through
+
+    def run_node(self, node: Node, graph: Graph) -> KernelCost:
+        """Cost of one node as a GPU kernel."""
+        return node_cost(node, graph, self.config, self.write_through)
+
+    def node_energy_mj(self, cost: KernelCost) -> float:
+        """Energy of one kernel."""
+        return self.energy_model.kernel_energy_mj(cost.flops, cost.dram_bytes,
+                                                  cost.time_us)
+
+    def run_graph(self, graph: Graph,
+                  only_nodes: Optional[List[str]] = None) -> GraphCost:
+        """Serial execution cost of (a subset of) a graph."""
+        wanted = set(only_nodes) if only_nodes is not None else None
+        per_node: Dict[str, KernelCost] = {}
+        time = flops = dram = energy = 0.0
+        for n in graph.toposort():
+            if wanted is not None and n.name not in wanted:
+                continue
+            cost = self.run_node(n, graph)
+            per_node[n.name] = cost
+            time += cost.time_us
+            flops += cost.flops
+            dram += cost.dram_bytes
+            energy += self.node_energy_mj(cost)
+        return GraphCost(time, flops, dram, energy, per_node)
+
+    def with_channels(self, mem_channels: int) -> "GpuDevice":
+        """Device copy with a different number of memory channels."""
+        return GpuDevice(self.config.with_channels(mem_channels),
+                         self.energy_model, self.write_through)

@@ -1,0 +1,212 @@
+"""Fluent builder used by the model zoo to assemble graphs."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.ops import infer_shapes
+from repro.graph.tensor import TensorInfo
+
+
+class GraphBuilder:
+    """Incrementally builds a validated :class:`Graph`.
+
+    Every emitter returns the output tensor *name*, so model definitions
+    chain naturally::
+
+        b = GraphBuilder("toy")
+        x = b.input("x", (1, 56, 56, 64))
+        y = b.conv(x, cout=128, kernel=1)
+        y = b.relu(y)
+        b.output(y)
+
+    Weights are initialized from a seeded RNG: timing only depends on
+    shapes, and the numerical test suite needs deterministic values.
+    """
+
+    def __init__(self, name: str = "graph", seed: int = 0, dtype: str = "float16") -> None:
+        self.graph = Graph(name)
+        self.dtype = dtype
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _weight(self, prefix: str, shape: Tuple[int, ...], scale: Optional[float] = None) -> str:
+        name = self._fresh(prefix)
+        if scale is None:
+            fan_in = 1
+            for d in shape[:-1]:
+                fan_in *= d
+            scale = (2.0 / max(fan_in, 1)) ** 0.5
+        value = self._rng.standard_normal(shape, dtype=np.float32) * np.float32(scale)
+        self.graph.add_initializer(name, value, self.dtype)
+        return name
+
+    def _emit(self, op_type: str, inputs: Sequence[str], attrs: Optional[dict] = None,
+              name: Optional[str] = None) -> str:
+        node_name = name or self._fresh(op_type.lower())
+        out = f"{node_name}_out"
+        node = Node(node_name, op_type, list(inputs), [out], dict(attrs or {}))
+        input_shapes = [self.graph.tensors[t].shape for t in inputs]
+        (out_shape,) = infer_shapes(node, input_shapes)
+        self.graph.add_tensor(TensorInfo(out, out_shape, self.dtype))
+        self.graph.add_node(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Graph boundary
+    # ------------------------------------------------------------------
+    def input(self, name: str, shape: Tuple[int, ...]) -> str:
+        """Declare a graph input tensor."""
+        self.graph.add_tensor(TensorInfo(name, shape, self.dtype))
+        self.graph.inputs.append(name)
+        return name
+
+    def output(self, tensor: str) -> None:
+        """Mark a tensor as a graph output."""
+        self.graph.outputs.append(tensor)
+
+    def build(self) -> Graph:
+        """Validate and return the graph."""
+        self.graph.validate()
+        return self.graph
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def conv(self, data: str, cout: int, kernel: int = 1, stride: int = 1,
+             pad: Optional[int] = None, group: int = 1, bias: bool = True,
+             name: Optional[str] = None) -> str:
+        """2-D convolution (NHWC); ``pad=None`` means SAME-style for odd kernels."""
+        cin = self.graph.tensors[data].shape[3]
+        if pad is None:
+            pad = (kernel - 1) // 2
+        w = self._weight("w", (kernel, kernel, cin // group, cout))
+        inputs = [data, w]
+        if bias:
+            b = self._fresh("b")
+            self.graph.add_initializer(
+                b, np.zeros((cout,), dtype=np.float32), self.dtype)
+            inputs.append(b)
+        attrs = {
+            "kernel_shape": (kernel, kernel),
+            "strides": (stride, stride),
+            "pads": (pad, pad, pad, pad),
+            "group": group,
+        }
+        return self._emit("Conv", inputs, attrs, name)
+
+    def dwconv(self, data: str, kernel: int = 3, stride: int = 1,
+               pad: Optional[int] = None, name: Optional[str] = None) -> str:
+        """Depthwise convolution (group == channels)."""
+        cin = self.graph.tensors[data].shape[3]
+        return self.conv(data, cout=cin, kernel=kernel, stride=stride,
+                         pad=pad, group=cin, name=name)
+
+    def gemm(self, data: str, cout: int, bias: bool = True,
+             name: Optional[str] = None) -> str:
+        """Fully-connected layer (data is (N, K))."""
+        k = self.graph.tensors[data].shape[1]
+        w = self._weight("w", (k, cout))
+        inputs = [data, w]
+        if bias:
+            b = self._fresh("b")
+            self.graph.add_initializer(
+                b, np.zeros((cout,), dtype=np.float32), self.dtype)
+            inputs.append(b)
+        return self._emit("Gemm", inputs, {}, name)
+
+    def matmul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self._emit("MatMul", [a, b], {}, name)
+
+    def batchnorm(self, data: str, name: Optional[str] = None) -> str:
+        c = self.graph.tensors[data].shape[-1]
+        scale = self._fresh("bn_scale")
+        bias = self._fresh("bn_bias")
+        mean = self._fresh("bn_mean")
+        var = self._fresh("bn_var")
+        self.graph.add_initializer(scale, np.ones((c,), dtype=np.float32), self.dtype)
+        self.graph.add_initializer(bias, np.zeros((c,), dtype=np.float32), self.dtype)
+        self.graph.add_initializer(
+            mean, (self._rng.standard_normal(c) * 0.01).astype(np.float32), self.dtype)
+        self.graph.add_initializer(
+            var, np.ones((c,), dtype=np.float32), self.dtype)
+        return self._emit("BatchNormalization", [data, scale, bias, mean, var],
+                          {"epsilon": 1e-5}, name)
+
+    def relu(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Relu", [data], None, name)
+
+    def relu6(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Clip", [data], {"min": 0.0, "max": 6.0}, name)
+
+    def sigmoid(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Sigmoid", [data], None, name)
+
+    def swish(self, data: str, name: Optional[str] = None) -> str:
+        """SiLU / swish (x * sigmoid(x)), the EfficientNet activation.
+
+        Emitted as a single fused op, matching ONNX exports of these
+        models; the fused form keeps 1x1-DW chains single-consumer so
+        the pipelining pattern matcher can find them.
+        """
+        return self._emit("Silu", [data], None, name)
+
+    def gelu(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Gelu", [data], None, name)
+
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self._emit("Add", [a, b], None, name)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self._emit("Mul", [a, b], None, name)
+
+    def maxpool(self, data: str, kernel: int, stride: int, pad: int = 0,
+                name: Optional[str] = None) -> str:
+        return self._emit("MaxPool", [data], {
+            "kernel_shape": (kernel, kernel),
+            "strides": (stride, stride),
+            "pads": (pad, pad, pad, pad),
+        }, name)
+
+    def avgpool(self, data: str, kernel: int, stride: int, pad: int = 0,
+                name: Optional[str] = None) -> str:
+        return self._emit("AveragePool", [data], {
+            "kernel_shape": (kernel, kernel),
+            "strides": (stride, stride),
+            "pads": (pad, pad, pad, pad),
+        }, name)
+
+    def global_avgpool(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("GlobalAveragePool", [data], None, name)
+
+    def flatten(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Flatten", [data], None, name)
+
+    def reshape(self, data: str, shape: Sequence[int], name: Optional[str] = None) -> str:
+        return self._emit("Reshape", [data], {"shape": tuple(shape)}, name)
+
+    def transpose(self, data: str, perm: Sequence[int],
+                  name: Optional[str] = None) -> str:
+        return self._emit("Transpose", [data], {"perm": tuple(perm)}, name)
+
+    def softmax(self, data: str, name: Optional[str] = None) -> str:
+        return self._emit("Softmax", [data], {"axis": -1}, name)
+
+    def concat(self, tensors: Sequence[str], axis: int, name: Optional[str] = None) -> str:
+        return self._emit("Concat", list(tensors), {"axis": axis}, name)
+
+    def slice(self, data: str, axis: int, start: int, end: int,
+              name: Optional[str] = None) -> str:
+        return self._emit("Slice", [data], {"axis": axis, "start": start, "end": end},
+                          name)

@@ -1,0 +1,200 @@
+"""The ``Graph`` container: nodes, tensors, weights, traversal, validation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.node import Node
+from repro.graph.ops import infer_shapes
+from repro.graph.tensor import TensorInfo
+
+
+class GraphError(ValueError):
+    """Raised when a graph is structurally invalid."""
+
+
+class Graph:
+    """A dataflow graph of operator nodes over named tensors.
+
+    The container mirrors what the PIMFlow passes need from ONNX
+    ``ModelProto``: named value infos, initializers (weights), graph
+    inputs/outputs, and nodes in insertion order.  ``toposort`` and the
+    producer/consumer indexes support the transformation passes; shape
+    ``validate`` re-runs full shape inference and is called after every
+    pass in the test suite.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: List[Node] = []
+        self.tensors: Dict[str, TensorInfo] = {}
+        self.initializers: Dict[str, np.ndarray] = {}
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._name_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_tensor(self, info: TensorInfo) -> TensorInfo:
+        """Register tensor metadata; re-registering identical info is a no-op."""
+        existing = self.tensors.get(info.name)
+        if existing is not None and existing != info:
+            raise GraphError(
+                f"tensor {info.name!r} already registered with different "
+                f"metadata ({existing.shape} vs {info.shape})"
+            )
+        self.tensors[info.name] = info
+        return info
+
+    def add_initializer(self, name: str, value: np.ndarray, dtype: str = "float16") -> TensorInfo:
+        """Register a weight tensor with its constant value."""
+        info = self.add_tensor(TensorInfo(name, tuple(value.shape), dtype))
+        self.initializers[name] = value
+        return info
+
+    def add_node(self, node: Node) -> Node:
+        """Append a node; its tensors must already be registered."""
+        if any(n.name == node.name for n in self.nodes):
+            raise GraphError(f"duplicate node name {node.name!r}")
+        for t in list(node.inputs) + list(node.outputs):
+            if t not in self.tensors:
+                raise GraphError(f"node {node.name!r} references unknown tensor {t!r}")
+        self.nodes.append(node)
+        return node
+
+    def unique_name(self, prefix: str) -> str:
+        """Generate a tensor/node name not yet used in the graph."""
+        while True:
+            self._name_counter += 1
+            candidate = f"{prefix}_{self._name_counter}"
+            if candidate not in self.tensors and all(n.name != candidate for n in self.nodes):
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Fetch a node by name."""
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(f"no node named {name!r}")
+
+    def producer(self, tensor: str) -> Optional[Node]:
+        """The node producing ``tensor``, or None for inputs/weights."""
+        for n in self.nodes:
+            if tensor in n.outputs:
+                return n
+        return None
+
+    def consumers(self, tensor: str) -> List[Node]:
+        """All nodes consuming ``tensor``."""
+        return [n for n in self.nodes if tensor in n.inputs]
+
+    def is_weight(self, tensor: str) -> bool:
+        """True if the tensor is a registered initializer."""
+        return tensor in self.initializers
+
+    def remove_node(self, name: str) -> Node:
+        """Remove a node by name and return it."""
+        for i, n in enumerate(self.nodes):
+            if n.name == name:
+                return self.nodes.pop(i)
+        raise KeyError(f"no node named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def toposort(self) -> List[Node]:
+        """Nodes in topological (dataflow) order.
+
+        Raises :class:`GraphError` on cycles or undefined data inputs.
+        """
+        ready: Dict[str, bool] = {t: True for t in self.inputs}
+        for t in self.initializers:
+            ready[t] = True
+        remaining = list(self.nodes)
+        ordered: List[Node] = []
+        while remaining:
+            progressed = False
+            still: List[Node] = []
+            for n in remaining:
+                if all(ready.get(t, False) for t in n.inputs):
+                    ordered.append(n)
+                    for t in n.outputs:
+                        ready[t] = True
+                    progressed = True
+                else:
+                    still.append(n)
+            remaining = still
+            if not progressed and remaining:
+                names = [n.name for n in remaining]
+                raise GraphError(f"graph has a cycle or undefined inputs at: {names}")
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structure and re-run shape inference over every node."""
+        for t in self.inputs + self.outputs:
+            if t not in self.tensors:
+                raise GraphError(f"graph input/output {t!r} has no tensor info")
+        producers: Dict[str, str] = {}
+        for n in self.nodes:
+            for t in n.outputs:
+                if t in producers:
+                    raise GraphError(
+                        f"tensor {t!r} produced by both {producers[t]!r} and {n.name!r}"
+                    )
+                if t in self.initializers:
+                    raise GraphError(f"node {n.name!r} overwrites initializer {t!r}")
+                if t in self.inputs:
+                    raise GraphError(f"node {n.name!r} overwrites graph input {t!r}")
+                producers[t] = n.name
+        for t in self.outputs:
+            if t not in producers and t not in self.inputs:
+                raise GraphError(f"graph output {t!r} is never produced")
+        for n in self.toposort():
+            input_shapes = [self.tensors[t].shape for t in n.inputs]
+            inferred = infer_shapes(n, input_shapes)
+            for t, shape in zip(n.outputs, inferred):
+                declared = self.tensors[t].shape
+                if declared != shape:
+                    raise GraphError(
+                        f"node {n.name!r} output {t!r}: declared shape {declared} "
+                        f"!= inferred {shape}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def clone(self) -> "Graph":
+        """Structural copy; initializer arrays are shared (they are read-only)."""
+        g = Graph(self.name)
+        g.tensors = dict(self.tensors)
+        g.initializers = dict(self.initializers)
+        g.inputs = list(self.inputs)
+        g.outputs = list(self.outputs)
+        g.nodes = [n.clone() for n in self.nodes]
+        g._name_counter = self._name_counter
+        return g
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def op_counts(self) -> Dict[str, int]:
+        """Histogram of op types, useful for model-zoo sanity checks."""
+        counts: Dict[str, int] = {}
+        for n in self.nodes:
+            counts[n.op_type] = counts.get(n.op_type, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph({self.name!r}, {len(self.nodes)} nodes)"

@@ -1,0 +1,70 @@
+"""Graph node (operator instance)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class Node:
+    """One operator instance in a model graph.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within the graph.
+    op_type:
+        Operator kind, e.g. ``"Conv"`` or ``"Gemm"`` (see
+        :mod:`repro.graph.ops` for the registry).
+    inputs:
+        Names of input tensors, in operator-defined order.
+    outputs:
+        Names of output tensors.
+    attrs:
+        Operator attributes (kernel shape, strides, pads, ...).
+    device:
+        Placement hint consumed by the runtime: ``"gpu"``, ``"pim"`` or
+        ``"auto"``.  The search engine rewrites this field; it mirrors
+        the node-name prefix marking used by the original artifact to
+        trigger the DRAM-PIM TVM back-end.
+    """
+
+    name: str
+    op_type: str
+    inputs: List[str]
+    outputs: List[str]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    device: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if not self.op_type:
+            raise ValueError(f"node {self.name!r} has empty op_type")
+        if not self.outputs:
+            raise ValueError(f"node {self.name!r} must produce at least one output")
+        if self.device not in ("auto", "gpu", "pim"):
+            raise ValueError(f"node {self.name!r} has invalid device {self.device!r}")
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Fetch an attribute with a default."""
+        return self.attrs.get(key, default)
+
+    def clone(self, **overrides: Any) -> "Node":
+        """Deep-ish copy with field overrides (attrs dict is copied)."""
+        fields = {
+            "name": self.name,
+            "op_type": self.op_type,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "attrs": dict(self.attrs),
+            "device": self.device,
+        }
+        fields.update(overrides)
+        return Node(**fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return f"Node({self.op_type} {self.name!r}: [{ins}] -> [{outs}])"

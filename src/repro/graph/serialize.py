@@ -1,0 +1,97 @@
+"""JSON (de)serialization for graphs.
+
+The search engine stores transformed graphs and metadata logs on disk
+between the ``profile``, ``solve`` and ``run`` phases, mirroring the
+artifact workflow (Appendix A.5).  Weights round-trip as nested lists —
+adequate for the small deterministic initializers used here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.tensor import TensorInfo
+
+
+def _attrs_to_json(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, tuple):
+            v = list(v)
+        out[k] = v
+    return out
+
+
+def _attrs_from_json(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, list):
+            v = tuple(tuple(e) if isinstance(e, list) else e for e in v)
+        out[k] = v
+    return out
+
+
+def graph_to_dict(graph: Graph, include_weights: bool = True) -> Dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dict."""
+    return {
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "tensors": [
+            {"name": t.name, "shape": list(t.shape), "dtype": t.dtype}
+            for t in graph.tensors.values()
+        ],
+        "initializers": (
+            {name: value.tolist() for name, value in graph.initializers.items()}
+            if include_weights
+            else {name: None for name in graph.initializers}
+        ),
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": _attrs_to_json(n.attrs),
+                "device": n.device,
+            }
+            for n in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Deserialize a graph from :func:`graph_to_dict` output."""
+    g = Graph(data["name"])
+    for t in data["tensors"]:
+        g.add_tensor(TensorInfo(t["name"], tuple(t["shape"]), t["dtype"]))
+    for name, value in data.get("initializers", {}).items():
+        info = g.tensors[name]
+        if value is None:
+            arr = np.zeros(info.shape, dtype=np.float32)
+        else:
+            arr = np.asarray(value, dtype=np.float32).reshape(info.shape)
+        g.initializers[name] = arr
+    for n in data["nodes"]:
+        g.add_node(Node(n["name"], n["op_type"], list(n["inputs"]),
+                        list(n["outputs"]), _attrs_from_json(n.get("attrs", {})),
+                        n.get("device", "auto")))
+    g.inputs = list(data["inputs"])
+    g.outputs = list(data["outputs"])
+    return g
+
+
+def save_graph(graph: Graph, path: Union[str, Path], include_weights: bool = True) -> None:
+    """Write a graph to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph, include_weights)))
+
+
+def load_graph(path: Union[str, Path]) -> Graph:
+    """Read a graph from a JSON file written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

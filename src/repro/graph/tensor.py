@@ -1,0 +1,71 @@
+"""Tensor metadata for the graph IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Bytes per element for the dtypes the IR understands.
+DTYPE_SIZES = {
+    "float16": 2,
+    "float32": 4,
+    "int8": 1,
+    "int32": 4,
+}
+
+
+@dataclass(frozen=True)
+class TensorInfo:
+    """Shape and dtype metadata for one value flowing through a graph.
+
+    Activations are NHWC for 4-D tensors.  Convolution weights use the
+    (kh, kw, cin_per_group, cout) layout so that the innermost dimension
+    is the output channel, matching the column-major placement of filter
+    matrices in DRAM-PIM banks after convolution lowering.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "float16"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if self.dtype not in DTYPE_SIZES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+        # Normalize the shape to a plain tuple of ints (guards against
+        # numpy integers sneaking in from shape arithmetic).
+        try:
+            normalized = tuple(int(d) for d in self.shape)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"invalid shape {self.shape!r} for tensor {self.name!r}") from None
+        if any(d <= 0 for d in normalized):
+            raise ValueError(f"invalid shape {self.shape!r} for tensor {self.name!r}")
+        object.__setattr__(self, "shape", normalized)
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def num_bytes(self) -> int:
+        """Size of the tensor in bytes."""
+        return self.num_elements * DTYPE_SIZES[self.dtype]
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorInfo":
+        """Return a copy of this tensor info with a different shape."""
+        return TensorInfo(self.name, tuple(shape), self.dtype)
+
+    def with_name(self, name: str) -> "TensorInfo":
+        """Return a copy of this tensor info with a different name."""
+        return TensorInfo(name, self.shape, self.dtype)

@@ -1,0 +1,33 @@
+"""Convolution lowering: im2col, PIM tiling, and NHWC layout helpers."""
+
+from repro.lowering.im2col import (
+    LoweredGemv,
+    im2col_matrix,
+    lower_conv,
+    lower_gemm,
+    lower_node,
+    lowered_weight_matrix,
+)
+from repro.lowering.tiling import ChannelTile, tile_over_channels, GRANULARITIES
+from repro.lowering.layout import (
+    nhwc_strides,
+    slice_is_contiguous,
+    concat_is_contiguous,
+    pad_offset_bytes,
+)
+
+__all__ = [
+    "LoweredGemv",
+    "im2col_matrix",
+    "lower_conv",
+    "lower_gemm",
+    "lower_node",
+    "lowered_weight_matrix",
+    "ChannelTile",
+    "tile_over_channels",
+    "GRANULARITIES",
+    "nhwc_strides",
+    "slice_is_contiguous",
+    "concat_is_contiguous",
+    "pad_offset_bytes",
+]

@@ -1,0 +1,135 @@
+"""Convolution lowering to matrix-vector multiplication.
+
+The DRAM-PIM executes one operation: GEMV of a large, low-reuse operand
+(the lowered input rows, streamed through the per-channel global
+buffers) against a small, high-reuse operand (the filter matrix placed
+in the memory cell arrays).  ``lower_conv`` produces the
+:class:`LoweredGemv` descriptor the code generator consumes, and
+``im2col_matrix`` provides the functional equivalent used to verify
+command traces against the numpy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.ops import ShapeError, is_depthwise
+
+
+@dataclass(frozen=True)
+class LoweredGemv:
+    """A convolution or FC layer lowered to ``rows`` GEMVs of (K) x (K, N).
+
+    Attributes
+    ----------
+    rows:
+        Number of input vectors (output spatial positions x batch for a
+        conv; batch rows for an FC layer).
+    k:
+        Reduction length (``kh * kw * cin_per_group`` for a conv).
+    n:
+        Output width (``cout``).
+    contiguous_k:
+        Length of the innermost contiguous run of each input vector in
+        NHWC memory.  For a pointwise (1x1) conv the whole vector is one
+        run (``cin``); for a k x k conv each kernel-row segment of
+        ``kw * cin`` elements... strictly each kernel *row* gives ``kw *
+        cin`` contiguous elements only when stride-1 in W; we expose the
+        per-tap run ``cin`` as the conservative value the strided-GWRITE
+        extension exploits.
+    strided:
+        True when input vectors are gathered from non-contiguous
+        addresses and benefit from the strided-GWRITE command.
+    """
+
+    rows: int
+    k: int
+    n: int
+    contiguous_k: int
+    strided: bool
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate count."""
+        return self.rows * self.k * self.n
+
+
+def lower_conv(node: Node, graph: Graph) -> LoweredGemv:
+    """Lower a (non-depthwise) Conv node to a GEMV batch descriptor."""
+    if node.op_type != "Conv":
+        raise ValueError(f"lower_conv expects a Conv node, got {node.op_type}")
+    in_shape = graph.tensors[node.inputs[0]].shape
+    if is_depthwise(node, [in_shape]):
+        raise ShapeError(
+            f"depthwise conv {node.name!r} is not PIM-lowerable: the global "
+            "buffer would need a flush per input channel (paper Section 4.2.2)"
+        )
+    out_shape = graph.tensors[node.outputs[0]].shape
+    w_shape = graph.tensors[node.inputs[1]].shape
+    kh, kw, cin_g, cout = w_shape
+    group = int(node.attr("group", 1))
+    n_batch, oh, ow, _ = out_shape
+    rows = n_batch * oh * ow
+    k = kh * kw * cin_g
+    pointwise = kh == 1 and kw == 1 and group == 1
+    return LoweredGemv(
+        rows=rows,
+        k=k,
+        n=cout,
+        contiguous_k=k if pointwise else cin_g,
+        strided=not pointwise,
+    )
+
+
+def lower_gemm(node: Node, graph: Graph) -> LoweredGemv:
+    """Lower a Gemm/MatMul node to a GEMV batch descriptor."""
+    if node.op_type not in ("Gemm", "MatMul"):
+        raise ValueError(f"lower_gemm expects Gemm/MatMul, got {node.op_type}")
+    a = graph.tensors[node.inputs[0]].shape
+    b = graph.tensors[node.inputs[1]].shape
+    rows = 1
+    for d in a[:-1]:
+        rows *= d
+    k = a[-1]
+    n = b[-1]
+    return LoweredGemv(rows=rows, k=k, n=n, contiguous_k=k, strided=False)
+
+
+def lower_node(node: Node, graph: Graph) -> LoweredGemv:
+    """Lower any PIM-candidate node."""
+    if node.op_type == "Conv":
+        return lower_conv(node, graph)
+    return lower_gemm(node, graph)
+
+
+def im2col_matrix(x: np.ndarray, kernel: Tuple[int, int], strides: Tuple[int, int],
+                  pads: Tuple[int, int, int, int]) -> np.ndarray:
+    """Rearrange an NHWC input into the (rows, K) lowered matrix.
+
+    Row ordering is (n, oh, ow); column ordering is (kh, kw, cin), so the
+    product with :func:`lowered_weight_matrix` reproduces the direct
+    convolution bit-for-bit in float32.
+    """
+    n, h, w, cin = x.shape
+    kh, kw = kernel
+    sh, sw = strides
+    pt, pl, pb, pr = pads
+    xp = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    oh = (h + pt + pb - kh) // sh + 1
+    ow = (w + pl + pr - kw) // sw + 1
+    cols = np.empty((n, oh, ow, kh, kw, cin), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, :, i, j, :] = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+    return cols.reshape(n * oh * ow, kh * kw * cin)
+
+
+def lowered_weight_matrix(w: np.ndarray) -> np.ndarray:
+    """Reshape a (kh, kw, cin, cout) filter to the (K, cout) matrix."""
+    kh, kw, cin, cout = w.shape
+    return w.reshape(kh * kw * cin, cout)

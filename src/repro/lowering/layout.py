@@ -1,0 +1,75 @@
+"""NHWC memory-layout math for the memory optimizer.
+
+The paper's memory optimization (Section 4.3.2, Fig. 7) rests on two
+facts about single-batch NHWC tensors:
+
+1. Slicing or concatenating along the H axis touches one contiguous
+   byte range, so with co-allocated buffers the Slice/Concat operators
+   are no-ops.
+2. Pre-allocating the padded input extent and writing data at the pad
+   offset eliminates the Pad operator.
+
+These helpers let the memory optimizer and the tests reason about which
+Slice/Concat/Pad nodes are elidable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def nhwc_strides(shape: Tuple[int, int, int, int], elem_size: int = 2) -> Tuple[int, int, int, int]:
+    """Byte strides of a dense NHWC tensor."""
+    n, h, w, c = shape
+    sc = elem_size
+    sw = c * sc
+    sh = w * sw
+    sn = h * sh
+    return (sn, sh, sw, sc)
+
+
+def slice_is_contiguous(shape: Sequence[int], axis: int) -> bool:
+    """True when slicing ``axis`` selects one contiguous byte range.
+
+    For a dense tensor this holds when every axis *before* ``axis`` has
+    extent 1 (e.g. H-slices of an NHWC tensor with batch 1).
+    """
+    axis = axis % len(shape)
+    return all(d == 1 for d in shape[:axis])
+
+
+def concat_is_contiguous(shapes: Sequence[Sequence[int]], axis: int) -> bool:
+    """True when concatenation along ``axis`` can be a no-op.
+
+    Requires each piece to be individually contiguous along the axis and
+    all non-axis dimensions to agree, so the pieces can be co-allocated
+    back-to-back in one buffer.
+    """
+    if not shapes:
+        return False
+    axis = axis % len(shapes[0])
+    first = list(shapes[0])
+    for s in shapes:
+        if len(s) != len(first):
+            return False
+        if not slice_is_contiguous(s, axis):
+            return False
+        for i, (a, b) in enumerate(zip(first, s)):
+            if i != axis and a != b:
+                return False
+    return True
+
+
+def pad_offset_bytes(shape: Tuple[int, int, int, int],
+                     pads: Tuple[int, int, int, int], elem_size: int = 2) -> int:
+    """Byte offset at which unpadded data starts inside a pre-padded buffer.
+
+    ``pads`` is (top, left, bottom, right) on the H/W axes of an NHWC
+    tensor.  The write offset is ``top`` padded rows plus ``left`` padded
+    pixels into the padded row pitch.
+    """
+    n, h, w, c = shape
+    pt, pl, pb, pr = pads
+    padded_w = w + pl + pr
+    row_pitch = padded_w * c * elem_size
+    return pt * row_pitch + pl * c * elem_size

@@ -1,0 +1,127 @@
+"""Tiling lowered GEMVs over PIM channels and banks.
+
+The command scheduler in the DRAM-PIM back-end distributes work across
+PIM-enabled channels at three granularities (paper Fig. 6):
+
+* ``"g_act"``   — whole 32-column blocks (one column I/O row) per
+  channel; coarse, leaves channels idle when the filter matrix is
+  small.
+* ``"readres"`` — output columns round-robined at result-read
+  granularity.
+* ``"comp"``    — the reduction (K) dimension is additionally split so
+  every channel contributes partial sums when output columns alone
+  cannot fill the channels; finest granularity, maximum channel-level
+  parallelism, extra result-combine traffic.
+
+Each :class:`ChannelTile` carries explicit column and K offsets so the
+functional model (:mod:`repro.pim.functional`) can reconstruct the exact
+computation and the timing model can aggregate per channel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.lowering.im2col import LoweredGemv
+
+GRANULARITIES = ("g_act", "readres", "comp")
+
+#: Output columns per column-I/O row; the work quantum at ``g_act``
+#: granularity.
+COLUMN_BLOCK = 32
+
+
+@dataclass(frozen=True)
+class ChannelTile:
+    """One channel's share of a lowered GEMV.
+
+    Covers output columns ``[col_start, col_start + n)`` over reduction
+    range ``[k_start, k_start + k)`` for all ``rows`` input vectors.
+    ``partial`` marks K-split tiles whose results are partial sums that
+    must be combined with tiles covering the same columns.
+    """
+
+    channel: int
+    rows: int
+    k_start: int
+    k: int
+    col_start: int
+    n: int
+    partial: bool = False
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.k * self.n
+
+
+def _split_even(total: int, parts: int) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal non-negative chunks."""
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def _column_partition(gemv: LoweredGemv, num_channels: int, quantum: int) -> List[ChannelTile]:
+    """Partition output columns over channels in blocks of ``quantum``."""
+    num_blocks = math.ceil(gemv.n / quantum)
+    used = min(num_channels, num_blocks)
+    shares = _split_even(gemv.n, used)
+    tiles: List[ChannelTile] = []
+    col = 0
+    for c, share in enumerate(shares):
+        if share == 0:
+            continue
+        tiles.append(ChannelTile(channel=c, rows=gemv.rows, k_start=0, k=gemv.k,
+                                 col_start=col, n=share))
+        col += share
+    return tiles
+
+
+def tile_over_channels(gemv: LoweredGemv, num_channels: int,
+                       granularity: str = "comp") -> List[ChannelTile]:
+    """Distribute a lowered GEMV across PIM channels.
+
+    Channels that receive no work are omitted.  At ``comp`` granularity
+    with fewer output columns than channels, the reduction dimension is
+    split (bounded by the 16-element column-I/O granule) and the
+    resulting partial tiles are round-robined over the channels.
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(f"granularity must be one of {GRANULARITIES}")
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+
+    if granularity == "g_act":
+        return _column_partition(gemv, num_channels, COLUMN_BLOCK)
+
+    if granularity == "readres" or gemv.n >= num_channels:
+        return _column_partition(gemv, num_channels, 1)
+
+    # comp granularity with idle channels: split K as well.
+    k_splits = max(1, num_channels // max(gemv.n, 1))
+    k_splits = min(k_splits, max(1, gemv.k // 16))
+    if k_splits == 1:
+        return _column_partition(gemv, num_channels, 1)
+    k_shares = _split_even(gemv.k, k_splits)
+    tiles: List[ChannelTile] = []
+    c = 0
+    for col in range(gemv.n):
+        k_off = 0
+        for ks in k_shares:
+            if ks == 0:
+                continue
+            tiles.append(ChannelTile(channel=c % num_channels, rows=gemv.rows,
+                                     k_start=k_off, k=ks, col_start=col, n=1,
+                                     partial=True))
+            k_off += ks
+            c += 1
+    return tiles
+
+
+def tiles_by_channel(tiles: List[ChannelTile]) -> Dict[int, List[ChannelTile]]:
+    """Group tiles by their channel, preserving order."""
+    out: Dict[int, List[ChannelTile]] = {}
+    for t in tiles:
+        out.setdefault(t.channel, []).append(t)
+    return out

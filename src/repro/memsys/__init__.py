@@ -1,0 +1,7 @@
+"""PIM-enabled GPU memory: channel grouping, movement, contention."""
+
+from repro.memsys.system import MemorySystem
+from repro.memsys.movement import transfer_time_us
+from repro.memsys.contention import controller_contention_slowdown
+
+__all__ = ["MemorySystem", "transfer_time_us", "controller_contention_slowdown"]

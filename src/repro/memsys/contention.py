@@ -1,0 +1,30 @@
+"""Memory-controller contention between GPU and PIM command streams.
+
+While a PIM channel reads activation data from GPU channels, the shared
+controller cannot accept GPU memory commands (paper Section 7).  The
+paper measures the resulting slowdown by interleaving Accel-Sim memory
+commands with PIM command sequences and reports 0.15-0.22%; we model
+the same effect as the fraction of the run during which the controller
+is occupied by PIM-side I/O, scaled by the probability that a GPU
+command arrives in that window.
+"""
+
+from __future__ import annotations
+
+#: Fraction of PIM I/O occupancy that actually blocks a GPU command
+#: (most GPU requests hit other banks/queues).
+BLOCKING_PROBABILITY = 0.02
+
+
+def controller_contention_slowdown(pim_io_bytes: float, window_us: float,
+                                   io_bytes_per_us: float = 32e3) -> float:
+    """Multiplicative GPU slowdown from sharing the controller.
+
+    ``pim_io_bytes`` is the PIM-side GWRITE/READRES traffic during a
+    window of ``window_us``; ``io_bytes_per_us`` the per-channel I/O
+    rate.  Returns a factor >= 1.0.
+    """
+    if window_us <= 0 or pim_io_bytes <= 0:
+        return 1.0
+    occupancy = min(1.0, (pim_io_bytes / io_bytes_per_us) / window_us)
+    return 1.0 + BLOCKING_PROBABILITY * occupancy

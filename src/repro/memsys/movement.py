@@ -1,0 +1,26 @@
+"""Inter-channel data movement over the memory network.
+
+GPU and PIM channels are connected by a direct memory interconnect
+(paper Section 4.1, following the memory-network design of [33]); the
+PIM command model already charges GWRITE/READRES transfers, so this
+helper only prices bulk moves that bypass the command path (e.g. data
+returned to the host, Fig. 4 steps 3-4) and the per-edge sync cost the
+execution engine applies at device boundaries.
+"""
+
+from __future__ import annotations
+
+#: Aggregate interconnect bandwidth between the channel groups, in
+#: bytes per microsecond (256 GB/s crossbar).
+INTERCONNECT_BYTES_PER_US = 256e3
+
+#: Fixed cost of initiating a transfer between channel groups.
+TRANSFER_LATENCY_US = 0.2
+
+
+def transfer_time_us(num_bytes: float,
+                     bandwidth_bytes_per_us: float = INTERCONNECT_BYTES_PER_US) -> float:
+    """Latency of moving ``num_bytes`` between GPU and PIM channels."""
+    if num_bytes <= 0:
+        return 0.0
+    return TRANSFER_LATENCY_US + num_bytes / bandwidth_bytes_per_us

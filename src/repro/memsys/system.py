@@ -1,0 +1,49 @@
+"""Channel grouping of the PIM-enabled GPU memory (paper Section 4.1).
+
+A single 32-channel GDDR6 memory serves as both GPU memory and PIM
+device: a contiguous subset of channels is PIM-enabled, the rest remain
+regular load/store channels for GPU kernels.  The split trades GPU
+bandwidth against PIM compute power; Fig. 13 sweeps it and lands on
+16/16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.pim.config import PimConfig
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """A channel split of the shared GPU/PIM memory."""
+
+    total_channels: int = 32
+    pim_channels: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pim_channels <= self.total_channels:
+            raise ValueError(
+                f"pim_channels must be in [0, {self.total_channels}], "
+                f"got {self.pim_channels}")
+
+    @property
+    def gpu_channels(self) -> int:
+        """Channels left for regular GPU traffic."""
+        return self.total_channels - self.pim_channels
+
+    def gpu_config(self, base: GpuConfig) -> GpuConfig:
+        """GPU config restricted to the non-PIM channels."""
+        if self.gpu_channels == 0:
+            raise ValueError("cannot run GPU kernels with zero memory channels")
+        return base.with_channels(self.gpu_channels)
+
+    def pim_config(self, base: PimConfig) -> PimConfig:
+        """PIM config over the PIM-enabled channels."""
+        if self.pim_channels == 0:
+            raise ValueError("no PIM-enabled channels in this configuration")
+        return base.with_channels(self.pim_channels)
+
+    def with_pim_channels(self, pim_channels: int) -> "MemorySystem":
+        return MemorySystem(self.total_channels, pim_channels)

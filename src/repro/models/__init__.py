@@ -1,0 +1,13 @@
+"""Model zoo: shape-faithful graphs of the paper's evaluated networks.
+
+Definitions follow the torchvision architectures the paper evaluates
+(EfficientNetB0, MnasNet-1.0, MobileNetV2, ResNet50, VGG16), a
+BERT-style FC encoder for the model-type sensitivity study, scaled
+EfficientNet variants (B1-B6) for the model-size study, and the Toy
+network the artifact uses for its walkthrough.  Weights are random and
+deterministic — the reproduction only needs layer shapes and dataflow.
+"""
+
+from repro.models.registry import MODEL_BUILDERS, build_model, list_models
+
+__all__ = ["MODEL_BUILDERS", "build_model", "list_models"]

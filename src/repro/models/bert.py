@@ -1,0 +1,43 @@
+"""BERT-style transformer encoder (linear layers only).
+
+Used for the model-type sensitivity study (paper Section 6.2): the
+paper compares PIMFlow on BERT with 1x3 and 1x64 inputs, where MD-DP
+splitting of the FC layers buys an extra 32% for the longer input.
+
+We model the FC-dominant computation: per encoder layer the Q/K/V
+projections, attention output projection, and the two feed-forward
+layers, on a collapsed (seq_len, hidden) activation.  Attention-score
+matmuls (activation x activation) are omitted: they carry no constant
+operand to pre-place in the PIM cell arrays and stay on the GPU in the
+paper's flow as well; at the evaluated sequence lengths (3-64) their
+cost is negligible next to the 768x768 and 768x3072 projections.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+
+def build_bert(seq_len: int = 64, hidden: int = 768, layers: int = 12,
+               intermediate: int = 3072, num_classes: int = 2) -> Graph:
+    """BERT-base-shaped stack of linear encoder layers."""
+    b = GraphBuilder(f"bert-{seq_len}", seed=768)
+    x = b.input("input", (seq_len, hidden))
+    for layer in range(layers):
+        q = b.gemm(x, hidden, name=f"l{layer}_q")
+        k = b.gemm(x, hidden, name=f"l{layer}_k")
+        v = b.gemm(x, hidden, name=f"l{layer}_v")
+        # Attention mixing stand-in: combine the three projections with
+        # elementwise ops so the dataflow (three parallel branches
+        # joining) matches the real graph's structure.
+        attn = b.add(b.add(q, k), v)
+        attn = b.gemm(attn, hidden, name=f"l{layer}_attn_out")
+        x = b.add(x, attn)
+        ff = b.gemm(x, intermediate, name=f"l{layer}_ff1")
+        ff = b.gelu(ff)
+        ff = b.gemm(ff, hidden, name=f"l{layer}_ff2")
+        x = b.add(x, ff)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

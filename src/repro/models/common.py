@@ -1,0 +1,85 @@
+"""Shared building blocks for the model zoo."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.graph.builder import GraphBuilder
+
+
+def conv_bn_act(b: GraphBuilder, x: str, cout: int, kernel: int = 3,
+                stride: int = 1, group: int = 1, act: Optional[str] = "relu",
+                name: Optional[str] = None) -> str:
+    """Conv (no bias) + BatchNorm + optional activation."""
+    y = b.conv(x, cout=cout, kernel=kernel, stride=stride, group=group,
+               bias=False, name=name)
+    y = b.batchnorm(y)
+    if act == "relu":
+        y = b.relu(y)
+    elif act == "relu6":
+        y = b.relu6(y)
+    elif act == "swish":
+        y = b.swish(y)
+    elif act is not None:
+        raise ValueError(f"unknown activation {act!r}")
+    return y
+
+
+def dw_bn_act(b: GraphBuilder, x: str, kernel: int = 3, stride: int = 1,
+              act: Optional[str] = "relu6", name: Optional[str] = None) -> str:
+    """Depthwise conv + BatchNorm + optional activation."""
+    cin = b.graph.tensors[x].shape[3]
+    return conv_bn_act(b, x, cout=cin, kernel=kernel, stride=stride,
+                       group=cin, act=act, name=name)
+
+
+def squeeze_excite(b: GraphBuilder, x: str, reduced: int) -> str:
+    """Squeeze-and-excitation block (EfficientNet/MnasNet style)."""
+    c = b.graph.tensors[x].shape[3]
+    s = b.global_avgpool(x)
+    s = b.conv(s, cout=max(1, reduced), kernel=1)
+    s = b.swish(s)
+    s = b.conv(s, cout=c, kernel=1)
+    s = b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def inverted_residual(b: GraphBuilder, x: str, cout: int, stride: int,
+                      expand: int, kernel: int = 3, act: str = "relu6",
+                      se_ratio: float = 0.0, block_name: str = "") -> str:
+    """MobileNetV2/MnasNet/EfficientNet inverted-residual block.
+
+    1x1 expand -> k x k depthwise -> (SE) -> 1x1 project, with a
+    residual Add when the block preserves shape.  The 1x1 convolutions
+    are the paper's prime PIM targets; the depthwise sits between them
+    as the GPU-side pipeline partner.
+    """
+    cin = b.graph.tensors[x].shape[3]
+    hidden = cin * expand
+    y = x
+    if expand != 1:
+        y = conv_bn_act(b, y, cout=hidden, kernel=1, act=act,
+                        name=f"{block_name}_expand" if block_name else None)
+    y = dw_bn_act(b, y, kernel=kernel, stride=stride, act=act,
+                  name=f"{block_name}_dw" if block_name else None)
+    if se_ratio > 0:
+        y = squeeze_excite(b, y, reduced=max(1, int(cin * se_ratio)))
+    y = conv_bn_act(b, y, cout=cout, kernel=1, act=None,
+                    name=f"{block_name}_project" if block_name else None)
+    if stride == 1 and cin == cout:
+        y = b.add(x, y)
+    return y
+
+
+def make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts the way MobileNet-family models do."""
+    new_value = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def round_repeats(repeats: int, depth_multiplier: float) -> int:
+    """EfficientNet depth scaling."""
+    return int(math.ceil(depth_multiplier * repeats))

@@ -1,0 +1,69 @@
+"""EfficientNet V1 (Tan & Le, 2019), B0 through B6.
+
+The scaled variants feed the paper's model-size sensitivity study
+(Fig. 16): as width/depth/resolution grow, 1x1 convolutions gain
+arithmetic intensity and the PIM advantage shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import (
+    conv_bn_act,
+    inverted_residual,
+    make_divisible,
+    round_repeats,
+)
+
+#: (expand_ratio, kernel, channels, repeats, first_stride) per stage (B0).
+EFFICIENTNET_STAGES = [
+    (1, 3, 16, 1, 1),
+    (6, 3, 24, 2, 2),
+    (6, 5, 40, 2, 2),
+    (6, 3, 80, 3, 2),
+    (6, 5, 112, 3, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+]
+
+#: (width_multiplier, depth_multiplier, resolution) per variant.
+EFFICIENTNET_PARAMS = {
+    "b0": (1.0, 1.0, 224),
+    "b1": (1.0, 1.1, 240),
+    "b2": (1.1, 1.2, 260),
+    "b3": (1.2, 1.4, 300),
+    "b4": (1.4, 1.8, 380),
+    "b5": (1.6, 2.2, 456),
+    "b6": (1.8, 2.6, 528),
+}
+
+
+def build_efficientnet(variant: str = "b0", num_classes: int = 1000,
+                       use_se: bool = True) -> Graph:
+    """EfficientNet with compound width/depth/resolution scaling."""
+    if variant not in EFFICIENTNET_PARAMS:
+        raise ValueError(f"unknown EfficientNet variant {variant!r}; "
+                         f"choose from {sorted(EFFICIENTNET_PARAMS)}")
+    width, depth, resolution = EFFICIENTNET_PARAMS[variant]
+    b = GraphBuilder(f"efficientnet-v1-{variant}", seed=7)
+    x = b.input("input", (1, resolution, resolution, 3))
+    stem = make_divisible(32 * width)
+    x = conv_bn_act(b, x, cout=stem, kernel=3, stride=2, act="swish", name="stem")
+    block = 0
+    for expand, kernel, channels, repeats, first_stride in EFFICIENTNET_STAGES:
+        cout = make_divisible(channels * width)
+        for i in range(round_repeats(repeats, depth)):
+            stride = first_stride if i == 0 else 1
+            x = inverted_residual(b, x, cout=cout, stride=stride, expand=expand,
+                                  kernel=kernel, act="swish",
+                                  se_ratio=0.25 if use_se else 0.0,
+                                  block_name=f"b{block}")
+            block += 1
+    head = make_divisible(1280 * width)
+    x = conv_bn_act(b, x, cout=head, kernel=1, act="swish", name="head")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

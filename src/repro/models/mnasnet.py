@@ -1,0 +1,45 @@
+"""MnasNet-1.0 (Tan et al., 2019), following the torchvision layout."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import conv_bn_act, dw_bn_act, inverted_residual, make_divisible
+
+#: (expand_ratio, kernel, channels, repeats, first_stride) per stage.
+MNASNET_STAGES = [
+    (3, 3, 24, 3, 2),
+    (3, 5, 40, 3, 2),
+    (6, 5, 80, 3, 2),
+    (6, 3, 96, 2, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+]
+
+
+def build_mnasnet(resolution: int = 224, width_mult: float = 1.0,
+                  num_classes: int = 1000) -> Graph:
+    """MnasNet-1.0: NAS-found inverted residuals with 3x3/5x5 depthwise."""
+    b = GraphBuilder("mnasnet-1.0", seed=10)
+    x = b.input("input", (1, resolution, resolution, 3))
+    stem = make_divisible(32 * width_mult)
+    x = conv_bn_act(b, x, cout=stem, kernel=3, stride=2, act="relu", name="stem")
+    # Separable first block: depthwise 3x3 + pointwise to 16 channels.
+    x = dw_bn_act(b, x, kernel=3, stride=1, act="relu", name="sep_dw")
+    x = conv_bn_act(b, x, cout=make_divisible(16 * width_mult), kernel=1,
+                    act=None, name="sep_pw")
+    block = 0
+    for expand, kernel, channels, repeats, first_stride in MNASNET_STAGES:
+        cout = make_divisible(channels * width_mult)
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            x = inverted_residual(b, x, cout=cout, stride=stride, expand=expand,
+                                  kernel=kernel, act="relu6",
+                                  block_name=f"b{block}")
+            block += 1
+    x = conv_bn_act(b, x, cout=1280, kernel=1, act="relu", name="head")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

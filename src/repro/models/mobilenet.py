@@ -1,0 +1,46 @@
+"""MobileNetV2 (Sandler et al., 2018)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import conv_bn_act, inverted_residual, make_divisible
+
+#: (expand_ratio, channels, repeats, first_stride) per stage.
+MOBILENET_V2_STAGES = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def build_mobilenet_v2(resolution: int = 224, width_mult: float = 1.0,
+                       num_classes: int = 1000, batch: int = 1) -> Graph:
+    """MobileNetV2: inverted residuals with ReLU6, 1x1-heavy by design.
+
+    Every block is a 1x1-DW-1x1 sandwich — the exact subgraph pattern
+    PIMFlow's pipelining pass targets.
+    """
+    b = GraphBuilder("mobilenet-v2", seed=2)
+    x = b.input("input", (batch, resolution, resolution, 3))
+    stem = make_divisible(32 * width_mult)
+    x = conv_bn_act(b, x, cout=stem, kernel=3, stride=2, act="relu6", name="stem")
+    block = 0
+    for expand, channels, repeats, first_stride in MOBILENET_V2_STAGES:
+        cout = make_divisible(channels * width_mult)
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            x = inverted_residual(b, x, cout=cout, stride=stride, expand=expand,
+                                  kernel=3, act="relu6", block_name=f"b{block}")
+            block += 1
+    head = make_divisible(1280 * max(1.0, width_mult))
+    x = conv_bn_act(b, x, cout=head, kernel=1, act="relu6", name="head")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

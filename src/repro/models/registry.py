@@ -1,0 +1,56 @@
+"""Model registry with the artifact's CLI names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph.graph import Graph
+from repro.models.bert import build_bert
+from repro.models.efficientnet import build_efficientnet
+from repro.models.mnasnet import build_mnasnet
+from repro.models.mobilenet import build_mobilenet_v2
+from repro.models.resnet import build_resnet18, build_resnet34, build_resnet50
+from repro.models.shufflenet import build_shufflenet_v2
+from repro.models.toy import build_toy
+from repro.models.vgg import build_vgg16
+
+MODEL_BUILDERS: Dict[str, Callable[[], Graph]] = {
+    # The five evaluated CNN models, named as in the artifact appendix.
+    "efficientnet-v1-b0": lambda: build_efficientnet("b0"),
+    "mobilenet-v2": build_mobilenet_v2,
+    "mnasnet-1.0": build_mnasnet,
+    "resnet-50": build_resnet50,
+    "vgg-16": build_vgg16,
+    # Model-size sensitivity (Fig. 16).
+    "efficientnet-v1-b1": lambda: build_efficientnet("b1"),
+    "efficientnet-v1-b2": lambda: build_efficientnet("b2"),
+    "efficientnet-v1-b3": lambda: build_efficientnet("b3"),
+    "efficientnet-v1-b4": lambda: build_efficientnet("b4"),
+    "efficientnet-v1-b5": lambda: build_efficientnet("b5"),
+    "efficientnet-v1-b6": lambda: build_efficientnet("b6"),
+    # Model-type sensitivity (Fig. 16): BERT with short and long inputs.
+    "bert-seq3": lambda: build_bert(seq_len=3),
+    "bert-seq64": lambda: build_bert(seq_len=64),
+    # Extension models beyond the paper's evaluated set.
+    "resnet-18": build_resnet18,
+    "resnet-34": build_resnet34,
+    "shufflenet-v2": build_shufflenet_v2,
+    # Artifact walkthrough network.
+    "toy": build_toy,
+}
+
+
+def list_models() -> List[str]:
+    """Registered model names."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> Graph:
+    """Build a registered model by its artifact name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(list_models())}"
+        ) from None
+    return builder()

@@ -1,0 +1,97 @@
+"""ResNet50 (He et al., 2016)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import conv_bn_act
+
+
+def _bottleneck(b: GraphBuilder, x: str, planes: int, stride: int,
+                name: str) -> str:
+    """1x1 reduce -> 3x3 -> 1x1 expand bottleneck with projection shortcut.
+
+    The two 1x1 convolutions per block are the dimensionality-reduction
+    layers the paper's introduction points to as PIM-amenable in
+    ResNet50.
+    """
+    cin = b.graph.tensors[x].shape[3]
+    cout = planes * 4
+    y = conv_bn_act(b, x, cout=planes, kernel=1, act="relu", name=f"{name}_reduce")
+    y = conv_bn_act(b, y, cout=planes, kernel=3, stride=stride, act="relu",
+                    name=f"{name}_conv3x3")
+    y = conv_bn_act(b, y, cout=cout, kernel=1, act=None, name=f"{name}_expand")
+    if stride != 1 or cin != cout:
+        shortcut = conv_bn_act(b, x, cout=cout, kernel=1, stride=stride,
+                               act=None, name=f"{name}_downsample")
+    else:
+        shortcut = x
+    y = b.add(shortcut, y)
+    return b.relu(y)
+
+
+def _basic_block(b: GraphBuilder, x: str, planes: int, stride: int,
+                 name: str) -> str:
+    """Two 3x3 convolutions with identity/projection shortcut
+    (ResNet18/34 block)."""
+    cin = b.graph.tensors[x].shape[3]
+    y = conv_bn_act(b, x, cout=planes, kernel=3, stride=stride, act="relu",
+                    name=f"{name}_conv1")
+    y = conv_bn_act(b, y, cout=planes, kernel=3, act=None, name=f"{name}_conv2")
+    if stride != 1 or cin != planes:
+        shortcut = conv_bn_act(b, x, cout=planes, kernel=1, stride=stride,
+                               act=None, name=f"{name}_downsample")
+    else:
+        shortcut = x
+    y = b.add(shortcut, y)
+    return b.relu(y)
+
+
+def _build_basic_resnet(name: str, depths, resolution: int,
+                        num_classes: int) -> Graph:
+    b = GraphBuilder(name, seed=18)
+    x = b.input("input", (1, resolution, resolution, 3))
+    x = conv_bn_act(b, x, cout=64, kernel=7, stride=2, act="relu", name="stem")
+    x = b.maxpool(x, kernel=3, stride=2, pad=1)
+    stages = [(64, depths[0], 1), (128, depths[1], 2), (256, depths[2], 2),
+              (512, depths[3], 2)]
+    for stage_idx, (planes, blocks, stride) in enumerate(stages):
+        for block_idx in range(blocks):
+            s = stride if block_idx == 0 else 1
+            x = _basic_block(b, x, planes, s,
+                             name=f"s{stage_idx + 1}b{block_idx}")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()
+
+
+def build_resnet18(resolution: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet18: basic blocks (2, 2, 2, 2)."""
+    return _build_basic_resnet("resnet-18", (2, 2, 2, 2), resolution,
+                               num_classes)
+
+
+def build_resnet34(resolution: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet34: basic blocks (3, 4, 6, 3)."""
+    return _build_basic_resnet("resnet-34", (3, 4, 6, 3), resolution,
+                               num_classes)
+
+
+def build_resnet50(resolution: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet50: 7x7 stem, four bottleneck stages (3, 4, 6, 3), FC head."""
+    b = GraphBuilder("resnet-50", seed=50)
+    x = b.input("input", (1, resolution, resolution, 3))
+    x = conv_bn_act(b, x, cout=64, kernel=7, stride=2, act="relu", name="stem")
+    x = b.maxpool(x, kernel=3, stride=2, pad=1)
+    stages = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)]
+    for stage_idx, (planes, blocks, stride) in enumerate(stages):
+        for block_idx in range(blocks):
+            s = stride if block_idx == 0 else 1
+            x = _bottleneck(b, x, planes, s, name=f"s{stage_idx + 1}b{block_idx}")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()

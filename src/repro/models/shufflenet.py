@@ -1,0 +1,74 @@
+"""ShuffleNetV2 x1.0 (Ma et al., 2018).
+
+An extension model beyond the paper's evaluated five: its units mix
+channel-split Slices, 1x1/depthwise convolutions, channel-axis Concats,
+and channel shuffles (Reshape/Transpose/Reshape) — exercising the IR's
+data-movement ops and giving the pattern matcher a architecture where
+1x1-DW chains hide behind branchy dataflow.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import conv_bn_act, dw_bn_act
+
+#: (out_channels, repeats) per stage for the x1.0 width.
+SHUFFLENET_V2_STAGES = [(116, 4), (232, 8), (464, 4)]
+
+
+def _channel_shuffle(b: GraphBuilder, x: str, groups: int = 2) -> str:
+    """Interleave channel groups: reshape -> transpose -> reshape."""
+    n, h, w, c = b.graph.tensors[x].shape
+    y = b.reshape(x, (n, h, w, groups, c // groups))
+    y = b.transpose(y, (0, 1, 2, 4, 3))
+    return b.reshape(y, (n, h, w, c))
+
+
+def _unit_stride1(b: GraphBuilder, x: str, name: str) -> str:
+    """Basic unit: split channels, transform one half, concat, shuffle."""
+    c = b.graph.tensors[x].shape[3]
+    half = c // 2
+    left = b.slice(x, axis=3, start=0, end=half, name=f"{name}_split_l")
+    right = b.slice(x, axis=3, start=half, end=c, name=f"{name}_split_r")
+    y = conv_bn_act(b, right, cout=half, kernel=1, act="relu",
+                    name=f"{name}_pw1")
+    y = dw_bn_act(b, y, kernel=3, stride=1, act=None, name=f"{name}_dw")
+    y = conv_bn_act(b, y, cout=half, kernel=1, act="relu",
+                    name=f"{name}_pw2")
+    out = b.concat([left, y], axis=3, name=f"{name}_concat")
+    return _channel_shuffle(b, out)
+
+
+def _unit_stride2(b: GraphBuilder, x: str, cout: int, name: str) -> str:
+    """Downsampling unit: both branches transform, spatial stride 2."""
+    half = cout // 2
+    left = dw_bn_act(b, x, kernel=3, stride=2, act=None, name=f"{name}_l_dw")
+    left = conv_bn_act(b, left, cout=half, kernel=1, act="relu",
+                       name=f"{name}_l_pw")
+    right = conv_bn_act(b, x, cout=half, kernel=1, act="relu",
+                        name=f"{name}_r_pw1")
+    right = dw_bn_act(b, right, kernel=3, stride=2, act=None,
+                      name=f"{name}_r_dw")
+    right = conv_bn_act(b, right, cout=half, kernel=1, act="relu",
+                        name=f"{name}_r_pw2")
+    out = b.concat([left, right], axis=3, name=f"{name}_concat")
+    return _channel_shuffle(b, out)
+
+
+def build_shufflenet_v2(resolution: int = 224, num_classes: int = 1000) -> Graph:
+    """ShuffleNetV2 x1.0: stem, three shuffled stages, 1x1 head, FC."""
+    b = GraphBuilder("shufflenet-v2", seed=22)
+    x = b.input("input", (1, resolution, resolution, 3))
+    x = conv_bn_act(b, x, cout=24, kernel=3, stride=2, act="relu", name="stem")
+    x = b.maxpool(x, kernel=3, stride=2, pad=1)
+    for stage_idx, (cout, repeats) in enumerate(SHUFFLENET_V2_STAGES):
+        x = _unit_stride2(b, x, cout, name=f"s{stage_idx}u0")
+        for unit in range(1, repeats):
+            x = _unit_stride1(b, x, name=f"s{stage_idx}u{unit}")
+    x = conv_bn_act(b, x, cout=1024, kernel=1, act="relu", name="head")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

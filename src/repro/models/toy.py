@@ -1,0 +1,28 @@
+"""The Toy network used by the artifact's installation walkthrough."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.models.common import conv_bn_act, inverted_residual
+
+
+def build_toy(resolution: int = 56, num_classes: int = 10) -> Graph:
+    """A small net exercising every PIMFlow feature.
+
+    One regular conv, two inverted-residual blocks (pipelining
+    candidates), and an FC head — enough to drive profile/solve/run
+    end-to-end in seconds.
+    """
+    b = GraphBuilder("toy", seed=3)
+    x = b.input("input", (1, resolution, resolution, 3))
+    x = conv_bn_act(b, x, cout=32, kernel=3, stride=2, act="relu6", name="stem")
+    x = inverted_residual(b, x, cout=32, stride=1, expand=4, kernel=3,
+                          act="relu6", block_name="b0")
+    x = inverted_residual(b, x, cout=64, stride=2, expand=4, kernel=3,
+                          act="relu6", block_name="b1")
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, num_classes, name="classifier")
+    b.output(x)
+    return b.build()

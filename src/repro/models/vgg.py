@@ -1,0 +1,37 @@
+"""VGG16 (Simonyan & Zisserman, 2014)."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+#: Channels per conv block; "M" denotes a 2x2 max pool.
+VGG16_LAYOUT = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def build_vgg16(resolution: int = 224, num_classes: int = 1000) -> Graph:
+    """VGG16: 13 3x3 convolutions + 3 FC layers.
+
+    The FC layers (25088x4096, 4096x4096, 4096x1000) are the
+    memory-bound GEMVs that give VGG16 its end-to-end PIM speedup in
+    the paper despite its compute-heavy convolutions.
+    """
+    b = GraphBuilder("vgg-16", seed=16)
+    x = b.input("input", (1, resolution, resolution, 3))
+    conv_idx = 0
+    for item in VGG16_LAYOUT:
+        if item == "M":
+            x = b.maxpool(x, kernel=2, stride=2)
+        else:
+            conv_idx += 1
+            x = b.conv(x, cout=item, kernel=3, name=f"conv{conv_idx}")
+            x = b.relu(x)
+    x = b.flatten(x)
+    x = b.gemm(x, 4096, name="fc1")
+    x = b.relu(x)
+    x = b.gemm(x, 4096, name="fc2")
+    x = b.relu(x)
+    x = b.gemm(x, num_classes, name="fc3")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,58 @@
+"""Newton-style DRAM-PIM simulator (Ramulator-extension substitute).
+
+Models the PIM-enabled GDDR6 memory of the paper: per-bank MAC units
+behind the bit-line sense amplifiers, per-channel global buffers, and
+the PIM command set ``GWRITE / G_ACT / COMP / READRES`` with the
+PIMFlow extensions (``GWRITE_2/4`` multi-buffer writes, strided GWRITE,
+and GWRITE latency hiding).
+
+Two timing paths exist and are cross-validated in the tests:
+
+* :mod:`repro.pim.simulator` — an event-driven executor for explicit
+  per-channel command programs with an IO resource (GWRITE/READRES) and
+  a compute resource (G_ACT/COMP) per channel.
+* :mod:`repro.pim.cost` — a closed-form steady-state pipeline model of
+  the same program structure, used by the search engine where whole
+  models are profiled at 11 split ratios each.
+"""
+
+from repro.pim.config import (
+    PimConfig,
+    PimOptimizations,
+    PimTiming,
+    HBM_VALIDATION,
+    NEWTON,
+    NEWTON_PLUS,
+    NEWTON_PLUS_PLUS,
+)
+from repro.pim.commands import CommandTrace, PimCommand
+from repro.pim.cost import TileCost, tile_cost, gemv_cost, GemvCost
+from repro.pim.device import PimDevice
+from repro.pim.simulator import simulate_program, simulate_trace
+from repro.pim.machine import execute_gemv_machine, execute_tile_machine, MachineError
+from repro.pim.placement import PlacementError, PlacementPlan, plan_placement
+
+__all__ = [
+    "PimConfig",
+    "PimOptimizations",
+    "PimTiming",
+    "HBM_VALIDATION",
+    "NEWTON",
+    "NEWTON_PLUS",
+    "NEWTON_PLUS_PLUS",
+    "CommandTrace",
+    "PimCommand",
+    "TileCost",
+    "tile_cost",
+    "gemv_cost",
+    "GemvCost",
+    "PimDevice",
+    "simulate_program",
+    "simulate_trace",
+    "execute_gemv_machine",
+    "execute_tile_machine",
+    "MachineError",
+    "PlacementError",
+    "PlacementPlan",
+    "plan_placement",
+]

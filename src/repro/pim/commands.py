@@ -1,0 +1,96 @@
+"""PIM command representation and per-channel programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class CmdKind(str, Enum):
+    """PIM command opcodes (paper Section 4.1).
+
+    ``GWRITE`` covers the extended variants: the ``width`` field of the
+    command distinguishes GWRITE (1), GWRITE_2 (2) and GWRITE_4 (4),
+    and ``segments > 1`` marks a strided GWRITE gathering multiple
+    address runs.
+    """
+
+    GWRITE = "GWRITE"
+    G_ACT = "G_ACT"
+    COMP = "COMP"
+    READRES = "READRES"
+
+
+#: Which per-channel resource each command occupies: the channel I/O
+#: path or the bank compute path.  This split is what makes GWRITE
+#: latency hiding possible in the dual GPU/PIM channel configuration.
+RESOURCE = {
+    CmdKind.GWRITE: "io",
+    CmdKind.READRES: "io",
+    CmdKind.G_ACT: "compute",
+    CmdKind.COMP: "compute",
+}
+
+
+@dataclass(frozen=True)
+class PimCommand:
+    """One command in a channel program.
+
+    Attributes
+    ----------
+    kind:
+        Opcode.
+    bytes:
+        I/O transfer size (GWRITE/READRES).
+    segments:
+        Distinct contiguous address runs gathered by this GWRITE; above
+        one this is a strided GWRITE.
+    width:
+        Global buffers written by one GWRITE (1, 2 or 4).
+    ops:
+        Column operations issued by a COMP (each retires
+        ``banks * multipliers`` MACs in ``t_ccd`` cycles).
+    banks:
+        Banks activated by a G_ACT.
+    deps:
+        Indices of same-channel commands that must finish before this
+        one starts (in addition to its resource being free).
+    """
+
+    kind: CmdKind
+    bytes: int = 0
+    segments: int = 1
+    width: int = 1
+    ops: int = 0
+    banks: int = 16
+    deps: Tuple[int, ...] = ()
+
+    @property
+    def resource(self) -> str:
+        return RESOURCE[self.kind]
+
+
+@dataclass
+class CommandTrace:
+    """Per-channel command programs for one PIM kernel."""
+
+    programs: Dict[int, List[PimCommand]] = field(default_factory=dict)
+
+    def add(self, channel: int, command: PimCommand) -> int:
+        """Append a command to a channel's program; returns its index."""
+        prog = self.programs.setdefault(channel, [])
+        prog.append(command)
+        return len(prog) - 1
+
+    @property
+    def num_commands(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of command kinds across all channels."""
+        out: Dict[str, int] = {}
+        for prog in self.programs.values():
+            for cmd in prog:
+                out[cmd.kind.value] = out.get(cmd.kind.value, 0) + 1
+        return out

@@ -1,0 +1,143 @@
+"""DRAM-PIM hardware configuration (paper Table 1) and optimization flags."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PimTiming:
+    """GDDR6 timing parameters in command-clock cycles (paper Table 1).
+
+    ``t_refi``/``t_rfc`` model periodic all-bank refresh: every
+    ``t_refi`` cycles the channel stalls for ``t_rfc`` cycles.  PIM
+    kernels cannot suppress refresh (data retention), so sufficiently
+    long kernels pay the ~``t_rfc / t_refi`` throughput tax that
+    Ramulator would charge.
+    """
+
+    t_ccd: int = 2      # column-to-column delay; COMP issue interval
+    t_cl: int = 11      # CAS latency; fixed cost of GWRITE/READRES issue
+    t_rcd: int = 11     # row-to-column delay
+    t_rp: int = 11      # row precharge
+    t_ras: int = 25     # row active time
+    t_rcdrd: int = 25   # activate-to-read; latency of one G_ACT
+    io_bytes_per_cycle: int = 32  # channel I/O width per command clock
+    t_refi: int = 6240  # average refresh interval (3.9 us @ 1.6 GHz class)
+    t_rfc: int = 280    # refresh cycle time (all-bank)
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of cycles lost to refresh (0 disables refresh)."""
+        if self.t_refi <= 0:
+            return 0.0
+        return self.t_rfc / self.t_refi
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """Structural parameters of the PIM-enabled memory (paper Table 1).
+
+    Defaults: 16 PIM-enabled channels out of the 32-channel GPU memory,
+    16 banks per channel, 16 multipliers per bank behind a 256-bit
+    column I/O, one 4 KB global buffer (extended to four by PIMFlow),
+    and 2 KB DRAM rows.
+    """
+
+    num_channels: int = 16
+    banks_per_channel: int = 16
+    multipliers_per_bank: int = 16
+    column_io_bits: int = 256
+    global_buffer_bytes: int = 4096
+    row_bytes: int = 2048
+    elem_bytes: int = 2           # fp16
+    clock_ghz: float = 1.0
+    launch_overhead_us: float = 1.0
+    timing: PimTiming = field(default_factory=PimTiming)
+
+    @property
+    def macs_per_comp(self) -> int:
+        """MACs retired by one COMP command across all banks of a channel."""
+        return self.banks_per_channel * self.multipliers_per_bank
+
+    @property
+    def buffer_capacity_elems(self) -> int:
+        """fp16 elements held by one global buffer."""
+        return self.global_buffer_bytes // self.elem_bytes
+
+    @property
+    def row_elems(self) -> int:
+        """fp16 elements per DRAM row (per bank)."""
+        return self.row_bytes // self.elem_bytes
+
+    @property
+    def weights_per_activation(self) -> int:
+        """Filter elements made readable by one G_ACT (one row x all banks)."""
+        return self.row_elems * self.banks_per_channel
+
+    def with_channels(self, num_channels: int) -> "PimConfig":
+        """Copy of this config with a different PIM channel count."""
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        return replace(self, num_channels=num_channels)
+
+
+#: HBM2-based configuration used only for the Fig. 8 simulator
+#: validation, matching Newton's setup: all 24 channels PIM-enabled,
+#: wider stacks but a slower interface clock per channel.
+HBM_VALIDATION = PimConfig(
+    num_channels=24,
+    clock_ghz=1.0,
+    timing=PimTiming(io_bytes_per_cycle=32),
+)
+
+
+@dataclass(frozen=True)
+class PimOptimizations:
+    """PIM command-level optimization flags (paper Sections 4.1, 4.3).
+
+    Attributes
+    ----------
+    num_gwrite_buffers:
+        Global buffers per channel usable by one kernel: 1 (baseline
+        Newton), 2, or 4 (PIMFlow).  More buffers amortize each G_ACT
+        over that many input vectors, and GWRITE_2/GWRITE_4 merge the
+        buffer writes into one command.
+    gwrite_latency_hiding:
+        Issue the G_ACT for a vector group asynchronously with its
+        GWRITE: PIM channels activate rows while data streams from the
+        GPU channels.
+    strided_gwrite:
+        Gather non-contiguous input-tensor elements (non-pointwise
+        convolutions) into the global buffer with a single command
+        instead of one GWRITE per contiguous run.
+    scheduling:
+        Channel-distribution granularity of the command scheduler
+        (paper Fig. 6): ``"g_act"``, ``"readres"``, or ``"comp"``.
+    """
+
+    num_gwrite_buffers: int = 1
+    gwrite_latency_hiding: bool = False
+    strided_gwrite: bool = False
+    scheduling: str = "comp"
+
+    def __post_init__(self) -> None:
+        if self.num_gwrite_buffers not in (1, 2, 4):
+            raise ValueError("num_gwrite_buffers must be 1, 2 or 4")
+        if self.scheduling not in ("g_act", "readres", "comp"):
+            raise ValueError(f"unknown scheduling granularity {self.scheduling!r}")
+
+
+#: The unmodified Newton baseline: one buffer, serial commands, coarse
+#: scheduling (whole column blocks per channel).
+NEWTON = PimOptimizations(num_gwrite_buffers=1, gwrite_latency_hiding=False,
+                          strided_gwrite=False, scheduling="g_act")
+
+#: Newton+ of the evaluation: Newton with CONV/FC offload support and
+#: command scheduling for multiple channels, no command optimizations.
+NEWTON_PLUS = PimOptimizations(num_gwrite_buffers=1, gwrite_latency_hiding=False,
+                               strided_gwrite=False, scheduling="comp")
+
+#: Newton++: Newton+ plus the PIM command optimizations.
+NEWTON_PLUS_PLUS = PimOptimizations(num_gwrite_buffers=4, gwrite_latency_hiding=True,
+                                    strided_gwrite=True, scheduling="comp")

@@ -1,0 +1,76 @@
+"""High-level PIM device: node-level cost and energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.energy.constants import PimEnergyModel
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.lowering.im2col import LoweredGemv, lower_node
+from repro.pim.config import NEWTON_PLUS_PLUS, PimConfig, PimOptimizations
+from repro.pim.cost import GemvCost, gemv_cost
+
+
+@dataclass(frozen=True)
+class PimRunCost:
+    """Latency, energy and event counts of one PIM kernel."""
+
+    time_us: float
+    cycles: int
+    energy_mj: float
+    activations: int
+    macs: int
+    gwrite_bytes: int
+    io_bytes: int
+
+
+class PimDevice:
+    """Executes PIM-candidate nodes on the DRAM-PIM model.
+
+    The device owns a hardware configuration and an optimization level
+    (Newton / Newton+ / Newton++ flags); the evaluation instantiates one
+    device per offloading mechanism.
+    """
+
+    def __init__(self, config: Optional[PimConfig] = None,
+                 opts: PimOptimizations = NEWTON_PLUS_PLUS,
+                 energy_model: Optional[PimEnergyModel] = None) -> None:
+        self.config = config or PimConfig()
+        self.opts = opts
+        self.energy_model = energy_model or PimEnergyModel()
+
+    def run_gemv(self, gemv: LoweredGemv) -> PimRunCost:
+        """Cost of one lowered GEMV batch."""
+        cost: GemvCost = gemv_cost(gemv, self.config, self.opts)
+        energy = self.energy_model.trace_energy_mj(
+            activations=cost.activations,
+            macs=cost.macs,
+            buffer_bytes=cost.gwrite_bytes,
+            io_bytes=cost.io_bytes,
+            time_us=cost.time_us,
+            channels=self.config.num_channels,
+        )
+        return PimRunCost(
+            time_us=cost.time_us,
+            cycles=cost.cycles,
+            energy_mj=energy,
+            activations=cost.activations,
+            macs=cost.macs,
+            gwrite_bytes=cost.gwrite_bytes,
+            io_bytes=cost.io_bytes,
+        )
+
+    def run_node(self, node: Node, graph: Graph) -> PimRunCost:
+        """Cost of a PIM-candidate graph node (Conv/Gemm/MatMul)."""
+        return self.run_gemv(lower_node(node, graph))
+
+    def with_channels(self, num_channels: int) -> "PimDevice":
+        """Device copy with a different PIM channel count."""
+        return PimDevice(self.config.with_channels(num_channels), self.opts,
+                         self.energy_model)
+
+    def with_opts(self, opts: PimOptimizations) -> "PimDevice":
+        """Device copy with different optimization flags."""
+        return PimDevice(self.config, opts, self.energy_model)

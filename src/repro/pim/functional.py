@@ -1,0 +1,60 @@
+"""Functional (value-level) model of PIM execution.
+
+The timing simulators answer *how long*; this module answers *what* —
+it executes the channel tiling on real data and must reproduce the
+numpy reference in float32.  It validates the tiling math (column
+partitioning, K-split partial-sum accumulation) that the command
+generator relies on, standing in for running command traces on a real
+device.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import ChannelTile, tile_over_channels
+
+
+def execute_tiles(x_matrix: np.ndarray, w_matrix: np.ndarray,
+                  tiles: List[ChannelTile]) -> np.ndarray:
+    """Execute a GEMV batch tile-by-tile, reproducing ``x @ w``.
+
+    ``x_matrix`` is the (rows, K) lowered input; ``w_matrix`` the (K, N)
+    filter matrix.  Column tiles write disjoint output slices; K-split
+    (partial) tiles accumulate into the same columns, mirroring the
+    result-latch accumulation of the hardware.
+    """
+    rows, k = x_matrix.shape
+    k2, n = w_matrix.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: x {x_matrix.shape} vs w {w_matrix.shape}")
+    out = np.zeros((rows, n), dtype=np.float32)
+    covered = np.zeros((k, n), dtype=bool)
+    for tile in tiles:
+        if tile.rows != rows:
+            raise ValueError("tile row count must match the input matrix")
+        ks, ke = tile.k_start, tile.k_start + tile.k
+        cs, ce = tile.col_start, tile.col_start + tile.n
+        if ke > k or ce > n:
+            raise ValueError(f"tile {tile} exceeds matrix bounds ({k}, {n})")
+        if covered[ks:ke, cs:ce].any():
+            raise ValueError(f"tile {tile} overlaps previously covered work")
+        covered[ks:ke, cs:ce] = True
+        xs = x_matrix[:, ks:ke].astype(np.float32)
+        ws = w_matrix[ks:ke, cs:ce].astype(np.float32)
+        out[:, cs:ce] += xs @ ws
+    if not covered.all():
+        raise ValueError("tiles do not cover the full (K, N) space")
+    return out
+
+
+def execute_gemv(x_matrix: np.ndarray, w_matrix: np.ndarray, gemv: LoweredGemv,
+                 num_channels: int, granularity: str = "comp") -> np.ndarray:
+    """Tile and execute, asserting tiling consistency with the descriptor."""
+    if gemv.rows != x_matrix.shape[0] or gemv.k != x_matrix.shape[1]:
+        raise ValueError("gemv descriptor does not match the input matrix")
+    tiles = tile_over_channels(gemv, num_channels, granularity)
+    return execute_tiles(x_matrix, w_matrix, tiles)

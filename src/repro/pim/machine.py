@@ -1,0 +1,148 @@
+"""Value-carrying PIM machine: executes the command-program structure
+on real data.
+
+Where :mod:`repro.pim.functional` validates the channel *tiling* math,
+this module validates the command *program* semantics the generator and
+cost model share: K-pass iteration with result-latch accumulation,
+vector grouping over the global buffers, buffer-capacity limits, and
+batched result readout.  The machine walks exactly the group/pass
+structure of :func:`repro.codegen.generator.tile_program`, but carries
+values through explicit architectural state:
+
+* ``GlobalBuffer`` — one per ``num_gwrite_buffers``, holding one input
+  vector's current K-slice (capacity-checked on every GWRITE).
+* ``ResultLatches`` — per-vector accumulators that sum partial dot
+  products across K passes and are drained by READRES.
+
+The result must reproduce ``x @ w`` exactly in float32.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import ChannelTile, tile_over_channels
+from repro.pim.config import PimConfig, PimOptimizations
+from repro.pim.cost import buffer_k_tiles
+
+
+class MachineError(RuntimeError):
+    """Raised when a program violates the architectural constraints."""
+
+
+class GlobalBuffer:
+    """One 4 KB channel buffer holding a single input-vector slice."""
+
+    def __init__(self, capacity_elems: int) -> None:
+        self.capacity_elems = capacity_elems
+        self.data: Optional[np.ndarray] = None
+        self.writes = 0
+
+    def gwrite(self, values: np.ndarray) -> None:
+        if values.size > self.capacity_elems:
+            raise MachineError(
+                f"GWRITE of {values.size} elements exceeds the "
+                f"{self.capacity_elems}-element buffer")
+        self.data = values.astype(np.float32)
+        self.writes += 1
+
+    def read(self) -> np.ndarray:
+        if self.data is None:
+            raise MachineError("COMP before any GWRITE to this buffer")
+        return self.data
+
+
+class ResultLatches:
+    """Per-vector accumulators drained by READRES."""
+
+    def __init__(self) -> None:
+        self._acc: dict = {}
+
+    def accumulate(self, vector_index: int, partial: np.ndarray) -> None:
+        if vector_index in self._acc:
+            self._acc[vector_index] = self._acc[vector_index] + partial
+        else:
+            self._acc[vector_index] = partial.astype(np.float32)
+
+    def readres(self, vector_index: int) -> np.ndarray:
+        try:
+            return self._acc.pop(vector_index)
+        except KeyError:
+            raise MachineError(
+                f"READRES for vector {vector_index} with no accumulated "
+                "results") from None
+
+    def pending(self) -> int:
+        return len(self._acc)
+
+
+def execute_tile_machine(tile: ChannelTile, gemv: LoweredGemv,
+                         x_matrix: np.ndarray, w_matrix: np.ndarray,
+                         config: PimConfig,
+                         opts: PimOptimizations) -> np.ndarray:
+    """Execute one channel tile's program on real data.
+
+    ``x_matrix`` is the full (rows, K) lowered input; ``w_matrix`` the
+    full (K, N) filter matrix.  Returns the (rows, tile.n) output slice
+    this channel produces.
+    """
+    cap = config.buffer_capacity_elems
+    k_tiles = buffer_k_tiles(tile.k, config)
+    nb = opts.num_gwrite_buffers
+    groups = math.ceil(tile.rows / nb)
+
+    buffers = [GlobalBuffer(cap) for _ in range(nb)]
+    latches = ResultLatches()
+    out = np.zeros((tile.rows, tile.n), dtype=np.float32)
+
+    # Filter slice resident in this channel's cell arrays (pre-placed).
+    w_slice = w_matrix[tile.k_start:tile.k_start + tile.k,
+                       tile.col_start:tile.col_start + tile.n]
+
+    for g in range(groups):
+        vectors = list(range(g * nb, min((g + 1) * nb, tile.rows)))
+        for kt in range(k_tiles):
+            k_lo = kt * cap
+            k_hi = min(tile.k, (kt + 1) * cap)
+            last_pass = kt == k_tiles - 1
+            # GWRITE: each buffer takes one vector's K-slice.
+            for slot, v in enumerate(vectors):
+                buffers[slot].gwrite(
+                    x_matrix[v, tile.k_start + k_lo:tile.k_start + k_hi])
+            # G_ACT + COMP: multiply against the open weight rows.
+            w_pass = w_slice[k_lo:k_hi, :].astype(np.float32)
+            for slot, v in enumerate(vectors):
+                latches.accumulate(v, buffers[slot].read() @ w_pass)
+            # READRES (batched per group) on the final pass.
+            if last_pass:
+                for v in vectors:
+                    out[v] = latches.readres(v)
+    if latches.pending():
+        raise MachineError(f"{latches.pending()} results never read out")
+    return out
+
+
+def execute_gemv_machine(x_matrix: np.ndarray, w_matrix: np.ndarray,
+                         gemv: LoweredGemv, config: PimConfig,
+                         opts: PimOptimizations) -> np.ndarray:
+    """Execute a whole lowered GEMV through the per-channel machines.
+
+    Column tiles write disjoint output slices; K-split partial tiles are
+    combined by the inter-channel partial-sum add, exactly as the cost
+    model charges it.
+    """
+    rows, k = x_matrix.shape
+    _, n = w_matrix.shape
+    if (rows, k) != (gemv.rows, gemv.k) or n != gemv.n:
+        raise ValueError("matrices do not match the GEMV descriptor")
+    tiles = tile_over_channels(gemv, config.num_channels, opts.scheduling)
+    out = np.zeros((rows, n), dtype=np.float32)
+    for tile in tiles:
+        result = execute_tile_machine(tile, gemv, x_matrix, w_matrix,
+                                      config, opts)
+        out[:, tile.col_start:tile.col_start + tile.n] += result
+    return out

@@ -1,0 +1,121 @@
+"""Filter-weight placement in the PIM memory cell arrays.
+
+The paper places filter matrices in the cell arrays *in advance*
+(Section 2.2) and never revisits the question of whether they fit.
+This module makes placement explicit: each PIM-offloaded layer's filter
+slice is assigned rows in each channel's banks, capacity is accounted,
+and the planner reports when a model's PIM-resident weights exceed the
+PIM-enabled channels' capacity (at which point a runtime would have to
+re-stage weights, paying GWRITE-class traffic the paper's evaluation
+never needs — the five CNN models fit comfortably).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph
+from repro.graph.ops import is_pim_candidate
+from repro.lowering.im2col import lower_node
+from repro.lowering.tiling import tile_over_channels
+from repro.pim.config import PimConfig, PimOptimizations
+
+
+class PlacementError(RuntimeError):
+    """Raised when weights exceed the PIM channels' capacity."""
+
+
+@dataclass(frozen=True)
+class LayerPlacement:
+    """Rows occupied by one layer's filter slice, per channel."""
+
+    layer: str
+    rows_per_channel: Dict[int, int]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.rows_per_channel.values())
+
+
+@dataclass
+class PlacementPlan:
+    """Bank-row allocation of every PIM-resident layer."""
+
+    config: PimConfig
+    layers: List[LayerPlacement] = field(default_factory=list)
+    used_rows: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def rows_per_channel_capacity(self) -> int:
+        """Rows available per channel across its banks.
+
+        A GDDR6 bank holds on the order of 32K rows (8 Gb die / 16
+        banks / 2 KB rows); we reserve half the capacity for activations
+        and regular GPU data living in the same channels.
+        """
+        rows_per_bank = 32 * 1024
+        return self.config.banks_per_channel * rows_per_bank // 2
+
+    def utilization(self) -> float:
+        """Fraction of the reserved weight capacity in use (max over channels)."""
+        if not self.used_rows:
+            return 0.0
+        return max(self.used_rows.values()) / self.rows_per_channel_capacity
+
+    def place(self, layer: str, rows_per_channel: Dict[int, int]) -> LayerPlacement:
+        """Allocate rows for one layer, channel by channel."""
+        capacity = self.rows_per_channel_capacity
+        for ch, rows in rows_per_channel.items():
+            if self.used_rows.get(ch, 0) + rows > capacity:
+                raise PlacementError(
+                    f"layer {layer!r} needs {rows} rows on channel {ch}, "
+                    f"only {capacity - self.used_rows.get(ch, 0)} free")
+        for ch, rows in rows_per_channel.items():
+            self.used_rows[ch] = self.used_rows.get(ch, 0) + rows
+        placement = LayerPlacement(layer, dict(rows_per_channel))
+        self.layers.append(placement)
+        return placement
+
+
+def layer_rows(layer_name: str, graph: Graph, config: PimConfig,
+               opts: PimOptimizations) -> Dict[int, int]:
+    """Rows needed per channel for one layer's filter slice.
+
+    Each channel stores its tile's (K x N_tile) filter elements packed
+    into bank rows; a row-set (one row in every bank of the channel)
+    holds ``weights_per_activation`` elements.
+    """
+    node = graph.node(layer_name)
+    gemv = lower_node(node, graph)
+    tiles = tile_over_channels(gemv, config.num_channels, opts.scheduling)
+    rows: Dict[int, int] = {}
+    for tile in tiles:
+        elems = tile.k * tile.n
+        row_sets = math.ceil(elems / config.weights_per_activation)
+        # A row-set occupies one row in each bank.
+        rows[tile.channel] = rows.get(tile.channel, 0) + row_sets
+    return rows
+
+
+def plan_placement(graph: Graph, config: Optional[PimConfig] = None,
+                   opts: Optional[PimOptimizations] = None,
+                   layers: Optional[List[str]] = None) -> PlacementPlan:
+    """Place every (or the given) PIM-candidate layer's weights.
+
+    Raises :class:`PlacementError` when the model's PIM-resident weights
+    exceed the reserved capacity.
+    """
+    config = config or PimConfig()
+    opts = opts or PimOptimizations()
+    plan = PlacementPlan(config=config)
+    if layers is None:
+        layers = []
+        for node in graph.toposort():
+            shapes = [graph.tensors[t].shape for t in node.inputs]
+            if is_pim_candidate(node, shapes) and node.inputs[1] in graph.initializers:
+                layers.append(node.name)
+    for layer in layers:
+        plan.place(layer, layer_rows(layer, graph, config, opts))
+    return plan

@@ -1,0 +1,56 @@
+"""Per-command latency rules for the DRAM-PIM."""
+
+from __future__ import annotations
+
+import math
+
+from repro.pim.commands import CmdKind, PimCommand
+from repro.pim.config import PimConfig
+
+
+def gwrite_cycles(num_bytes: int, segments: int, width: int, config: PimConfig) -> int:
+    """Latency of one (possibly strided, possibly multi-buffer) GWRITE.
+
+    The transfer streams ``num_bytes`` over the channel I/O; the fixed
+    ``t_cl`` issue cost is paid once per command — this is exactly what
+    the strided GWRITE and GWRITE_2/4 extensions save relative to
+    issuing one command per address run or per buffer.
+    """
+    t = config.timing
+    transfer = math.ceil(num_bytes / t.io_bytes_per_cycle)
+    return t.t_cl + max(transfer, 1)
+
+
+def g_act_cycles(config: PimConfig) -> int:
+    """Latency of one G_ACT (multi-bank row activation)."""
+    return config.timing.t_rcdrd
+
+
+def comp_cycles(ops: int, config: PimConfig) -> int:
+    """Latency of a COMP burst issuing ``ops`` column operations."""
+    return max(ops, 1) * config.timing.t_ccd
+
+
+def readres_cycles(num_bytes: int, config: PimConfig) -> int:
+    """Latency of reading ``num_bytes`` of results from the latches."""
+    t = config.timing
+    transfer = math.ceil(num_bytes / t.io_bytes_per_cycle)
+    return t.t_cl + max(transfer, 1)
+
+
+def command_cycles(cmd: PimCommand, config: PimConfig) -> int:
+    """Latency of an arbitrary command."""
+    if cmd.kind is CmdKind.GWRITE:
+        return gwrite_cycles(cmd.bytes, cmd.segments, cmd.width, config)
+    if cmd.kind is CmdKind.G_ACT:
+        return g_act_cycles(config)
+    if cmd.kind is CmdKind.COMP:
+        return comp_cycles(cmd.ops, config)
+    if cmd.kind is CmdKind.READRES:
+        return readres_cycles(cmd.bytes, config)
+    raise ValueError(f"unknown command kind {cmd.kind}")
+
+
+def cycles_to_us(cycles: int, config: PimConfig) -> float:
+    """Convert command-clock cycles to microseconds."""
+    return cycles / (config.clock_ghz * 1e3)

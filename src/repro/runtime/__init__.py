@@ -1,0 +1,16 @@
+"""Runtime: numerical reference executor and the mixed-parallel engine."""
+
+from repro.runtime.numerical import execute, execute_node
+from repro.runtime.engine import ExecutionEngine, ScheduleEvent, RunResult
+from repro.runtime.verify import EquivalenceError, random_feeds, verify_equivalence
+
+__all__ = [
+    "execute",
+    "execute_node",
+    "ExecutionEngine",
+    "ScheduleEvent",
+    "RunResult",
+    "EquivalenceError",
+    "random_feeds",
+    "verify_equivalence",
+]

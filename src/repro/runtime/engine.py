@@ -1,0 +1,185 @@
+"""Mixed-parallel execution engine.
+
+The engine is the runtime half of PIMFlow: it takes a transformed graph
+whose nodes carry device placements (``node.device``) and computes the
+end-to-end schedule with GPU and PIM executing in parallel, respecting
+dataflow dependencies.  This generic two-resource list scheduler covers
+all three execution models of the paper:
+
+* **Heterogeneous parallel** — nodes placed wholly on one device run
+  back-to-back; offloaded nodes simply move to the PIM timeline.
+* **MD-DP** — the split halves of a node sit on different devices with
+  no mutual dependency, so they overlap.
+* **Pipelined** — the per-stage pieces created by the pipelining pass
+  form a dependency diamond; the scheduler overlaps stage ``s`` of one
+  node with stage ``s+1`` of its producer automatically.
+
+Nodes elided by the memory-layout optimizer (Slice/Concat/Pad with the
+``elided`` attribute) occupy no device time.  Cross-device dependency
+edges pay a fixed synchronization cost; the bulk data transfer itself
+is already priced inside the PIM command model (GWRITE/READRES stream
+over the inter-channel network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.energy.accumulator import EnergyBreakdown
+from repro.energy.constants import GpuEnergyModel, PimEnergyModel
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.ops import is_pim_candidate
+from repro.gpu.device import GpuDevice
+from repro.pim.device import PimDevice
+
+#: Fixed cost of a GPU<->PIM synchronization at a dependency edge.
+SYNC_OVERHEAD_US = 0.5
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One node's placement in the schedule."""
+
+    node: str
+    op_type: str
+    device: str
+    start_us: float
+    finish_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.finish_us - self.start_us
+
+
+@dataclass
+class RunResult:
+    """Outcome of scheduling one inference."""
+
+    makespan_us: float
+    events: List[ScheduleEvent]
+    energy: EnergyBreakdown
+    gpu_busy_us: float = 0.0
+    pim_busy_us: float = 0.0
+
+    def event(self, node_name: str) -> ScheduleEvent:
+        for e in self.events:
+            if e.node == node_name:
+                return e
+        raise KeyError(f"no schedule event for node {node_name!r}")
+
+    @property
+    def overlap_us(self) -> float:
+        """Time both devices were busy (upper-bounded by busy times)."""
+        return max(0.0, self.gpu_busy_us + self.pim_busy_us - self.makespan_us)
+
+
+class ExecutionEngine:
+    """Schedules transformed graphs over one GPU and one PIM device."""
+
+    def __init__(self, gpu: GpuDevice, pim: Optional[PimDevice] = None,
+                 sync_overhead_us: float = SYNC_OVERHEAD_US,
+                 host_io: bool = False,
+                 pcie_bytes_per_us: float = 16e3) -> None:
+        self.gpu = gpu
+        self.pim = pim
+        self.sync_overhead_us = sync_overhead_us
+        #: Charge host<->device transfers over PCIe for graph inputs and
+        #: outputs (paper Fig. 4 steps: data arrives from host memory
+        #: and results return for host-side consumers).  Off by default:
+        #: the evaluation reports on-device inference time.
+        self.host_io = host_io
+        self.pcie_bytes_per_us = pcie_bytes_per_us
+
+    def _placement(self, node: Node, graph: Graph) -> str:
+        if node.device != "pim":
+            return "gpu"
+        input_shapes = [graph.tensors[t].shape for t in node.inputs]
+        if self.pim is None or not is_pim_candidate(node, input_shapes):
+            return "gpu"
+        return "pim"
+
+    def run(self, graph: Graph) -> RunResult:
+        """Compute the parallel schedule and energy for one inference."""
+        device_free = {"gpu": 0.0, "pim": 0.0}
+        busy = {"gpu": 0.0, "pim": 0.0}
+        tensor_ready: Dict[str, float] = {}
+        tensor_device: Dict[str, str] = {}
+        for t in graph.inputs:
+            ready = 0.0
+            if self.host_io:
+                ready = graph.tensors[t].num_bytes / self.pcie_bytes_per_us
+            tensor_ready[t] = ready
+            tensor_device[t] = "gpu"
+        for t in graph.initializers:
+            tensor_ready[t] = 0.0
+            tensor_device[t] = "any"
+
+        energy = EnergyBreakdown()
+        events: List[ScheduleEvent] = []
+
+        for node in graph.toposort():
+            device = self._placement(node, graph)
+            elided = bool(node.attr("elided", False))
+
+            ready = 0.0
+            for t in node.inputs:
+                t_ready = tensor_ready[t]
+                src = tensor_device.get(t, "gpu")
+                if not elided and src not in ("any", device):
+                    t_ready += self.sync_overhead_us
+                ready = max(ready, t_ready)
+
+            if elided:
+                # Zero-cost view change: output is ready when inputs are,
+                # no device occupancy.
+                start = finish = ready
+                out_device = tensor_device.get(node.inputs[0], "gpu")
+            else:
+                if device == "gpu":
+                    cost = self.gpu.run_node(node, graph)
+                    duration = cost.time_us
+                    energy.gpu_dynamic_mj += self.gpu.energy_model.dynamic_mj(
+                        cost.flops, cost.dram_bytes)
+                else:
+                    cost = self.pim.run_node(node, graph)
+                    duration = cost.time_us
+                    energy.pim_dynamic_mj += self.pim.energy_model.dynamic_mj(
+                        cost.activations, cost.macs, cost.gwrite_bytes,
+                        cost.io_bytes)
+                    if node.attr("activation"):
+                        # Newton's MAC-only PIM cannot run activation
+                        # functions; the fused epilogue executes as a GPU
+                        # elementwise pass over the returned results
+                        # (paper Fig. 4, steps 3-4).
+                        out_bytes = sum(graph.tensors[t].num_bytes
+                                        for t in node.outputs)
+                        bw = self.gpu.config.bandwidth_bytes_per_us * 0.85
+                        epilogue = (2.0 * out_bytes / bw
+                                    + self.gpu.config.fused_launch_overhead_us)
+                        duration += epilogue
+                        energy.gpu_dynamic_mj += self.gpu.energy_model.dynamic_mj(
+                            float(out_bytes) / 2.0, 2.0 * out_bytes)
+                start = max(ready, device_free[device])
+                finish = start + duration
+                device_free[device] = finish
+                busy[device] += duration
+                out_device = device
+
+            for t in node.outputs:
+                tensor_ready[t] = finish
+                tensor_device[t] = out_device
+            events.append(ScheduleEvent(node.name, node.op_type, out_device if not elided else "none",
+                                        start, finish))
+
+        makespan = max((tensor_ready[t] for t in graph.outputs), default=0.0)
+        if self.host_io:
+            out_bytes = sum(graph.tensors[t].num_bytes for t in graph.outputs)
+            makespan += out_bytes / self.pcie_bytes_per_us
+        energy.gpu_static_mj = self.gpu.energy_model.static_mj(makespan)
+        if self.pim is not None:
+            energy.pim_static_mj = self.pim.energy_model.static_mj(
+                makespan, self.pim.config.num_channels)
+        return RunResult(makespan_us=makespan, events=events, energy=energy,
+                         gpu_busy_us=busy["gpu"], pim_busy_us=busy["pim"])

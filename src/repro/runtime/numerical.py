@@ -1,0 +1,305 @@
+"""Numpy reference executor for model graphs.
+
+The executor establishes *what a graph computes* so that every PIMFlow
+transformation can be checked for semantics preservation: a transformed
+graph must produce outputs numerically equal to the original.  All math
+runs in float32 regardless of declared tensor dtype, which keeps the
+equality checks deterministic across differently-ordered but equivalent
+computations (splits, pipelining, command-level reordering).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+
+Env = Dict[str, np.ndarray]
+KernelFn = Callable[[Node, List[np.ndarray]], np.ndarray]
+
+KERNELS: Dict[str, KernelFn] = {}
+
+
+def kernel(op_type: str) -> Callable[[KernelFn], KernelFn]:
+    """Register the numpy implementation of an operator."""
+
+    def wrap(fn: KernelFn) -> KernelFn:
+        KERNELS[op_type] = fn
+        return fn
+
+    return wrap
+
+
+def conv2d_nhwc(x: np.ndarray, w: np.ndarray, bias: np.ndarray,
+                strides, pads, group: int) -> np.ndarray:
+    """Direct NHWC convolution with groups.
+
+    Vectorized over the kernel window: for each kernel offset the padded
+    input is strided-sliced and contracted against the corresponding
+    weight slice, accumulating into the output.  This is both the
+    reference semantics and the shape used to validate the im2col
+    lowering in :mod:`repro.lowering`.
+    """
+    n, h, wdt, cin = x.shape
+    kh, kw, cin_g, cout = w.shape
+    sh, sw = strides
+    pt, pl, pb, pr = pads
+    xp = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    oh = (h + pt + pb - kh) // sh + 1
+    ow = (wdt + pl + pr - kw) // sw + 1
+    cout_g = cout // group
+    out = np.zeros((n, oh, ow, cout), dtype=np.float32)
+    for g in range(group):
+        xg = xp[..., g * cin_g:(g + 1) * cin_g]
+        wg = w[..., g * cout_g:(g + 1) * cout_g]
+        acc = np.zeros((n, oh, ow, cout_g), dtype=np.float32)
+        for i in range(kh):
+            for j in range(kw):
+                patch = xg[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+                acc += np.tensordot(patch, wg[i, j], axes=([3], [0]))
+        out[..., g * cout_g:(g + 1) * cout_g] = acc
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+@kernel("Conv")
+def _run_conv(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    from repro.transform.fusion import apply_fused_activation
+
+    x, w = inputs[0], inputs[1]
+    bias = inputs[2] if len(inputs) > 2 else None
+    out = conv2d_nhwc(
+        x, w, bias,
+        node.attr("strides", (1, 1)),
+        node.attr("pads", (0, 0, 0, 0)),
+        int(node.attr("group", 1)),
+    )
+    return apply_fused_activation(node, out)
+
+
+@kernel("Gemm")
+def _run_gemm(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    from repro.transform.fusion import apply_fused_activation
+
+    out = inputs[0] @ inputs[1]
+    if len(inputs) > 2:
+        out = out + inputs[2]
+    return apply_fused_activation(node, out)
+
+
+@kernel("MatMul")
+def _run_matmul(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0] @ inputs[1]
+
+
+@kernel("Relu")
+def _run_relu(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return np.maximum(inputs[0], 0.0)
+
+
+@kernel("Clip")
+def _run_clip(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return np.clip(inputs[0], node.attr("min", 0.0), node.attr("max", 6.0))
+
+
+@kernel("Sigmoid")
+def _run_sigmoid(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-inputs[0]))
+
+
+@kernel("Silu")
+def _run_silu(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    x = inputs[0]
+    return x / (1.0 + np.exp(-x))
+
+
+@kernel("Gelu")
+def _run_gelu(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    # tanh approximation, matching common BERT implementations.
+    x = inputs[0]
+    return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x ** 3)))
+
+
+@kernel("Tanh")
+def _run_tanh(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return np.tanh(inputs[0])
+
+
+@kernel("Erf")
+def _run_erf(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    # Abramowitz & Stegun 7.1.26 rational approximation (scipy-free).
+    x = inputs[0]
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (0.254829592 + t * (-0.284496736 + t * (
+        1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+@kernel("Add")
+def _run_add(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0] + inputs[1]
+
+
+@kernel("Mul")
+def _run_mul(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0] * inputs[1]
+
+
+@kernel("Sub")
+def _run_sub(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0] - inputs[1]
+
+
+@kernel("Div")
+def _run_div(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0] / inputs[1]
+
+
+@kernel("BatchNormalization")
+def _run_bn(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    x, scale, bias, mean, var = inputs
+    eps = node.attr("epsilon", 1e-5)
+    return (x - mean) / np.sqrt(var + eps) * scale + bias
+
+
+def _pool(node: Node, x: np.ndarray, reducer: str) -> np.ndarray:
+    kh, kw = node.attr("kernel_shape")
+    sh, sw = node.attr("strides", (kh, kw))
+    pt, pl, pb, pr = node.attr("pads", (0, 0, 0, 0))
+    fill = -np.inf if reducer == "max" else 0.0
+    xp = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)), constant_values=fill)
+    n, h, w, c = xp.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    windows = np.stack([
+        xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+        for i in range(kh) for j in range(kw)
+    ])
+    if reducer == "max":
+        return windows.max(axis=0)
+    # ONNX AveragePool default excludes padding from the divisor only
+    # with count_include_pad=0; the models here never average over pads.
+    return windows.mean(axis=0)
+
+
+@kernel("MaxPool")
+def _run_maxpool(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return _pool(node, inputs[0], "max")
+
+
+@kernel("AveragePool")
+def _run_avgpool(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return _pool(node, inputs[0], "avg")
+
+
+@kernel("GlobalAveragePool")
+def _run_gap(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0].mean(axis=(1, 2), keepdims=True)
+
+
+@kernel("Flatten")
+def _run_flatten(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    x = inputs[0]
+    return x.reshape(x.shape[0], -1)
+
+
+@kernel("Reshape")
+def _run_reshape(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0].reshape(node.attr("shape"))
+
+
+@kernel("Transpose")
+def _run_transpose(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    x = inputs[0]
+    perm = node.attr("perm", tuple(reversed(range(x.ndim))))
+    return np.transpose(x, perm)
+
+
+@kernel("Softmax")
+def _run_softmax(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    axis = node.attr("axis", -1)
+    x = inputs[0]
+    e = np.exp(x - x.max(axis=axis, keepdims=True))
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@kernel("Identity")
+def _run_identity(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return inputs[0]
+
+
+@kernel("Concat")
+def _run_concat(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return np.concatenate(inputs, axis=int(node.attr("axis")))
+
+
+@kernel("Slice")
+def _run_slice(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    x = inputs[0]
+    axis = int(node.attr("axis")) % x.ndim
+    index = [slice(None)] * x.ndim
+    index[axis] = slice(int(node.attr("start")), int(node.attr("end")))
+    return x[tuple(index)]
+
+
+@kernel("Pad")
+def _run_pad(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    return np.pad(inputs[0], tuple(node.attr("pads")))
+
+
+@kernel("ReduceMean")
+def _run_reduce_mean(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    axes = tuple(node.attr("axes"))
+    return inputs[0].mean(axis=axes, keepdims=bool(node.attr("keepdims", True)))
+
+
+def execute_node(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
+    """Execute a single node on concrete inputs."""
+    fn = KERNELS.get(node.op_type)
+    if fn is None:
+        raise NotImplementedError(f"no numpy kernel for op {node.op_type!r}")
+    return fn(node, [np.asarray(x, dtype=np.float32) for x in inputs])
+
+
+def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Run a graph on concrete inputs and return its output tensors.
+
+    ``feeds`` maps graph-input names to arrays; initializers come from
+    the graph itself.  Intermediate tensors are freed as soon as their
+    last consumer has run, so large transformed graphs stay cheap.
+    """
+    env: Env = {}
+    for name in graph.inputs:
+        if name not in feeds:
+            raise KeyError(f"missing feed for graph input {name!r}")
+        env[name] = np.asarray(feeds[name], dtype=np.float32)
+    for name, value in graph.initializers.items():
+        env[name] = np.asarray(value, dtype=np.float32)
+
+    order = graph.toposort()
+    remaining_uses: Dict[str, int] = {}
+    for n in order:
+        for t in n.inputs:
+            remaining_uses[t] = remaining_uses.get(t, 0) + 1
+
+    outputs: Dict[str, np.ndarray] = {}
+    keep = set(graph.outputs) | set(graph.initializers) | set(graph.inputs)
+    for n in order:
+        result = execute_node(n, [env[t] for t in n.inputs])
+        env[n.outputs[0]] = result
+        if n.outputs[0] in graph.outputs:
+            outputs[n.outputs[0]] = result
+        for t in n.inputs:
+            remaining_uses[t] -= 1
+            if remaining_uses[t] == 0 and t not in keep:
+                del env[t]
+    for t in graph.outputs:
+        if t in env:
+            outputs[t] = env[t]
+    return outputs

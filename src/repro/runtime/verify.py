@@ -1,0 +1,64 @@
+"""Equivalence checking between a model and its transformed graphs.
+
+The standard correctness instrument of the repository: feed both graphs
+identical random inputs and compare outputs in float32.  Used by the
+test suite, the examples, and available to users validating their own
+pass pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.runtime.numerical import execute
+
+
+class EquivalenceError(AssertionError):
+    """Raised when two graphs disagree beyond tolerance."""
+
+
+def random_feeds(graph: Graph, seed: int = 0,
+                 scale: float = 0.1) -> Dict[str, np.ndarray]:
+    """Deterministic random inputs for every graph input."""
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.standard_normal(graph.tensors[name].shape) * scale
+        for name in graph.inputs
+    }
+
+
+def verify_equivalence(reference: Graph, transformed: Graph,
+                       feeds: Optional[Dict[str, np.ndarray]] = None,
+                       rtol: float = 5e-3, atol: float = 5e-3,
+                       seed: int = 0) -> float:
+    """Assert both graphs compute the same outputs; returns max |error|.
+
+    ``transformed`` must consume the same graph inputs and produce the
+    same output tensor names as ``reference`` (the invariant every
+    PIMFlow pass maintains).
+    """
+    if set(transformed.inputs) != set(reference.inputs):
+        raise EquivalenceError(
+            f"input mismatch: {reference.inputs} vs {transformed.inputs}")
+    if set(transformed.outputs) != set(reference.outputs):
+        raise EquivalenceError(
+            f"output mismatch: {reference.outputs} vs {transformed.outputs}")
+    feeds = feeds or random_feeds(reference, seed=seed)
+    ref = execute(reference, feeds)
+    out = execute(transformed, feeds)
+    worst = 0.0
+    for name in ref:
+        a, b = ref[name], out[name]
+        if a.shape != b.shape:
+            raise EquivalenceError(
+                f"output {name!r} shape mismatch: {a.shape} vs {b.shape}")
+        err = float(np.max(np.abs(a - b))) if a.size else 0.0
+        worst = max(worst, err)
+        if not np.allclose(a, b, rtol=rtol, atol=atol):
+            raise EquivalenceError(
+                f"output {name!r} differs: max |error| = {err:.3e} "
+                f"(rtol={rtol}, atol={atol})")
+    return worst

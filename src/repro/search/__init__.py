@@ -1,0 +1,29 @@
+"""Execution mode and task size search (paper Section 4.2.2, Algorithm 1).
+
+Profiles every PIM-candidate layer at the configured split ratios and
+every pipelining candidate subgraph on the simulators, records the
+measurements in a table, and solves for the optimal per-node execution
+mode with dynamic programming.
+"""
+
+from repro.search.profiler import (
+    extract_subgraph,
+    profile_pipeline,
+    profile_split,
+)
+from repro.search.table import MeasurementTable, RegionMeasurement
+from repro.search.solver import Decision, solve
+from repro.search.apply import apply_decisions
+from repro.search.refine import refine_decisions
+
+__all__ = [
+    "extract_subgraph",
+    "profile_split",
+    "profile_pipeline",
+    "MeasurementTable",
+    "RegionMeasurement",
+    "Decision",
+    "solve",
+    "apply_decisions",
+    "refine_decisions",
+]

@@ -1,0 +1,35 @@
+"""Apply solver decisions to a model graph."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.graph import Graph
+from repro.search.solver import Decision
+from repro.transform.memopt import optimize_memory
+from repro.transform.pipeline import pipeline_chain
+from repro.transform.split import apply_mddp
+
+
+def apply_decisions(graph: Graph, decisions: Sequence[Decision]) -> Graph:
+    """Transform ``graph`` according to the solver's decisions.
+
+    Decisions cover disjoint node regions, so they are applied
+    sequentially; names of untouched nodes are stable across passes.
+    The memory-layout optimizer runs last so every Slice/Concat the
+    transformations introduced is elision-checked.
+    """
+    g = graph
+    for d in decisions:
+        if d.mode == "gpu":
+            g = g.clone()
+            for name in d.nodes:
+                g.node(name).device = "gpu"
+        elif d.mode == "split":
+            assert len(d.nodes) == 1, "split decisions cover exactly one node"
+            g = apply_mddp(g, d.nodes[0], d.ratio_gpu)
+        elif d.mode == "pipeline":
+            g = pipeline_chain(g, list(d.nodes), num_stages=d.stages)
+        else:
+            raise ValueError(f"unknown decision mode {d.mode!r}")
+    return optimize_memory(g)

@@ -1,0 +1,97 @@
+"""Hardware-measurement-based profiling of execution modes.
+
+For each PIM-candidate layer, the profiler extracts the layer into an
+isolated region graph, applies the MD-DP transformation at each split
+ratio (the original graph serves for the 0/100 and 100/0 samples, as in
+the paper), runs the memory-layout optimizer, and measures the region
+makespan on the simulators.  Pipelining candidates are measured the
+same way on their extracted chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.runtime.engine import ExecutionEngine
+from repro.transform.base import TransformError
+from repro.transform.memopt import optimize_memory
+from repro.transform.pipeline import pipeline_chain
+from repro.transform.split import apply_mddp
+
+
+def extract_subgraph(graph: Graph, node_names: Sequence[str]) -> Graph:
+    """Isolate ``node_names`` into a standalone region graph.
+
+    Tensors consumed from outside the region become graph inputs;
+    initializers are carried over; tensors produced in the region and
+    consumed outside (or that are graph outputs) become outputs.
+    """
+    wanted = set(node_names)
+    region = Graph(f"{graph.name}__region")
+    produced = set()
+    for node in graph.toposort():
+        if node.name not in wanted:
+            continue
+        for t in node.inputs:
+            if t in graph.initializers:
+                if t not in region.tensors:
+                    region.add_initializer(t, graph.initializers[t],
+                                           graph.tensors[t].dtype)
+            elif t not in produced and t not in region.inputs:
+                region.add_tensor(graph.tensors[t])
+                region.inputs.append(t)
+        for t in node.outputs:
+            region.add_tensor(graph.tensors[t])
+            produced.add(t)
+        region.add_node(node.clone())
+    if len(region.nodes) != len(wanted):
+        missing = wanted - {n.name for n in region.nodes}
+        raise KeyError(f"nodes not found in graph: {sorted(missing)}")
+    for node in region.nodes:
+        for t in node.outputs:
+            consumers_outside = any(
+                t in c.inputs for c in graph.nodes if c.name not in wanted)
+            if consumers_outside or t in graph.outputs:
+                region.outputs.append(t)
+    if not region.outputs:
+        region.outputs.append(region.nodes[-1].outputs[0])
+    return region
+
+
+def profile_split(graph: Graph, node_name: str, engine: ExecutionEngine,
+                  ratios: Iterable[float]) -> Dict[float, float]:
+    """Region makespan (us) of ``node_name`` at each GPU split ratio."""
+    region = extract_subgraph(graph, [node_name])
+    results: Dict[float, float] = {}
+    for ratio in ratios:
+        try:
+            transformed = optimize_memory(apply_mddp(region, node_name, ratio))
+        except TransformError:
+            # Interior ratio not realizable for this layer (e.g. halo
+            # consumes a piece, or non-constant FC weights); the 0/100
+            # and 100/0 samples always succeed.
+            continue
+        results[ratio] = engine.run(transformed).makespan_us
+    return results
+
+
+def profile_pipeline(graph: Graph, chain: Sequence[str], engine: ExecutionEngine,
+                     num_stages: int = 2) -> Optional[float]:
+    """Region makespan (us) of a pipelined chain, or None if unsplittable."""
+    region = extract_subgraph(graph, chain)
+    try:
+        transformed = optimize_memory(
+            pipeline_chain(region, chain, num_stages=num_stages))
+    except TransformError:
+        return None
+    return engine.run(transformed).makespan_us
+
+
+def profile_gpu(graph: Graph, node_names: Sequence[str],
+                engine: ExecutionEngine) -> float:
+    """Region makespan of nodes executed GPU-only (no transformation)."""
+    region = extract_subgraph(graph, node_names)
+    for node in region.nodes:
+        node.device = "gpu"
+    return engine.run(region).makespan_us

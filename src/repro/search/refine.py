@@ -1,0 +1,69 @@
+"""Makespan-aware refinement of solver decisions (paper Section 9).
+
+Algorithm 1 assumes region times compose additively, which ignores
+cross-region device overlap in the final schedule.  The paper leaves
+"an auto-tuning approach to our execution mode and task size search"
+as future work; this module implements a simple variant: hill-climbing
+over the per-node split ratios, evaluating every candidate by running
+the *whole transformed model* through the execution engine and keeping
+changes that reduce the true makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.runtime.engine import ExecutionEngine
+from repro.search.apply import apply_decisions
+from repro.search.solver import Decision
+
+
+def _with_ratio(decisions: Sequence[Decision], index: int,
+                ratio: float) -> List[Decision]:
+    out = list(decisions)
+    d = out[index]
+    if ratio <= 0.0:
+        ratio = 0.0
+    if ratio >= 1.0:
+        ratio = 1.0
+    out[index] = Decision(nodes=d.nodes, mode="split", time_us=d.time_us,
+                          ratio_gpu=round(ratio, 4), stages=d.stages)
+    return out
+
+
+def refine_decisions(graph: Graph, decisions: Sequence[Decision],
+                     engine: ExecutionEngine, step: float = 0.1,
+                     rounds: int = 2) -> Tuple[List[Decision], float]:
+    """Hill-climb split ratios against the true engine makespan.
+
+    Returns the refined decisions and the final makespan.  Each round
+    perturbs every split decision by ±``step`` and keeps improvements;
+    stops early when a round changes nothing.  Non-split decisions are
+    left untouched — their structure came from the DP and re-deriving
+    it is the DP's job.
+    """
+    current = list(decisions)
+    best_time = engine.run(apply_decisions(graph, current)).makespan_us
+
+    for _ in range(rounds):
+        improved = False
+        for i, d in enumerate(current):
+            if d.mode != "split" or d.ratio_gpu is None:
+                continue
+            for delta in (-step, step):
+                ratio = d.ratio_gpu + delta
+                if not 0.0 <= ratio <= 1.0:
+                    continue
+                candidate = _with_ratio(current, i, ratio)
+                time_us = engine.run(
+                    apply_decisions(graph, candidate)).makespan_us
+                if time_us < best_time - 1e-9:
+                    best_time = time_us
+                    current = candidate
+                    d = current[i]
+                    improved = True
+        if not improved:
+            break
+    return current, best_time

@@ -1,0 +1,72 @@
+"""Dynamic-programming solve of Algorithm 1 (lines 23-28).
+
+Given the measurement table over a topologically sorted node sequence,
+computes the minimum total time assignment of execution modes, where a
+region of ``span`` nodes starting at position ``i`` can be covered by
+any measured option for that region.  Region times compose additively —
+regions are serialized at their dataflow boundaries, exactly the
+assumption the paper's DP makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.search.table import MeasurementTable, RegionMeasurement
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One region's chosen execution mode."""
+
+    nodes: Tuple[str, ...]
+    mode: str                      # "gpu" | "split" | "pipeline"
+    time_us: float
+    ratio_gpu: Optional[float] = None
+    stages: int = 2
+
+
+def solve(order: Sequence[str], table: MeasurementTable) -> Tuple[float, List[Decision]]:
+    """Optimal total time and per-region decisions.
+
+    ``order`` is the topologically sorted node-name sequence of the
+    model graph.  Every position must have at least a span-1
+    measurement (the GPU fallback); pipeline options are only used when
+    their measured chain matches the order slice exactly.
+    """
+    n = len(order)
+    best = [float("inf")] * (n + 1)
+    best[n] = 0.0
+    choice: List[Optional[RegionMeasurement]] = [None] * n
+
+    for i in range(n - 1, -1, -1):
+        start = order[i]
+        for span in table.spans_at(start):
+            if i + span > n:
+                continue
+            for meas in table.options(start, span):
+                if meas.chain and tuple(order[i:i + span]) != meas.chain:
+                    continue
+                total = meas.time_us + best[i + span]
+                if total < best[i]:
+                    best[i] = total
+                    choice[i] = meas
+                break  # options are sorted; only the best valid one matters
+        if choice[i] is None:
+            raise ValueError(
+                f"no measurement covers node {start!r}; profile it first")
+
+    decisions: List[Decision] = []
+    i = 0
+    while i < n:
+        meas = choice[i]
+        decisions.append(Decision(
+            nodes=tuple(order[i:i + meas.span]),
+            mode=meas.mode,
+            time_us=meas.time_us,
+            ratio_gpu=meas.ratio_gpu,
+            stages=meas.stages,
+        ))
+        i += meas.span
+    return best[0], decisions

@@ -1,0 +1,114 @@
+"""Measurement table ``T`` of Algorithm 1, with on-disk persistence.
+
+The search phase runs once per model prior to compilation; results are
+stored as a metadata log (JSON) so later compilations can skip straight
+to the solve step, mirroring the artifact workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class RegionMeasurement:
+    """One measured execution option for a region of the graph.
+
+    ``start`` is the first node of the region in topological order and
+    ``span`` the number of consecutive nodes covered.  ``mode`` is one
+    of ``"gpu"`` (no transformation), ``"split"`` (MD-DP at
+    ``ratio_gpu``; 0.0 means full PIM offload), or ``"pipeline"``
+    (chain pipelined with ``stages`` stages).
+    """
+
+    start: str
+    span: int
+    mode: str
+    time_us: float
+    ratio_gpu: Optional[float] = None
+    chain: Tuple[str, ...] = ()
+    stages: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("gpu", "split", "pipeline"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mode == "split" and self.ratio_gpu is None:
+            raise ValueError("split measurements need a ratio_gpu")
+        if self.mode == "pipeline" and len(self.chain) != self.span:
+            raise ValueError("pipeline measurements need chain == span nodes")
+
+
+class MeasurementTable:
+    """All measured options, indexed by (start node, span)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int], List[RegionMeasurement]] = {}
+
+    def add(self, measurement: RegionMeasurement) -> None:
+        key = (measurement.start, measurement.span)
+        self._entries.setdefault(key, []).append(measurement)
+
+    def options(self, start: str, span: int) -> List[RegionMeasurement]:
+        """All measurements for a region, best first."""
+        return sorted(self._entries.get((start, span), []),
+                      key=lambda m: m.time_us)
+
+    def best(self, start: str, span: int) -> Optional[RegionMeasurement]:
+        opts = self.options(start, span)
+        return opts[0] if opts else None
+
+    def spans_at(self, start: str) -> List[int]:
+        """Region lengths measured from ``start``."""
+        return sorted(span for (s, span) in self._entries if s == start)
+
+    def all_measurements(self) -> List[RegionMeasurement]:
+        """Every measurement, in insertion order per region."""
+        return [m for group in self._entries.values() for m in group]
+
+    def merge(self, other: "MeasurementTable") -> None:
+        """Absorb another table's measurements."""
+        for m in other.all_measurements():
+            self.add(m)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Persistence (the paper's metadata log file)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "entries": [
+                {
+                    "start": m.start,
+                    "span": m.span,
+                    "mode": m.mode,
+                    "time_us": m.time_us,
+                    "ratio_gpu": m.ratio_gpu,
+                    "chain": list(m.chain),
+                    "stages": m.stages,
+                }
+                for group in self._entries.values()
+                for m in group
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeasurementTable":
+        table = cls()
+        for e in data["entries"]:
+            table.add(RegionMeasurement(
+                start=e["start"], span=e["span"], mode=e["mode"],
+                time_us=e["time_us"], ratio_gpu=e.get("ratio_gpu"),
+                chain=tuple(e.get("chain", ())), stages=e.get("stages", 2)))
+        return table
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MeasurementTable":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,72 @@
+"""Shared helpers for the transformation passes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+
+
+class TransformError(ValueError):
+    """Raised when a pass cannot be applied to the requested nodes."""
+
+
+class UnsplittableError(TransformError):
+    """Raised when a requested split would produce an empty piece."""
+
+
+def conv_h_window(o0: int, o1: int, kernel: int, stride: int, pad_top: int,
+                  in_h: int) -> Tuple[int, int, int, int]:
+    """Input window along H for output rows ``[o0, o1)`` of a convolution.
+
+    Returns ``(in_start, in_end, new_pad_top, new_pad_bottom)`` such
+    that convolving ``input[in_start:in_end]`` with pads
+    ``(new_pad_top, new_pad_bottom)`` produces exactly the requested
+    output rows.  This is the halo math behind both the MD-DP split and
+    the pipelining pass: interior boundaries use overlapping input rows
+    instead of padding.
+    """
+    if not 0 <= o0 < o1:
+        raise UnsplittableError(f"invalid output range [{o0}, {o1})")
+    in_start = max(0, o0 * stride - pad_top)
+    in_end = min(in_h, (o1 - 1) * stride + kernel - pad_top)
+    new_pad_top = max(0, pad_top - o0 * stride)
+    new_pad_bottom = max(0, (o1 - 1) * stride + kernel - pad_top - in_h)
+    if in_end <= in_start:
+        raise UnsplittableError(
+            f"output rows [{o0}, {o1}) read no real input rows "
+            f"(kernel={kernel}, stride={stride}, pad_top={pad_top}, h={in_h})")
+    return in_start, in_end, new_pad_top, new_pad_bottom
+
+
+def input_rows_needed(o_end: int, kernel: int, stride: int, pad_top: int,
+                      in_h: int) -> int:
+    """Input rows ``[0, result)`` needed to produce output rows ``[0, o_end)``."""
+    if o_end <= 0:
+        return 0
+    return min(in_h, (o_end - 1) * stride + kernel - pad_top)
+
+
+def single_consumer_chain(graph: Graph, names) -> None:
+    """Validate that ``names`` form a straight-line single-consumer chain."""
+    for i, name in enumerate(names):
+        node = graph.node(name)
+        if i + 1 < len(names):
+            nxt = graph.node(names[i + 1])
+            out = node.outputs[0]
+            consumers = graph.consumers(out)
+            if len(consumers) != 1 or consumers[0].name != nxt.name:
+                raise TransformError(
+                    f"node {name!r} output must feed exactly {names[i + 1]!r} "
+                    f"(found consumers {[c.name for c in consumers]})")
+            if out not in nxt.inputs:
+                raise TransformError(f"{names[i + 1]!r} does not consume {name!r}")
+        if node.outputs[0] in graph.outputs and i + 1 < len(names):
+            raise TransformError(
+                f"intermediate node {name!r} is a graph output; cannot pipeline")
+
+
+def rename_output(node: Node, old: str, new: str) -> None:
+    """Replace an output tensor name in-place."""
+    node.outputs = [new if t == old else t for t in node.outputs]

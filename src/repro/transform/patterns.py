@@ -1,0 +1,102 @@
+"""Pipelining candidate subgraph detection (paper Sections 4.2.2, 5).
+
+The paper identifies sequences of 1x1 and depthwise convolutions as the
+frequent and promising subgraph patterns; the evaluated patterns are
+``1x1-DW`` (Type 1), ``DW-1x1`` (Type 2) and ``1x1-DW-1x1`` (Type 3),
+with DW layers on GPU and 1x1 layers on DRAM-PIM.  In real model
+graphs the convolutions are separated by lightweight row-local ops
+(batchnorm, activations), which are absorbed into the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.ops import is_depthwise
+from repro.transform.pipeline import ROW_LOCAL_OPS
+
+
+@dataclass(frozen=True)
+class PipelinePattern:
+    """One pipelining candidate: a chain of node names and its type."""
+
+    kind: str                  # "1x1-dw" | "dw-1x1" | "1x1-dw-1x1"
+    chain: Tuple[str, ...]     # full node chain including row-local ops
+    convs: Tuple[str, ...]     # just the convolution anchors
+
+
+def _conv_kind(node: Node, graph: Graph) -> Optional[str]:
+    """"pw" for pointwise, "dw" for depthwise, None otherwise."""
+    if node.op_type != "Conv":
+        return None
+    in_shape = graph.tensors[node.inputs[0]].shape
+    if is_depthwise(node, [in_shape]):
+        return "dw"
+    kh, kw = node.attr("kernel_shape")
+    if kh == 1 and kw == 1 and int(node.attr("group", 1)) == 1:
+        return "pw"
+    return None
+
+
+def _walk_to_next_conv(graph: Graph, node: Node) -> Optional[List[Node]]:
+    """Follow single-consumer row-local ops to the next Conv.
+
+    Returns the intermediate nodes plus the terminating Conv, or None
+    if the chain branches, ends, or hits a non-pipelinable op first.
+    """
+    path: List[Node] = []
+    current = node
+    while True:
+        out = current.outputs[0]
+        if out in graph.outputs:
+            return None
+        consumers = graph.consumers(out)
+        if len(consumers) != 1:
+            return None
+        nxt = consumers[0]
+        if nxt.op_type == "Conv":
+            path.append(nxt)
+            return path
+        if nxt.op_type in ROW_LOCAL_OPS and len(graph.tensors[nxt.outputs[0]].shape) == 4:
+            path.append(nxt)
+            current = nxt
+            continue
+        return None
+
+
+def find_pipeline_candidates(graph: Graph) -> List[PipelinePattern]:
+    """All pattern matches in the graph, longest (Type 3) included.
+
+    Matches may share nodes; the execution-mode search measures each
+    and the DP solver picks a non-overlapping assignment.
+    """
+    patterns: List[PipelinePattern] = []
+    for node in graph.toposort():
+        first = _conv_kind(node, graph)
+        if first is None:
+            continue
+        hop1 = _walk_to_next_conv(graph, node)
+        if hop1 is None:
+            continue
+        second_conv = hop1[-1]
+        second = _conv_kind(second_conv, graph)
+        chain12 = (node.name,) + tuple(n.name for n in hop1)
+
+        if first == "pw" and second == "dw":
+            patterns.append(PipelinePattern(
+                kind="1x1-dw", chain=chain12,
+                convs=(node.name, second_conv.name)))
+            hop2 = _walk_to_next_conv(graph, second_conv)
+            if hop2 is not None and _conv_kind(hop2[-1], graph) == "pw":
+                chain123 = chain12 + tuple(n.name for n in hop2)
+                patterns.append(PipelinePattern(
+                    kind="1x1-dw-1x1", chain=chain123,
+                    convs=(node.name, second_conv.name, hop2[-1].name)))
+        elif first == "dw" and second == "pw":
+            patterns.append(PipelinePattern(
+                kind="dw-1x1", chain=chain12,
+                convs=(node.name, second_conv.name)))
+    return patterns

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_conv_graph():
+    """A single 3x3 conv with ReLU on a 14x14x8 input."""
+    b = GraphBuilder("small", seed=5)
+    x = b.input("x", (1, 14, 14, 8))
+    y = b.conv(x, cout=16, kernel=3, name="c0")
+    y = b.relu(y, name="r0")
+    b.output(y)
+    return b.build()
+
+
+@pytest.fixture
+def pointwise_chain_graph():
+    """1x1 -> relu -> dw -> relu -> 1x1 chain (pipelining testbed)."""
+    b = GraphBuilder("chain", seed=6)
+    x = b.input("x", (1, 14, 14, 8))
+    y = b.conv(x, cout=16, kernel=1, name="pw1")
+    y = b.relu(y, name="act1")
+    y = b.dwconv(y, kernel=3, name="dw1")
+    y = b.relu(y, name="act2")
+    y = b.conv(y, cout=8, kernel=1, name="pw2")
+    b.output(y)
+    return b.build()
+
+
+@pytest.fixture
+def fc_graph():
+    """A single fully-connected layer, batch 1."""
+    b = GraphBuilder("fc", seed=7)
+    x = b.input("x", (1, 64))
+    y = b.gemm(x, 48, name="fc0")
+    b.output(y)
+    return b.build()

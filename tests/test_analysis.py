@@ -1,0 +1,95 @@
+"""Tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    arithmetic_intensities,
+    conv_only_graph,
+    op_category,
+    runtime_breakdown,
+)
+from repro.analysis.ratios import candidate_layer_names, mddp_ratio_distribution
+from repro.gpu.device import GpuDevice
+from repro.models import build_model
+from repro.search.solver import Decision
+
+
+class TestCategories:
+    def test_category_labels(self, pointwise_chain_graph):
+        g = pointwise_chain_graph
+        assert op_category(g.node("pw1"), g) == "conv1x1"
+        assert op_category(g.node("dw1"), g) == "dwconv"
+        assert op_category(g.node("act1"), g) == "other"
+
+    def test_breakdown_sums_to_total(self, pointwise_chain_graph):
+        gpu = GpuDevice()
+        breakdown = runtime_breakdown(pointwise_chain_graph, gpu)
+        total = gpu.run_graph(pointwise_chain_graph).time_us
+        assert sum(breakdown.values()) == pytest.approx(total)
+
+    def test_mobilenet_dominated_by_conv(self):
+        """Fig. 1 left: convolution layers dominate CNN inference."""
+        from repro.transform.fusion import fuse
+        g = fuse(build_model("mobilenet-v2"))
+        breakdown = runtime_breakdown(g, GpuDevice())
+        conv_time = breakdown.get("conv1x1", 0) + breakdown.get("conv", 0) \
+            + breakdown.get("dwconv", 0)
+        assert conv_time > 0.6 * sum(breakdown.values())
+
+
+class TestArithmeticIntensity:
+    def test_pointwise_lower_than_3x3(self):
+        """Fig. 1 right: 1x1 convs sit at much lower intensity."""
+        g = build_model("resnet-50")
+        ai = dict(arithmetic_intensities(g))
+        pw = [v for k, v in ai.items() if "reduce" in k or "expand" in k]
+        k3 = [v for k, v in ai.items() if "conv3x3" in k]
+        assert sum(pw) / len(pw) < sum(k3) / len(k3)
+
+    def test_all_convs_included(self):
+        g = build_model("vgg-16")
+        assert len(arithmetic_intensities(g)) == 13
+
+
+class TestConvOnlyGraph:
+    def test_contains_only_candidates(self):
+        g = build_model("mobilenet-v2")
+        region = conv_only_graph(g)
+        region.validate()
+        assert all(n.op_type == "Conv" for n in region.nodes)
+        assert all(int(n.attr("group", 1)) == 1 for n in region.nodes)
+
+    def test_rejects_graph_without_convs(self, fc_graph):
+        with pytest.raises(ValueError):
+            conv_only_graph(fc_graph)
+
+
+class TestRatioDistribution:
+    def test_distribution_sums_to_one(self):
+        decisions = [
+            Decision(("a",), "split", 1.0, ratio_gpu=0.0),
+            Decision(("b",), "split", 1.0, ratio_gpu=0.5),
+            Decision(("c",), "split", 1.0, ratio_gpu=0.5),
+            Decision(("d",), "gpu", 1.0),
+        ]
+        dist = mddp_ratio_distribution(decisions, candidates={"a", "b", "c", "d"})
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist[0] == pytest.approx(0.25)
+        assert dist[50] == pytest.approx(0.5)
+        assert dist[100] == pytest.approx(0.25)
+
+    def test_non_candidate_gpu_excluded(self):
+        decisions = [
+            Decision(("a",), "split", 1.0, ratio_gpu=0.0),
+            Decision(("relu",), "gpu", 1.0),
+        ]
+        dist = mddp_ratio_distribution(decisions, candidates={"a"})
+        assert dist[0] == pytest.approx(1.0)
+        assert dist[100] == 0.0
+
+    def test_empty(self):
+        assert sum(mddp_ratio_distribution([], set()).values()) == 0.0
+
+    def test_candidate_names(self, pointwise_chain_graph):
+        names = candidate_layer_names(pointwise_chain_graph)
+        assert names == {"pw1", "pw2"}

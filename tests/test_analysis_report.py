@@ -1,0 +1,62 @@
+"""Tests for the compilation report."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import compilation_report, format_report
+from repro.models import build_model
+from repro.pimflow import PimFlow, PimFlowConfig
+
+
+@pytest.fixture(scope="module")
+def compiled_run():
+    flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+    compiled = flow.compile(build_model("toy"))
+    result = flow.engine.run(compiled.graph)
+    return compiled, result
+
+
+class TestReport:
+    def test_counts_consistent(self, compiled_run):
+        compiled, result = compiled_run
+        report = compilation_report(compiled, result)
+        counts = report["decision_counts"]
+        assert (counts["gpu"] + counts["split"] + counts["full_offload"]
+                + counts["pipeline"]) == len(compiled.decisions)
+
+    def test_timings_present(self, compiled_run):
+        compiled, result = compiled_run
+        report = compilation_report(compiled, result)
+        assert report["makespan_us"] == pytest.approx(result.makespan_us)
+        assert report["energy"]["total_mj"] > 0
+
+    def test_json_serializable(self, compiled_run):
+        report = compilation_report(*compiled_run)
+        json.dumps(report)  # must not raise
+
+    def test_format_lines(self, compiled_run):
+        report = compilation_report(*compiled_run)
+        lines = format_report(report)
+        assert any("decisions:" in line for line in lines)
+        assert any("energy" in line for line in lines)
+
+    def test_region_truncation(self, compiled_run):
+        report = compilation_report(*compiled_run)
+        lines = format_report(report, max_regions=1)
+        non_gpu = [r for r in report["regions"] if r["mode"] != "gpu"]
+        if len(non_gpu) > 1:
+            assert any("..." in line for line in lines)
+
+
+class TestNewtonMechanism:
+    def test_newton_slower_than_newton_plus(self):
+        """The original Newton's coarse g_act scheduling costs it."""
+        model = build_model("toy")
+        newton = PimFlow(PimFlowConfig(mechanism="newton")).run(model)
+        plus = PimFlow(PimFlowConfig(mechanism="newton+")).run(model)
+        assert plus.makespan_us <= newton.makespan_us + 1e-6
+
+    def test_newton_policy_in_cli(self):
+        from repro.cli import POLICIES
+        assert POLICIES["Newton"] == "newton"

@@ -1,0 +1,43 @@
+"""Tests for the design-space sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    channel_split_sweep,
+    mechanism_comparison,
+    stage_count_sweep,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return build_model("toy")
+
+
+class TestMechanismComparison:
+    def test_rows_complete(self, toy):
+        rows = mechanism_comparison(toy, mechanisms=("gpu", "newton++",
+                                                     "pimflow"))
+        assert set(rows) == {"gpu", "newton++", "pimflow"}
+        for row in rows.values():
+            assert row["time_us"] > 0
+            assert row["energy_mj"] > 0
+
+    def test_speedup_normalized_to_first(self, toy):
+        rows = mechanism_comparison(toy, mechanisms=("gpu", "pimflow"))
+        assert rows["gpu"]["speedup"] == pytest.approx(1.0)
+        assert rows["pimflow"]["speedup"] > 0
+
+
+class TestChannelSplitSweep:
+    def test_sweep_shape(self, toy):
+        sweep = channel_split_sweep(toy, (8, 16, 24))
+        assert set(sweep) == {8, 16, 24}
+        assert all(v > 0 for v in sweep.values())
+
+
+class TestStageCountSweep:
+    def test_two_stages_best_or_equal(self, toy):
+        sweep = stage_count_sweep(toy, (2, 4))
+        assert sweep[2] <= sweep[4] * 1.05

@@ -1,0 +1,96 @@
+"""Tests for the artifact-style CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import POLICIES, _preprocess_argv, main
+
+
+class TestArgvPreprocessing:
+    def test_single_dash_equals_split(self):
+        assert _preprocess_argv(["-m=profile", "-n=toy"]) == \
+            ["-m", "profile", "-n", "toy"]
+
+    def test_double_dash_untouched(self):
+        assert _preprocess_argv(["--policy=PIMFlow"]) == ["--policy=PIMFlow"]
+
+    def test_plain_args_untouched(self):
+        assert _preprocess_argv(["-m", "run"]) == ["-m", "run"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["-m=list"]) == 0
+        out = capsys.readouterr().out
+        assert "toy" in out and "resnet-50" in out
+
+    def test_unknown_net(self, capsys):
+        assert main(["-m=run", "-n=lenet"]) == 2
+
+    def test_full_workflow(self, tmp_path, capsys):
+        workdir = str(tmp_path / "out")
+        base = ["-n=toy", f"--workdir={workdir}"]
+        assert main(["-m=profile", "-t=split"] + base) == 0
+        assert main(["-m=profile", "-t=pipeline"] + base) == 0
+        assert main(["-m=solve"] + base) == 0
+        assert main(["-m=run", "--gpu_only"] + base) == 0
+        assert main(["-m=run"] + base) == 0
+        out = capsys.readouterr().out
+        assert "GPU baseline" in out
+        assert "PIMFlow" in out
+
+        summary = json.loads(
+            (tmp_path / "out" / "toy" / "solve_summary.json").read_text())
+        assert summary["predicted_time_us"] > 0
+        assert summary["decisions"]
+
+    def test_run_without_profiles_compiles_inline(self, tmp_path, capsys):
+        assert main(["-m=run", "-n=toy",
+                     f"--workdir={tmp_path / 'fresh'}"]) == 0
+
+    def test_policies_cover_evaluated_mechanisms(self):
+        assert set(POLICIES) == {"Newton", "Newton+", "Newton++", "MDDP",
+                                 "Pipeline", "PIMFlow"}
+
+    def test_policy_run(self, tmp_path, capsys):
+        assert main(["-m=run", "-n=toy", "--policy=Newton++",
+                     f"--workdir={tmp_path}"]) == 0
+        assert "Newton++" in capsys.readouterr().out
+
+    def test_stat(self, tmp_path, capsys):
+        assert main(["-m=stat", "-n=toy", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "Split ratio to GPU" in out
+
+    def test_custom_channels(self, tmp_path, capsys):
+        assert main(["-m=run", "-n=toy", "--pim_channels=8",
+                     f"--workdir={tmp_path}"]) == 0
+
+    def test_trace_default_layer(self, tmp_path, capsys):
+        assert main(["-m=trace", "-n=toy", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "commands" in out and "cycles" in out
+        traces = list((tmp_path / "toy").glob("trace_*.json"))
+        assert len(traces) == 1
+
+    def test_trace_named_layer(self, tmp_path, capsys):
+        assert main(["-m=trace", "-n=toy", "--layer=b0_expand",
+                     f"--workdir={tmp_path}"]) == 0
+        assert "b0_expand" in capsys.readouterr().out
+
+    def test_trace_unknown_layer(self, tmp_path, capsys):
+        assert main(["-m=trace", "-n=toy", "--layer=nope",
+                     f"--workdir={tmp_path}"]) == 2
+
+    def test_report(self, tmp_path, capsys):
+        assert main(["-m=report", "-n=toy", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions:" in out
+        assert "schedule" in out
+        assert "GPU" in out and "PIM" in out
+
+    def test_report_policy(self, tmp_path, capsys):
+        assert main(["-m=report", "-n=toy", "--policy=Newton++",
+                     f"--workdir={tmp_path}"]) == 0
+        assert "Newton++" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the PIM command generator."""
+
+import math
+
+import pytest
+
+from repro.codegen.generator import (
+    CommandBudgetError,
+    generate_trace,
+    tile_program,
+)
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import tile_over_channels
+from repro.pim.commands import CmdKind
+from repro.pim.config import (
+    NEWTON_PLUS,
+    NEWTON_PLUS_PLUS,
+    PimConfig,
+    PimOptimizations,
+)
+from repro.pim.cost import gemv_cost
+
+CFG = PimConfig()
+
+
+def _gemv(rows=32, k=128, n=64, strided=False, contiguous_k=None):
+    return LoweredGemv(rows=rows, k=k, n=n,
+                       contiguous_k=contiguous_k or (16 if strided else k),
+                       strided=strided)
+
+
+def _count(program, kind):
+    return sum(1 for c in program if c.kind is kind)
+
+
+class TestProgramStructure:
+    def test_program_order(self):
+        gemv = _gemv(rows=4)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        prog = tile_program(tiles[0], gemv, CFG, NEWTON_PLUS)
+        kinds = [c.kind for c in prog]
+        assert kinds[0] is CmdKind.GWRITE
+        assert kinds[-1] is CmdKind.READRES
+
+    def test_comp_count_one_per_vector(self):
+        gemv = _gemv(rows=10, k=2048, n=16)  # no packing (k == capacity)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        prog = tile_program(tiles[0], gemv, CFG, NEWTON_PLUS)
+        assert _count(prog, CmdKind.COMP) == 10
+
+    def test_readres_batched_per_group(self):
+        gemv = _gemv(rows=64, k=512, n=16)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        opts = PimOptimizations(num_gwrite_buffers=4)
+        prog = tile_program(tiles[0], gemv, CFG, opts)
+        groups = math.ceil(64 / 4)
+        assert _count(prog, CmdKind.READRES) == groups
+
+    def test_one_gact_per_group(self):
+        gemv = _gemv(rows=100, k=32, n=16)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        prog = tile_program(tiles[0], gemv, CFG, NEWTON_PLUS)
+        assert _count(prog, CmdKind.G_ACT) == 100  # nb=1: group == vector
+        prog4 = tile_program(tiles[0], gemv, CFG,
+                             PimOptimizations(num_gwrite_buffers=4))
+        assert _count(prog4, CmdKind.G_ACT) == 25
+
+    def test_strided_without_extension_explodes_gwrites(self):
+        gemv = _gemv(rows=8, k=144, n=16, strided=True, contiguous_k=16)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        base = tile_program(tiles[0], gemv, CFG,
+                            PimOptimizations(strided_gwrite=False))
+        ext = tile_program(tiles[0], gemv, CFG,
+                           PimOptimizations(strided_gwrite=True))
+        assert _count(base, CmdKind.GWRITE) > _count(ext, CmdKind.GWRITE)
+        # The strided command records its gathered segments.
+        strided_cmds = [c for c in ext if c.kind is CmdKind.GWRITE]
+        assert all(c.segments > 1 for c in strided_cmds)
+
+    def test_gwrite_width_respects_buffers(self):
+        gemv = _gemv(rows=64, k=2048, n=16)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        for nb in (1, 2, 4):
+            prog = tile_program(tiles[0], gemv, CFG,
+                                PimOptimizations(num_gwrite_buffers=nb))
+            widths = {c.width for c in prog if c.kind is CmdKind.GWRITE}
+            assert max(widths) <= nb
+
+
+class TestStatsAgreement:
+    """Explicit traces and the closed form must count the same events."""
+
+    @pytest.mark.parametrize("opts", [NEWTON_PLUS, NEWTON_PLUS_PLUS])
+    @pytest.mark.parametrize("rows,k,n,strided", [
+        (16, 128, 64, False), (64, 512, 8, False), (10, 2048, 100, False),
+        (32, 144, 32, True),
+    ])
+    def test_command_counts_match(self, opts, rows, k, n, strided):
+        gemv = _gemv(rows=rows, k=k, n=n, strided=strided)
+        trace = generate_trace(gemv, CFG, opts)
+        counts = trace.counts()
+        cost = gemv_cost(gemv, CFG, opts)
+        assert counts.get("G_ACT", 0) == cost.activations
+        gw_cmds = sum(t.gwrite_commands for t in cost.tiles)
+        rr_cmds = sum(t.readres_commands for t in cost.tiles)
+        assert counts.get("GWRITE", 0) == gw_cmds
+        assert counts.get("READRES", 0) == rr_cmds
+
+    def test_bytes_match(self):
+        gemv = _gemv(rows=20, k=256, n=48)
+        trace = generate_trace(gemv, CFG, NEWTON_PLUS_PLUS)
+        cost = gemv_cost(gemv, CFG, NEWTON_PLUS_PLUS)
+        gw_bytes = sum(c.bytes for prog in trace.programs.values()
+                       for c in prog if c.kind is CmdKind.GWRITE)
+        rr_bytes = sum(c.bytes for prog in trace.programs.values()
+                       for c in prog if c.kind is CmdKind.READRES)
+        assert gw_bytes == cost.gwrite_bytes
+        assert rr_bytes == cost.readres_bytes
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        gemv = _gemv(rows=100000, k=2048, n=16)
+        with pytest.raises(CommandBudgetError):
+            generate_trace(gemv, CFG, NEWTON_PLUS, max_commands=100)

@@ -1,0 +1,60 @@
+"""Tests for the energy models."""
+
+import pytest
+
+from repro.energy.accumulator import EnergyBreakdown
+from repro.energy.constants import GpuEnergyModel, PimEnergyModel
+
+
+class TestGpuEnergy:
+    def test_dynamic_scales_with_work(self):
+        m = GpuEnergyModel()
+        assert m.dynamic_mj(2e9, 1e6) > m.dynamic_mj(1e9, 1e6)
+        assert m.dynamic_mj(1e9, 2e6) > m.dynamic_mj(1e9, 1e6)
+
+    def test_static_scales_with_time(self):
+        m = GpuEnergyModel()
+        assert m.static_mj(200.0) == pytest.approx(2 * m.static_mj(100.0))
+
+    def test_kernel_energy_is_sum(self):
+        m = GpuEnergyModel()
+        assert m.kernel_energy_mj(1e9, 1e6, 50.0) == pytest.approx(
+            m.dynamic_mj(1e9, 1e6) + m.static_mj(50.0))
+
+
+class TestPimEnergy:
+    def test_pim_mac_cheaper_than_gpu_flop(self):
+        # The premise of Fig. 12: fixed-function MAC logic needs less
+        # energy per operation than dense GPU cores.
+        gpu = GpuEnergyModel()
+        pim = PimEnergyModel()
+        assert pim.pj_per_mac < gpu.pj_per_flop
+
+    def test_components_additive(self):
+        m = PimEnergyModel()
+        total = m.dynamic_mj(10, 1e6, 1e3, 1e3)
+        parts = (m.dynamic_mj(10, 0, 0, 0) + m.dynamic_mj(0, 1e6, 0, 0)
+                 + m.dynamic_mj(0, 0, 1e3, 0) + m.dynamic_mj(0, 0, 0, 1e3))
+        assert total == pytest.approx(parts)
+
+    def test_static_scales_with_channels(self):
+        m = PimEnergyModel()
+        assert m.static_mj(100.0, 32) == pytest.approx(2 * m.static_mj(100.0, 16))
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert b.total_mj == 15.0
+
+    def test_add_accumulates(self):
+        a = EnergyBreakdown(1.0, 1.0, 1.0, 1.0, 1.0)
+        a.add(EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0))
+        assert a.total_mj == 20.0
+        assert a.gpu_static_mj == 3.0
+
+    def test_as_dict(self):
+        d = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0).as_dict()
+        assert d["total_mj"] == 15.0
+        assert set(d) == {"gpu_dynamic_mj", "gpu_static_mj", "pim_dynamic_mj",
+                          "pim_static_mj", "movement_mj", "total_mj"}

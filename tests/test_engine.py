@@ -1,0 +1,161 @@
+"""Tests for the mixed-parallel execution engine."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.gpu.device import GpuDevice
+from repro.pim.device import PimDevice
+from repro.runtime.engine import ExecutionEngine
+from repro.transform.memopt import optimize_memory
+from repro.transform.split import apply_mddp
+
+
+@pytest.fixture
+def engine():
+    return ExecutionEngine(GpuDevice(), PimDevice())
+
+
+def _parallel_graph():
+    """Two independent convs joined by Add: one GPU, one PIM."""
+    b = GraphBuilder(seed=30)
+    x = b.input("x", (1, 14, 14, 64))
+    a = b.conv(x, cout=64, kernel=1, name="ca")
+    c = b.conv(x, cout=64, kernel=1, name="cb")
+    b.output(b.add(a, c, name="join"))
+    g = b.build()
+    g.node("ca").device = "gpu"
+    g.node("cb").device = "pim"
+    return g
+
+
+class TestScheduling:
+    def test_independent_nodes_overlap(self, engine):
+        g = _parallel_graph()
+        result = engine.run(g)
+        ca = result.event("ca")
+        cb = result.event("cb")
+        # Both start immediately on their own devices; the PIM node pays
+        # only the cross-device sync for its GPU-resident input.
+        assert ca.start_us == 0.0
+        assert cb.start_us == engine.sync_overhead_us
+        assert result.overlap_us > 0
+
+    def test_serial_when_same_device(self, engine):
+        g = _parallel_graph()
+        g.node("cb").device = "gpu"
+        result = engine.run(g)
+        ca, cb = result.event("ca"), result.event("cb")
+        assert cb.start_us >= ca.finish_us or ca.start_us >= cb.finish_us
+
+    def test_dependencies_respected(self, engine):
+        g = _parallel_graph()
+        result = engine.run(g)
+        join = result.event("join")
+        assert join.start_us >= result.event("ca").finish_us
+        assert join.start_us >= result.event("cb").finish_us
+
+    def test_makespan_is_max_output_time(self, engine):
+        g = _parallel_graph()
+        result = engine.run(g)
+        assert result.makespan_us == result.event("join").finish_us
+
+    def test_pim_placement_requires_candidate(self, engine):
+        b = GraphBuilder(seed=31)
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.relu(x, name="r")
+        b.output(y)
+        g = b.build()
+        g.node("r").device = "pim"  # relu cannot run on PIM
+        result = engine.run(g)
+        assert result.event("r").device == "gpu"
+
+    def test_engine_without_pim_runs_all_on_gpu(self):
+        engine = ExecutionEngine(GpuDevice(), None)
+        g = _parallel_graph()
+        result = engine.run(g)
+        assert result.pim_busy_us == 0.0
+        assert result.event("cb").device == "gpu"
+
+
+class TestElision:
+    def test_elided_nodes_take_no_time(self, engine):
+        b = GraphBuilder(seed=32)
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b.conv(x, cout=16, kernel=3, name="c"))
+        g = optimize_memory(apply_mddp(b.build(), "c", 0.5))
+        result = engine.run(g)
+        for event in result.events:
+            node = g.node(event.node)
+            if node.attr("elided"):
+                assert event.duration_us == 0.0
+                assert event.device == "none"
+
+    def test_memopt_improves_makespan(self, engine):
+        b = GraphBuilder(seed=33)
+        x = b.input("x", (1, 56, 56, 64))
+        b.output(b.conv(x, cout=64, kernel=3, name="c"))
+        split = apply_mddp(b.build(), "c", 0.5)
+        with_opt = engine.run(optimize_memory(split)).makespan_us
+        without_opt = engine.run(split).makespan_us
+        assert with_opt < without_opt
+
+
+class TestSyncAndEpilogue:
+    def test_cross_device_sync_cost(self):
+        g = _parallel_graph()
+        fast = ExecutionEngine(GpuDevice(), PimDevice(), sync_overhead_us=0.0)
+        slow = ExecutionEngine(GpuDevice(), PimDevice(), sync_overhead_us=5.0)
+        assert slow.run(g).makespan_us > fast.run(g).makespan_us
+
+    def test_pim_activation_epilogue_charged(self, engine):
+        b = GraphBuilder(seed=34)
+        x = b.input("x", (1, 14, 14, 64))
+        b.output(b.conv(x, cout=64, kernel=1, name="c"))
+        g = b.build()
+        g.node("c").device = "pim"
+        plain = engine.run(g).makespan_us
+        g.node("c").attrs["activation"] = "relu"
+        with_act = engine.run(g).makespan_us
+        assert with_act > plain
+
+
+class TestEnergyAccounting:
+    def test_energy_components_populated(self, engine):
+        result = engine.run(_parallel_graph())
+        e = result.energy
+        assert e.gpu_dynamic_mj > 0
+        assert e.gpu_static_mj > 0
+        assert e.pim_dynamic_mj > 0
+        assert e.pim_static_mj > 0
+
+    def test_static_energy_scales_with_makespan(self, engine):
+        result = engine.run(_parallel_graph())
+        expected = engine.gpu.energy_model.static_mj(result.makespan_us)
+        assert result.energy.gpu_static_mj == pytest.approx(expected)
+
+    def test_busy_times_bounded_by_makespan(self, engine):
+        result = engine.run(_parallel_graph())
+        assert result.gpu_busy_us <= result.makespan_us + 1e-9
+        assert result.pim_busy_us <= result.makespan_us + 1e-9
+
+
+class TestHostIO:
+    def test_host_transfers_add_latency(self):
+        g = _parallel_graph()
+        on_device = ExecutionEngine(GpuDevice(), PimDevice()).run(g)
+        with_host = ExecutionEngine(GpuDevice(), PimDevice(),
+                                    host_io=True).run(g)
+        assert with_host.makespan_us > on_device.makespan_us
+        in_bytes = 1 * 14 * 14 * 64 * 2
+        out_bytes = in_bytes
+        expected_extra = (in_bytes + out_bytes) / 16e3
+        assert with_host.makespan_us - on_device.makespan_us == \
+            pytest.approx(expected_extra, rel=0.01)
+
+    def test_pcie_bandwidth_configurable(self):
+        g = _parallel_graph()
+        slow = ExecutionEngine(GpuDevice(), PimDevice(), host_io=True,
+                               pcie_bytes_per_us=1e3).run(g)
+        fast = ExecutionEngine(GpuDevice(), PimDevice(), host_io=True,
+                               pcie_bytes_per_us=32e3).run(g)
+        assert slow.makespan_us > fast.makespan_us

@@ -1,0 +1,83 @@
+"""Property-based invariants of the execution engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.gpu.device import GpuDevice
+from repro.pim.device import PimDevice
+from repro.runtime.engine import ExecutionEngine
+
+
+def _random_chain_graph(seed, num_layers, channels, place_pim):
+    """A conv chain with randomized per-layer device placement."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder("prop", seed=seed)
+    x = b.input("x", (1, 14, 14, channels))
+    names = []
+    for i in range(num_layers):
+        x = b.conv(x, cout=channels, kernel=1, name=f"c{i}")
+        names.append(f"c{i}")
+    b.output(x)
+    g = b.build()
+    for i, name in enumerate(names):
+        if place_pim[i % len(place_pim)]:
+            g.node(name).device = "pim"
+        else:
+            g.node(name).device = "gpu"
+    return g
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExecutionEngine(GpuDevice(), PimDevice())
+
+
+class TestEngineInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 100),
+        num_layers=st.integers(1, 8),
+        channels=st.sampled_from([16, 64, 128]),
+        place_pim=st.lists(st.booleans(), min_size=1, max_size=4),
+    )
+    def test_schedule_invariants(self, engine, seed, num_layers, channels,
+                                 place_pim):
+        g = _random_chain_graph(seed, num_layers, channels, place_pim)
+        result = engine.run(g)
+        # Makespan covers every event.
+        assert all(e.finish_us <= result.makespan_us + 1e-9
+                   for e in result.events)
+        # Events never run backwards.
+        assert all(e.finish_us >= e.start_us for e in result.events)
+        # Busy times are bounded by the makespan.
+        assert result.gpu_busy_us <= result.makespan_us + 1e-9
+        assert result.pim_busy_us <= result.makespan_us + 1e-9
+        # Energy is positive and finite.
+        assert 0 < result.energy.total_mj < float("inf")
+        # A chain serializes: makespan >= sum of kernel durations minus
+        # nothing (no overlap possible along a dependency chain).
+        durations = sum(e.duration_us for e in result.events)
+        assert result.makespan_us >= durations * 0.99 - 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50), num_layers=st.integers(2, 6))
+    def test_device_serialization(self, engine, seed, num_layers):
+        """Events on one device never overlap each other."""
+        g = _random_chain_graph(seed, num_layers, 64, [True, False])
+        result = engine.run(g)
+        for device in ("gpu", "pim"):
+            events = sorted((e for e in result.events if e.device == device),
+                            key=lambda e: e.start_us)
+            for a, b in zip(events, events[1:]):
+                assert b.start_us >= a.finish_us - 1e-9
+
+    def test_deterministic(self, engine):
+        g = _random_chain_graph(7, 5, 64, [True, False])
+        r1 = engine.run(g)
+        r2 = engine.run(g)
+        assert r1.makespan_us == r2.makespan_us
+        assert [e.finish_us for e in r1.events] == \
+            [e.finish_us for e in r2.events]

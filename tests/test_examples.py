@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart_toy(self):
+        out = _run("quickstart.py", "toy")
+        assert "speedup" in out
+        assert "Execution-mode decisions" in out
+
+    def test_layer_exploration(self):
+        out = _run("layer_exploration.py")
+        assert "full PIM" in out and "full GPU" in out
+        assert "outputs match" in out
+
+    def test_mobilenet_pipelining(self):
+        out = _run("mobilenet_pipelining.py")
+        assert "pipelining candidate subgraphs" in out
+        assert "outputs match" in out
+        assert "GPU" in out and "PIM" in out
+
+    def test_design_space(self):
+        out = _run("design_space.py")
+        assert "best split" in out
+        assert "Newton++" in out
+
+    def test_bert_offload(self):
+        out = _run("bert_offload.py")
+        assert "bert-seq3" in out and "bert-seq64" in out
+        assert "full PIM" in out

@@ -1,0 +1,47 @@
+"""Tests for the schedule Gantt renderer."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt, utilization
+from repro.graph.builder import GraphBuilder
+from repro.gpu.device import GpuDevice
+from repro.pim.device import PimDevice
+from repro.runtime.engine import ExecutionEngine
+
+
+@pytest.fixture
+def result():
+    b = GraphBuilder(seed=7)
+    x = b.input("x", (1, 14, 14, 64))
+    a = b.conv(x, cout=64, kernel=1, name="ca")
+    c = b.conv(x, cout=64, kernel=1, name="cb")
+    b.output(b.add(a, c))
+    g = b.build()
+    g.node("ca").device = "gpu"
+    g.node("cb").device = "pim"
+    return ExecutionEngine(GpuDevice(), PimDevice()).run(g)
+
+
+class TestGantt:
+    def test_renders_both_devices(self, result):
+        lines = render_gantt(result, width=40)
+        assert len(lines) == 2
+        assert lines[0].startswith("GPU")
+        assert lines[1].startswith("PIM")
+        assert "#" in lines[0]
+        assert "=" in lines[1]
+
+    def test_width_respected(self, result):
+        lines = render_gantt(result, width=32)
+        bar = lines[0].split("|")[1]
+        assert len(bar) == 32
+
+    def test_rejects_tiny_width(self, result):
+        with pytest.raises(ValueError):
+            render_gantt(result, width=4)
+
+    def test_utilization_fractions(self, result):
+        util = utilization(result)
+        assert 0.0 < util["gpu"] <= 1.0
+        assert 0.0 < util["pim"] <= 1.0
+        assert util["overlap"] >= 0.0

@@ -1,0 +1,40 @@
+"""Tests for the GPU device executor."""
+
+import pytest
+
+from repro.gpu.device import GpuDevice
+
+
+class TestRunGraph:
+    def test_serial_sum(self, pointwise_chain_graph):
+        gpu = GpuDevice()
+        result = gpu.run_graph(pointwise_chain_graph)
+        assert result.time_us == pytest.approx(
+            sum(c.time_us for c in result.per_node.values()))
+        assert set(result.per_node) == {n.name for n in pointwise_chain_graph.nodes}
+
+    def test_subset_execution(self, pointwise_chain_graph):
+        gpu = GpuDevice()
+        full = gpu.run_graph(pointwise_chain_graph)
+        subset = gpu.run_graph(pointwise_chain_graph, only_nodes=["pw1", "pw2"])
+        assert subset.time_us < full.time_us
+        assert set(subset.per_node) == {"pw1", "pw2"}
+
+    def test_energy_positive_and_additive(self, pointwise_chain_graph):
+        gpu = GpuDevice()
+        result = gpu.run_graph(pointwise_chain_graph)
+        assert result.energy_mj > 0
+        per_node_energy = sum(gpu.node_energy_mj(c)
+                              for c in result.per_node.values())
+        assert result.energy_mj == pytest.approx(per_node_energy)
+
+    def test_with_channels_copy(self):
+        gpu = GpuDevice()
+        half = gpu.with_channels(16)
+        assert half.config.mem_channels == 16
+        assert gpu.config.mem_channels == 32
+
+    def test_fewer_channels_never_faster(self, pointwise_chain_graph):
+        t32 = GpuDevice().run_graph(pointwise_chain_graph).time_us
+        t8 = GpuDevice().with_channels(8).run_graph(pointwise_chain_graph).time_us
+        assert t8 >= t32

@@ -1,0 +1,159 @@
+"""Tests for the GPU roofline cost model."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.gpu.config import RTX2060, TITAN_V, GpuConfig
+from repro.gpu.kernels import (
+    gemm_dims,
+    gemm_utilization,
+    node_cost,
+    node_flops_bytes,
+)
+
+
+def _graph_with(op_builder):
+    b = GraphBuilder(seed=3)
+    op_builder(b)
+    return b.build()
+
+
+@pytest.fixture
+def big_conv():
+    """Compute-bound: deep 3x3 conv."""
+    def build(b):
+        x = b.input("x", (1, 28, 28, 256))
+        b.output(b.conv(x, cout=256, kernel=3, name="c"))
+    return _graph_with(build)
+
+
+@pytest.fixture
+def gemv():
+    """Memory-bound: batch-1 FC."""
+    def build(b):
+        x = b.input("x", (1, 4096))
+        b.output(b.gemm(x, 4096, name="g"))
+    return _graph_with(build)
+
+
+@pytest.fixture
+def dw_conv():
+    def build(b):
+        x = b.input("x", (1, 56, 56, 128))
+        b.output(b.dwconv(x, kernel=3, name="d"))
+    return _graph_with(build)
+
+
+class TestBoundClassification:
+    def test_deep_conv_is_compute_bound(self, big_conv):
+        cost = node_cost(big_conv.node("c"), big_conv, RTX2060)
+        assert cost.bound == "compute"
+
+    def test_batch1_fc_is_memory_bound(self, gemv):
+        cost = node_cost(gemv.node("g"), gemv, RTX2060)
+        assert cost.bound == "memory"
+
+    def test_dwconv_is_memory_bound(self, dw_conv):
+        cost = node_cost(dw_conv.node("d"), dw_conv, RTX2060)
+        assert cost.bound == "memory"
+
+    def test_tiny_op_is_latency_bound(self):
+        g = _graph_with(lambda b: b.output(b.relu(b.input("x", (1, 4)))))
+        cost = node_cost(g.nodes[0], g, RTX2060)
+        assert cost.bound == "latency"
+
+
+class TestChannelScaling:
+    def test_memory_bound_scales_with_channels(self, gemv):
+        node = gemv.node("g")
+        t32 = node_cost(node, gemv, RTX2060.with_channels(32)).time_us
+        t16 = node_cost(node, gemv, RTX2060.with_channels(16)).time_us
+        t8 = node_cost(node, gemv, RTX2060.with_channels(8)).time_us
+        assert t8 > t16 > t32
+        # Busy time should roughly double when bandwidth halves.
+        assert t16 / t32 == pytest.approx(2.0, rel=0.1)
+
+    def test_compute_bound_insensitive_to_channels(self, big_conv):
+        node = big_conv.node("c")
+        t32 = node_cost(node, big_conv, RTX2060.with_channels(32)).time_us
+        t16 = node_cost(node, big_conv, RTX2060.with_channels(16)).time_us
+        assert t16 / t32 < 1.05
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            RTX2060.with_channels(0)
+
+
+class TestUtilizationModel:
+    def test_small_m_underutilizes(self):
+        low = gemm_utilization(1, 4096, 64, RTX2060)
+        high = gemm_utilization(4096, 4096, 64, RTX2060)
+        assert low < high
+
+    def test_split_k_recovers_utilization(self):
+        # Deep reductions parallelize over K tiles.
+        shallow = gemm_utilization(64, 64, 64, RTX2060)
+        deep = gemm_utilization(64, 64, 8192, RTX2060)
+        assert deep > shallow
+
+    def test_bounds(self):
+        for m, n, k in [(1, 1, 1), (10000, 10000, 10000)]:
+            u = gemm_utilization(m, n, k, RTX2060)
+            assert RTX2060.min_utilization <= u <= 1.0
+
+
+class TestFlopsBytes:
+    def test_conv_flops(self, big_conv):
+        flops, _ = node_flops_bytes(big_conv.node("c"), big_conv)
+        assert flops == 2.0 * (28 * 28) * 256 * (3 * 3 * 256)
+
+    def test_gemm_dims(self, gemv):
+        assert gemm_dims(gemv.node("g"), gemv) == (1, 4096, 4096)
+
+    def test_arithmetic_intensity_ordering(self, big_conv, gemv, dw_conv):
+        conv_ai = node_cost(big_conv.node("c"), big_conv, RTX2060).arithmetic_intensity
+        fc_ai = node_cost(gemv.node("g"), gemv, RTX2060).arithmetic_intensity
+        dw_ai = node_cost(dw_conv.node("d"), dw_conv, RTX2060).arithmetic_intensity
+        # Fig. 1: deep convs high, FC and depthwise low.
+        assert conv_ai > 10 * fc_ai
+        assert conv_ai > 10 * dw_ai
+
+    def test_movement_op_has_zero_flops(self):
+        g = _graph_with(lambda b: b.output(
+            b.slice(b.input("x", (1, 8, 8, 4)), axis=1, start=0, end=4)))
+        flops, nbytes = node_flops_bytes(g.nodes[0], g)
+        assert flops == 0.0 and nbytes > 0
+
+
+class TestElisionAndModes:
+    def test_elided_node_is_free(self):
+        g = _graph_with(lambda b: b.output(
+            b.slice(b.input("x", (1, 8, 8, 4)), axis=1, start=0, end=4)))
+        node = g.nodes[0]
+        node.attrs["elided"] = True
+        cost = node_cost(node, g, RTX2060)
+        assert cost.time_us == 0.0 and cost.bound == "elided"
+
+    def test_write_through_penalty(self, big_conv):
+        node = big_conv.node("c")
+        normal = node_cost(node, big_conv, RTX2060, write_through=False)
+        wt = node_cost(node, big_conv, RTX2060, write_through=True)
+        assert wt.time_us > normal.time_us
+        ratio = (wt.time_us - RTX2060.launch_overhead_us) / \
+            (normal.time_us - RTX2060.launch_overhead_us)
+        assert ratio == pytest.approx(RTX2060.write_through_penalty, rel=1e-6)
+
+    def test_elementwise_has_fused_launch(self):
+        g = _graph_with(lambda b: b.output(b.relu(b.input("x", (1, 4)))))
+        cost = node_cost(g.nodes[0], g, RTX2060)
+        assert cost.time_us < RTX2060.launch_overhead_us
+
+
+class TestDeviceConfigs:
+    def test_presets_differ(self):
+        assert TITAN_V.peak_flops_per_us > RTX2060.peak_flops_per_us
+        assert TITAN_V.bandwidth_bytes_per_us > RTX2060.bandwidth_bytes_per_us
+
+    def test_peak_flops_value(self):
+        # 30 SMs x 256 fp16 FLOPs/cycle x 1.68 GHz = 12.9 TFLOPS.
+        assert RTX2060.peak_flops_per_us == pytest.approx(12.9e6, rel=0.01)

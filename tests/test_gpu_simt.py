@@ -1,0 +1,120 @@
+"""Tests for the block-level SIMT simulator and its agreement with the
+roofline model."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.gpu.config import RTX2060
+from repro.gpu.kernels import node_cost
+from repro.gpu.simt import (
+    KernelLaunch,
+    SimtGpu,
+    launch_from_gemm,
+    simulate_gemm_node,
+)
+
+
+def _gemm_graph(m, n, k):
+    b = GraphBuilder(seed=1)
+    x = b.input("x", (m, k))
+    b.output(b.gemm(x, n, name="g"))
+    return b.build()
+
+
+class TestLaunchConstruction:
+    def test_tile_counts(self):
+        launch = launch_from_gemm(128, 128, 1024)
+        assert launch.num_blocks == 2 * 2 * 2
+
+    def test_small_gemm_single_block(self):
+        launch = launch_from_gemm(1, 64, 64)
+        assert launch.num_blocks == 1
+        assert launch.flops_per_block == 2 * 1 * 64 * 64
+
+    def test_invalid_launch_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(num_blocks=0, flops_per_block=1, bytes_per_block=1)
+
+
+class TestScheduler:
+    def test_single_wave(self):
+        gpu = SimtGpu()
+        launch = KernelLaunch(num_blocks=10, flops_per_block=1e6,
+                              bytes_per_block=1e3)
+        assert gpu.simulate(launch).waves == 1
+
+    def test_wave_count(self):
+        gpu = SimtGpu()
+        cap = gpu.concurrent_blocks
+        launch = KernelLaunch(num_blocks=cap * 3 + 1, flops_per_block=1e5,
+                              bytes_per_block=1e2)
+        assert gpu.simulate(launch).waves == 4
+
+    def test_tail_wave_quantization(self):
+        """cap+1 blocks cost nearly two full waves of a compute-bound
+        kernel — the effect the roofline's utilization factor models."""
+        gpu = SimtGpu()
+        cap = gpu.concurrent_blocks
+        per = KernelLaunch(num_blocks=cap, flops_per_block=1e6,
+                           bytes_per_block=10.0)
+        spill = KernelLaunch(num_blocks=cap + 1, flops_per_block=1e6,
+                             bytes_per_block=10.0)
+        t_full = gpu.simulate(per).time_us
+        t_spill = gpu.simulate(spill).time_us
+        assert t_spill > t_full * 1.2
+
+    def test_compute_vs_memory_bound_classification(self):
+        gpu = SimtGpu()
+        compute = KernelLaunch(num_blocks=120, flops_per_block=1e7,
+                               bytes_per_block=1e2)
+        memory = KernelLaunch(num_blocks=120, flops_per_block=1e3,
+                              bytes_per_block=1e6)
+        assert gpu.simulate(compute).bound == "compute"
+        assert gpu.simulate(memory).bound == "memory"
+
+    def test_more_sms_faster_compute_bound(self):
+        import dataclasses
+        launch = KernelLaunch(num_blocks=600, flops_per_block=1e6,
+                              bytes_per_block=1e2)
+        small = SimtGpu(dataclasses.replace(RTX2060, num_sms=15))
+        big = SimtGpu(dataclasses.replace(RTX2060, num_sms=60))
+        assert big.simulate(launch).time_us < small.simulate(launch).time_us
+
+    def test_fewer_channels_slower_memory_bound(self):
+        launch = KernelLaunch(num_blocks=120, flops_per_block=1e3,
+                              bytes_per_block=1e6)
+        full = SimtGpu(RTX2060)
+        half = SimtGpu(RTX2060.with_channels(16))
+        assert half.simulate(launch).time_us > full.simulate(launch).time_us
+
+
+class TestRooflineAgreement:
+    """The SIMT scheduler and the roofline model must agree on regime
+    and rough magnitude across the paper's kernel population."""
+
+    @pytest.mark.parametrize("m,n,k", [
+        (1, 4096, 4096),       # batch-1 FC
+        (196, 1152, 192),      # mid-network 1x1 conv
+        (784, 128, 1152),      # 3x3 conv, mid ResNet
+        (12544, 96, 16),       # early mobile 1x1
+        (196, 512, 4608),      # deep VGG conv
+        (64, 3072, 768),       # BERT ff1 @ seq 64
+    ])
+    def test_magnitude_agreement(self, m, n, k):
+        g = _gemm_graph(m, n, k)
+        node = g.node("g")
+        roofline = node_cost(node, g, RTX2060).time_us
+        simt = simulate_gemm_node(node, g, RTX2060).time_us
+        assert 0.3 < simt / roofline < 3.0, (m, n, k, simt, roofline)
+
+    def test_memory_bound_gemv_agrees_on_bound(self):
+        g = _gemm_graph(1, 4096, 4096)
+        node = g.node("g")
+        assert node_cost(node, g, RTX2060).bound == "memory"
+        assert simulate_gemm_node(node, g, RTX2060).bound == "memory"
+
+    def test_compute_bound_conv_agrees_on_bound(self):
+        g = _gemm_graph(784, 512, 4608)
+        node = g.node("g")
+        assert node_cost(node, g, RTX2060).bound == "compute"
+        assert simulate_gemm_node(node, g, RTX2060).bound == "compute"

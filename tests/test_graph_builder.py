@@ -1,0 +1,90 @@
+"""Unit tests for the GraphBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilder:
+    def test_builds_valid_graph(self, small_conv_graph):
+        small_conv_graph.validate()
+
+    def test_conv_shapes(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.conv(x, cout=16, kernel=3, stride=2)
+        assert b.graph.tensors[y].shape == (1, 7, 7, 16)
+
+    def test_conv_same_padding_default(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 15, 15, 4))
+        for k in (1, 3, 5, 7):
+            y = b.conv(x, cout=4, kernel=k)
+            assert b.graph.tensors[y].shape == (1, 15, 15, 4)
+
+    def test_dwconv_is_depthwise(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 8, 8, 6))
+        b.dwconv(x, kernel=3, name="dw")
+        node = b.graph.node("dw")
+        assert node.attr("group") == 6
+        w = b.graph.tensors[node.inputs[1]]
+        assert w.shape == (3, 3, 1, 6)
+
+    def test_gemm_bias_optional(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 8))
+        b.gemm(x, 4, bias=False, name="g0")
+        b.gemm(x, 4, bias=True, name="g1")
+        assert len(b.graph.node("g0").inputs) == 2
+        assert len(b.graph.node("g1").inputs) == 3
+
+    def test_weights_are_deterministic(self):
+        def build():
+            b = GraphBuilder(seed=11)
+            x = b.input("x", (1, 4, 4, 2))
+            b.conv(x, cout=3, kernel=3, name="c")
+            return b.graph
+        g1, g2 = build(), build()
+        w1 = g1.initializers[g1.node("c").inputs[1]]
+        w2 = g2.initializers[g2.node("c").inputs[1]]
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_named_nodes(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 4, 2))
+        out = b.conv(x, cout=2, name="myconv")
+        assert out == "myconv_out"
+        assert b.graph.node("myconv").op_type == "Conv"
+
+    def test_relu6_is_clip(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4))
+        b.gemm(x, 4, name="g")
+        y = b.relu6("g_out", name="r6")
+        node = b.graph.node("r6")
+        assert node.op_type == "Clip"
+        assert node.attr("min") == 0.0 and node.attr("max") == 6.0
+
+    def test_swish_is_fused_silu(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4, 4, 2))
+        b.swish(x, name="sw")
+        assert b.graph.node("sw").op_type == "Silu"
+
+    def test_concat_and_slice(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 8, 4, 2))
+        a = b.slice(x, axis=1, start=0, end=3)
+        c = b.slice(x, axis=1, start=3, end=8)
+        y = b.concat([a, c], axis=1)
+        assert b.graph.tensors[y].shape == (1, 8, 4, 2)
+
+    def test_build_validates(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 4))
+        y = b.gemm(x, 2)
+        b.output(y)
+        g = b.build()
+        assert g.outputs == [y]

@@ -1,0 +1,45 @@
+"""Unit tests for graph nodes."""
+
+import pytest
+
+from repro.graph.node import Node
+
+
+class TestNode:
+    def test_attr_default(self):
+        n = Node("n", "Relu", ["x"], ["y"])
+        assert n.attr("missing") is None
+        assert n.attr("missing", 7) == 7
+
+    def test_attr_present(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"], {"group": 4})
+        assert n.attr("group") == 4
+
+    def test_clone_is_independent(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"], {"pads": (1, 1, 1, 1)})
+        c = n.clone()
+        c.attrs["pads"] = (0, 0, 0, 0)
+        c.inputs.append("b")
+        assert n.attrs["pads"] == (1, 1, 1, 1)
+        assert n.inputs == ["x", "w"]
+
+    def test_clone_with_overrides(self):
+        n = Node("n", "Conv", ["x", "w"], ["y"])
+        c = n.clone(name="m", device="pim")
+        assert c.name == "m" and c.device == "pim"
+        assert n.device == "auto"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Node("", "Relu", ["x"], ["y"])
+
+    def test_rejects_empty_outputs(self):
+        with pytest.raises(ValueError):
+            Node("n", "Relu", ["x"], [])
+
+    def test_rejects_bad_device(self):
+        with pytest.raises(ValueError):
+            Node("n", "Relu", ["x"], ["y"], device="tpu")
+
+    def test_default_device_is_auto(self):
+        assert Node("n", "Relu", ["x"], ["y"]).device == "auto"

@@ -1,0 +1,228 @@
+"""Unit tests for the operator registry and shape inference."""
+
+import pytest
+
+from repro.graph.node import Node
+from repro.graph.ops import (
+    OP_REGISTRY,
+    ShapeError,
+    conv_out_dim,
+    infer_shapes,
+    is_depthwise,
+    is_pim_candidate,
+)
+
+
+def _conv_node(kernel=3, stride=1, pads=(1, 1, 1, 1), group=1):
+    return Node("c", "Conv", ["x", "w"], ["y"], {
+        "kernel_shape": (kernel, kernel),
+        "strides": (stride, stride),
+        "pads": pads,
+        "group": group,
+    })
+
+
+class TestConvOutDim:
+    def test_same_padding(self):
+        assert conv_out_dim(14, 3, 1, 1, 1) == 14
+
+    def test_stride_two(self):
+        assert conv_out_dim(224, 3, 2, 1, 1) == 112
+
+    def test_no_padding(self):
+        assert conv_out_dim(14, 3, 1, 0, 0) == 12
+
+    def test_kernel_seven(self):
+        assert conv_out_dim(224, 7, 2, 3, 3) == 112
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ShapeError):
+            conv_out_dim(2, 5, 1, 0, 0)
+
+
+class TestConvInference:
+    def test_basic(self):
+        shapes = infer_shapes(_conv_node(), [(1, 14, 14, 8), (3, 3, 8, 16)])
+        assert shapes == [(1, 14, 14, 16)]
+
+    def test_stride(self):
+        shapes = infer_shapes(_conv_node(stride=2),
+                              [(1, 14, 14, 8), (3, 3, 8, 16)])
+        assert shapes == [(1, 7, 7, 16)]
+
+    def test_depthwise(self):
+        shapes = infer_shapes(_conv_node(group=8),
+                              [(1, 14, 14, 8), (3, 3, 1, 8)])
+        assert shapes == [(1, 14, 14, 8)]
+
+    def test_asymmetric_pads(self):
+        node = _conv_node(pads=(1, 1, 0, 0))
+        shapes = infer_shapes(node, [(1, 14, 14, 8), (3, 3, 8, 16)])
+        assert shapes == [(1, 13, 13, 16)]
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            infer_shapes(_conv_node(), [(1, 14, 14, 8), (3, 3, 4, 16)])
+
+    def test_rejects_kernel_attr_mismatch(self):
+        node = _conv_node(kernel=5)
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 14, 14, 8), (3, 3, 8, 16)])
+
+    def test_bias_shape_checked(self):
+        node = Node("c", "Conv", ["x", "w", "b"], ["y"],
+                    {"kernel_shape": (1, 1), "strides": (1, 1),
+                     "pads": (0, 0, 0, 0), "group": 1})
+        infer_shapes(node, [(1, 4, 4, 8), (1, 1, 8, 16), (16,)])
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8), (1, 1, 8, 16), (8,)])
+
+
+class TestGemmMatmul:
+    def test_gemm(self):
+        node = Node("g", "Gemm", ["x", "w"], ["y"])
+        assert infer_shapes(node, [(1, 64), (64, 10)]) == [(1, 10)]
+
+    def test_gemm_inner_mismatch(self):
+        node = Node("g", "Gemm", ["x", "w"], ["y"])
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 64), (32, 10)])
+
+    def test_matmul_batched(self):
+        node = Node("m", "MatMul", ["a", "b"], ["y"])
+        assert infer_shapes(node, [(2, 3, 8), (8, 5)]) == [(2, 3, 5)]
+
+
+class TestElementwiseAndShape:
+    def test_unary_preserves_shape(self):
+        for op in ("Relu", "Sigmoid", "Clip", "Silu", "Identity", "Softmax"):
+            node = Node("u", op, ["x"], ["y"])
+            assert infer_shapes(node, [(1, 4, 4, 8)]) == [(1, 4, 4, 8)]
+
+    def test_broadcast_binary(self):
+        node = Node("a", "Add", ["x", "y"], ["z"])
+        assert infer_shapes(node, [(1, 4, 4, 8), (8,)]) == [(1, 4, 4, 8)]
+        assert infer_shapes(node, [(1, 1, 1, 8), (1, 4, 4, 8)]) == [(1, 4, 4, 8)]
+
+    def test_broadcast_incompatible(self):
+        node = Node("a", "Add", ["x", "y"], ["z"])
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8), (1, 4, 4, 7)])
+
+    def test_batchnorm(self):
+        node = Node("bn", "BatchNormalization",
+                    ["x", "s", "b", "m", "v"], ["y"], {"epsilon": 1e-5})
+        shapes = infer_shapes(node, [(1, 4, 4, 8), (8,), (8,), (8,), (8,)])
+        assert shapes == [(1, 4, 4, 8)]
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8), (4,), (8,), (8,), (8,)])
+
+
+class TestPoolsAndReductions:
+    def test_maxpool(self):
+        node = Node("p", "MaxPool", ["x"], ["y"],
+                    {"kernel_shape": (2, 2), "strides": (2, 2)})
+        assert infer_shapes(node, [(1, 8, 8, 4)]) == [(1, 4, 4, 4)]
+
+    def test_maxpool_padded(self):
+        node = Node("p", "MaxPool", ["x"], ["y"],
+                    {"kernel_shape": (3, 3), "strides": (2, 2),
+                     "pads": (1, 1, 1, 1)})
+        assert infer_shapes(node, [(1, 112, 112, 64)]) == [(1, 56, 56, 64)]
+
+    def test_global_average_pool(self):
+        node = Node("g", "GlobalAveragePool", ["x"], ["y"])
+        assert infer_shapes(node, [(1, 7, 7, 128)]) == [(1, 1, 1, 128)]
+
+    def test_reduce_mean(self):
+        node = Node("r", "ReduceMean", ["x"], ["y"],
+                    {"axes": (1, 2), "keepdims": True})
+        assert infer_shapes(node, [(1, 7, 7, 128)]) == [(1, 1, 1, 128)]
+        node2 = Node("r", "ReduceMean", ["x"], ["y"],
+                     {"axes": (1, 2), "keepdims": False})
+        assert infer_shapes(node2, [(1, 7, 7, 128)]) == [(1, 128)]
+
+
+class TestDataMovement:
+    def test_flatten(self):
+        node = Node("f", "Flatten", ["x"], ["y"])
+        assert infer_shapes(node, [(1, 7, 7, 128)]) == [(1, 7 * 7 * 128)]
+
+    def test_reshape_with_minus_one(self):
+        node = Node("r", "Reshape", ["x"], ["y"], {"shape": (2, -1)})
+        assert infer_shapes(node, [(1, 4, 4, 8)]) == [(2, 64)]
+
+    def test_reshape_rejects_mismatch(self):
+        node = Node("r", "Reshape", ["x"], ["y"], {"shape": (3, 5)})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8)])
+
+    def test_transpose(self):
+        node = Node("t", "Transpose", ["x"], ["y"], {"perm": (0, 3, 1, 2)})
+        assert infer_shapes(node, [(1, 4, 5, 8)]) == [(1, 8, 4, 5)]
+
+    def test_concat(self):
+        node = Node("c", "Concat", ["a", "b"], ["y"], {"axis": 1})
+        assert infer_shapes(node, [(1, 4, 4, 8), (1, 3, 4, 8)]) == [(1, 7, 4, 8)]
+
+    def test_concat_rejects_mismatch(self):
+        node = Node("c", "Concat", ["a", "b"], ["y"], {"axis": 1})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8), (1, 3, 5, 8)])
+
+    def test_slice(self):
+        node = Node("s", "Slice", ["x"], ["y"], {"axis": 1, "start": 2, "end": 5})
+        assert infer_shapes(node, [(1, 8, 4, 8)]) == [(1, 3, 4, 8)]
+
+    def test_slice_rejects_empty(self):
+        node = Node("s", "Slice", ["x"], ["y"], {"axis": 1, "start": 5, "end": 5})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 8, 4, 8)])
+
+    def test_pad(self):
+        node = Node("p", "Pad", ["x"], ["y"],
+                    {"pads": ((0, 0), (1, 2), (0, 0), (0, 0))})
+        assert infer_shapes(node, [(1, 4, 4, 8)]) == [(1, 7, 4, 8)]
+
+
+class TestCandidateClassification:
+    def test_regular_conv_is_candidate(self):
+        node = _conv_node()
+        assert is_pim_candidate(node, [(1, 14, 14, 8), (3, 3, 8, 16)])
+
+    def test_depthwise_is_not_candidate(self):
+        node = _conv_node(group=8)
+        assert is_depthwise(node, [(1, 14, 14, 8)])
+        assert not is_pim_candidate(node, [(1, 14, 14, 8), (3, 3, 1, 8)])
+
+    def test_grouped_but_not_depthwise(self):
+        node = _conv_node(group=2)
+        assert not is_depthwise(node, [(1, 14, 14, 8)])
+        assert is_pim_candidate(node, [(1, 14, 14, 8), (3, 3, 4, 16)])
+
+    def test_gemm_is_candidate(self):
+        node = Node("g", "Gemm", ["x", "w"], ["y"])
+        assert is_pim_candidate(node, [(1, 64), (64, 10)])
+
+    def test_relu_is_not_candidate(self):
+        node = Node("r", "Relu", ["x"], ["y"])
+        assert not is_pim_candidate(node, [(1, 4)])
+
+
+class TestRegistry:
+    def test_unregistered_op_rejected(self):
+        node = Node("n", "NotAnOp", ["x"], ["y"])
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4)])
+
+    def test_registry_covers_model_ops(self):
+        for op in ("Conv", "Gemm", "MatMul", "Relu", "Clip", "Silu", "Add",
+                   "Mul", "BatchNormalization", "MaxPool", "AveragePool",
+                   "GlobalAveragePool", "Flatten", "Gemm", "Concat", "Slice",
+                   "Pad", "Softmax"):
+            assert op in OP_REGISTRY
+
+    def test_input_count_checked(self):
+        node = Node("n", "Relu", ["x"], ["y"])
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4), (1, 4)])

@@ -1,0 +1,59 @@
+"""Round-trip tests for graph (de)serialization."""
+
+import numpy as np
+
+from repro.graph.serialize import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.runtime.numerical import execute
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, pointwise_chain_graph):
+        g2 = graph_from_dict(graph_to_dict(pointwise_chain_graph))
+        g2.validate()
+        assert [n.name for n in g2.nodes] == \
+            [n.name for n in pointwise_chain_graph.nodes]
+        assert g2.inputs == pointwise_chain_graph.inputs
+        assert g2.outputs == pointwise_chain_graph.outputs
+
+    def test_attrs_tuples_survive(self, small_conv_graph):
+        g2 = graph_from_dict(graph_to_dict(small_conv_graph))
+        conv = g2.node("c0")
+        assert conv.attr("kernel_shape") == (3, 3)
+        assert conv.attr("pads") == (1, 1, 1, 1)
+
+    def test_numerics_preserved(self, small_conv_graph, rng):
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(small_conv_graph, feed)
+        g2 = graph_from_dict(graph_to_dict(small_conv_graph))
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-5, atol=1e-5)
+
+    def test_without_weights(self, small_conv_graph):
+        g2 = graph_from_dict(graph_to_dict(small_conv_graph,
+                                           include_weights=False))
+        g2.validate()
+        for name, value in g2.initializers.items():
+            assert value.shape == g2.tensors[name].shape
+            np.testing.assert_array_equal(value, 0)
+
+    def test_file_round_trip(self, tmp_path, small_conv_graph, rng):
+        path = tmp_path / "g.json"
+        save_graph(small_conv_graph, path)
+        g2 = load_graph(path)
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(small_conv_graph, feed)
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-5, atol=1e-5)
+
+    def test_device_field_round_trips(self, small_conv_graph):
+        g = small_conv_graph.clone()
+        g.node("c0").device = "pim"
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.node("c0").device == "pim"

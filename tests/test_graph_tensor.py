@@ -1,0 +1,57 @@
+"""Unit tests for tensor metadata."""
+
+import pytest
+
+from repro.graph.tensor import DTYPE_SIZES, TensorInfo
+
+
+class TestTensorInfo:
+    def test_basic_properties(self):
+        t = TensorInfo("x", (1, 14, 14, 8))
+        assert t.rank == 4
+        assert t.num_elements == 14 * 14 * 8
+        assert t.num_bytes == 14 * 14 * 8 * 2  # default fp16
+
+    def test_dtype_sizes(self):
+        for dtype, size in DTYPE_SIZES.items():
+            t = TensorInfo("x", (4,), dtype)
+            assert t.num_bytes == 4 * size
+
+    def test_scalar_like(self):
+        t = TensorInfo("s", (1,))
+        assert t.num_elements == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TensorInfo("", (1,))
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            TensorInfo("x", (1,), "float64")
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorInfo("x", (1, 0, 4))
+        with pytest.raises(ValueError):
+            TensorInfo("x", (1, -3))
+
+    def test_shape_normalized_to_ints(self):
+        import numpy as np
+        t = TensorInfo("x", (np.int64(2), np.int64(3)))
+        assert all(type(d) is int for d in t.shape)
+
+    def test_with_shape_and_name(self):
+        t = TensorInfo("x", (1, 2))
+        t2 = t.with_shape((3, 4))
+        assert t2.name == "x" and t2.shape == (3, 4)
+        t3 = t.with_name("y")
+        assert t3.name == "y" and t3.shape == (1, 2)
+
+    def test_frozen(self):
+        t = TensorInfo("x", (1, 2))
+        with pytest.raises(Exception):
+            t.name = "y"
+
+    def test_equality(self):
+        assert TensorInfo("x", (1, 2)) == TensorInfo("x", (1, 2))
+        assert TensorInfo("x", (1, 2)) != TensorInfo("x", (2, 1))

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import candidate_layer_names, mddp_ratio_distribution
+from repro.models import build_model
+from repro.pimflow import PimFlow, PimFlowConfig
+from repro.runtime.numerical import execute
+
+
+@pytest.fixture(scope="module")
+def mobilenet():
+    return build_model("mobilenet-v2")
+
+
+@pytest.fixture(scope="module")
+def mobilenet_results(mobilenet):
+    out = {}
+    for mech in ("gpu", "newton+", "newton++", "pimflow-md", "pimflow-pl",
+                 "pimflow"):
+        out[mech] = PimFlow(PimFlowConfig(mechanism=mech)).run(mobilenet)
+    return out
+
+
+class TestPaperShapeOnMobileNet:
+    """The headline orderings of Fig. 9, on a real evaluated model."""
+
+    def test_pimflow_beats_gpu_substantially(self, mobilenet_results):
+        speedup = (mobilenet_results["gpu"].makespan_us
+                   / mobilenet_results["pimflow"].makespan_us)
+        assert speedup > 1.2  # paper: ~1.4x for MobileNetV2
+
+    def test_mechanism_ordering(self, mobilenet_results):
+        r = mobilenet_results
+        assert r["newton++"].makespan_us <= r["newton+"].makespan_us
+        assert r["pimflow-md"].makespan_us <= r["newton++"].makespan_us
+        assert r["pimflow"].makespan_us <= r["pimflow-md"].makespan_us * 1.001
+        assert r["pimflow"].makespan_us <= r["pimflow-pl"].makespan_us * 1.001
+
+    def test_pimflow_energy_savings(self, mobilenet_results):
+        """Fig. 12: PIMFlow consumes less energy than the GPU baseline."""
+        assert mobilenet_results["pimflow"].energy.total_mj < \
+            mobilenet_results["gpu"].energy.total_mj
+
+    def test_devices_overlap_under_pimflow(self, mobilenet_results):
+        assert mobilenet_results["pimflow"].overlap_us > 0
+
+
+class TestCompiledSemantics:
+    """Every mechanism's compiled graph computes the original function."""
+
+    @pytest.mark.parametrize("mechanism", ["newton++", "pimflow-md",
+                                           "pimflow-pl", "pimflow"])
+    def test_toy_compiled_semantics(self, mechanism, rng):
+        toy = build_model("toy")
+        flow = PimFlow(PimFlowConfig(mechanism=mechanism))
+        compiled = flow.compile(toy)
+        feed = {"input": rng.standard_normal((1, 56, 56, 3)) * 0.1}
+        ref = execute(toy, feed)
+        out = execute(compiled.graph, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=5e-3, atol=5e-3)
+
+
+class TestTable2Shape:
+    def test_ratio_distribution_shape(self, mobilenet):
+        """Table 2: most candidates split or fully offload; few-to-none
+        stay fully on GPU."""
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow-md"))
+        prepared = flow.prepare(mobilenet)
+        compiled = flow.compile(prepared)
+        dist = mddp_ratio_distribution(compiled.decisions,
+                                       candidate_layer_names(prepared))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # Strongly PIM-leaning placements dominate (paper: 41% at full
+        # offload across all five models).
+        assert dist[0] + dist[10] > 0.25
+        # Splitting happens across intermediate ratios (paper: 58%).
+        middle = sum(v for k, v in dist.items() if 0 < k < 100)
+        assert middle > 0.3
+        # Few candidates stay fully on the GPU (paper: 0%).
+        assert dist[100] < 0.25
+
+
+class TestChannelSensitivity:
+    """Fig. 13 shape: performance peaks at a middle split."""
+
+    def test_extreme_splits_are_worse(self, mobilenet):
+        times = {}
+        from repro.memsys.system import MemorySystem
+        for pim_channels in (4, 16, 28):
+            cfg = PimFlowConfig(mechanism="pimflow-md",
+                                memory=MemorySystem(32, pim_channels))
+            times[pim_channels] = PimFlow(cfg).run(mobilenet).makespan_us
+        assert times[16] < times[4]
+        assert times[16] < times[28]
+
+
+class TestPredictionConsistency:
+    """The DP's additive prediction tracks the scheduled makespan."""
+
+    @pytest.mark.parametrize("mechanism", ["newton++", "pimflow-md",
+                                           "pimflow"])
+    def test_predicted_close_to_scheduled(self, mechanism, mobilenet):
+        flow = PimFlow(PimFlowConfig(mechanism=mechanism))
+        compiled = flow.compile(mobilenet)
+        scheduled = flow.engine.run(compiled.graph).makespan_us
+        # Scheduling can only beat the additive prediction via
+        # cross-region overlap; mispredictions beyond ~15% would mean
+        # the profiled regions don't compose.
+        assert scheduled <= compiled.predicted_time_us * 1.05
+        assert scheduled >= compiled.predicted_time_us * 0.80

@@ -1,0 +1,119 @@
+"""Tests for convolution lowering (im2col)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import ShapeError
+from repro.lowering.im2col import (
+    im2col_matrix,
+    lower_conv,
+    lower_gemm,
+    lower_node,
+    lowered_weight_matrix,
+)
+from repro.runtime.numerical import conv2d_nhwc
+
+
+def _conv_graph(h=8, w=8, cin=4, cout=6, kernel=3, stride=1, pad=None,
+                group=1):
+    b = GraphBuilder(seed=2)
+    x = b.input("x", (1, h, w, cin))
+    y = b.conv(x, cout=cout, kernel=kernel, stride=stride, pad=pad,
+               group=group, bias=False, name="c")
+    b.output(y)
+    return b.build()
+
+
+class TestLowerConv:
+    def test_pointwise_descriptor(self):
+        g = _conv_graph(kernel=1, cin=16, cout=32)
+        gemv = lower_conv(g.node("c"), g)
+        assert gemv.rows == 64
+        assert gemv.k == 16
+        assert gemv.n == 32
+        assert not gemv.strided
+        assert gemv.contiguous_k == 16
+
+    def test_3x3_descriptor(self):
+        g = _conv_graph(kernel=3, cin=4, cout=8)
+        gemv = lower_conv(g.node("c"), g)
+        assert gemv.k == 3 * 3 * 4
+        assert gemv.strided
+        assert gemv.contiguous_k == 4
+
+    def test_macs(self):
+        g = _conv_graph(kernel=3, cin=4, cout=8)
+        gemv = lower_conv(g.node("c"), g)
+        assert gemv.macs == 64 * 36 * 8
+
+    def test_stride_reduces_rows(self):
+        g = _conv_graph(kernel=3, stride=2)
+        gemv = lower_conv(g.node("c"), g)
+        assert gemv.rows == 16
+
+    def test_depthwise_rejected(self):
+        g = _conv_graph(cin=4, cout=4, group=4)
+        with pytest.raises(ShapeError):
+            lower_conv(g.node("c"), g)
+
+    def test_wrong_op_rejected(self, fc_graph):
+        with pytest.raises(ValueError):
+            lower_conv(fc_graph.node("fc0"), fc_graph)
+
+
+class TestLowerGemm:
+    def test_descriptor(self, fc_graph):
+        gemv = lower_gemm(fc_graph.node("fc0"), fc_graph)
+        assert (gemv.rows, gemv.k, gemv.n) == (1, 64, 48)
+        assert not gemv.strided
+
+    def test_lower_node_dispatch(self, fc_graph, small_conv_graph):
+        assert lower_node(fc_graph.node("fc0"), fc_graph).k == 64
+        assert lower_node(small_conv_graph.node("c0"), small_conv_graph).k == 72
+
+
+class TestIm2colNumerics:
+    def test_matches_direct_convolution(self, rng):
+        x = rng.standard_normal((1, 8, 8, 4)).astype(np.float32)
+        w = rng.standard_normal((3, 3, 4, 6)).astype(np.float32)
+        direct = conv2d_nhwc(x, w, None, (1, 1), (1, 1, 1, 1), 1)
+        cols = im2col_matrix(x, (3, 3), (1, 1), (1, 1, 1, 1))
+        flat = cols @ lowered_weight_matrix(w)
+        np.testing.assert_allclose(flat.reshape(direct.shape), direct,
+                                   rtol=1e-4, atol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h=st.integers(3, 10),
+        cin=st.integers(1, 5),
+        cout=st.integers(1, 6),
+        kernel=st.sampled_from([1, 2, 3, 5]),
+        stride=st.sampled_from([1, 2]),
+        pad=st.integers(0, 2),
+    )
+    def test_property_equivalence(self, h, cin, cout, kernel, stride, pad):
+        if h + 2 * pad < kernel:
+            return
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, h, h, cin)).astype(np.float32)
+        w = rng.standard_normal((kernel, kernel, cin, cout)).astype(np.float32)
+        direct = conv2d_nhwc(x, w, None, (stride, stride),
+                             (pad, pad, pad, pad), 1)
+        cols = im2col_matrix(x, (kernel, kernel), (stride, stride),
+                             (pad, pad, pad, pad))
+        flat = cols @ lowered_weight_matrix(w)
+        np.testing.assert_allclose(flat.reshape(direct.shape), direct,
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_column_ordering_is_khkwcin(self, rng):
+        # Column index (i, j, c) must map to i*kw*cin + j*cin + c.
+        x = np.zeros((1, 3, 3, 2), dtype=np.float32)
+        x[0, 1, 2, 1] = 7.0
+        cols = im2col_matrix(x, (3, 3), (1, 1), (1, 1, 1, 1))
+        # Output position (1, 1) (center) sees x[1, 2, 1] at kernel
+        # offset (i=1, j=2, c=1) -> column 1*3*2 + 2*2 + 1 = 11.
+        row = 1 * 3 + 1
+        assert cols[row, 11] == 7.0

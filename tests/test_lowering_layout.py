@@ -1,0 +1,65 @@
+"""Tests for the NHWC layout math behind the memory optimizer."""
+
+from repro.lowering.layout import (
+    concat_is_contiguous,
+    nhwc_strides,
+    pad_offset_bytes,
+    slice_is_contiguous,
+)
+
+
+class TestStrides:
+    def test_dense_nhwc(self):
+        sn, sh, sw, sc = nhwc_strides((1, 14, 14, 8))
+        assert sc == 2
+        assert sw == 8 * 2
+        assert sh == 14 * 8 * 2
+        assert sn == 14 * 14 * 8 * 2
+
+
+class TestSliceContiguity:
+    def test_h_slice_of_batch1_is_contiguous(self):
+        assert slice_is_contiguous((1, 14, 14, 8), axis=1)
+
+    def test_h_slice_of_batch2_is_not(self):
+        assert not slice_is_contiguous((2, 14, 14, 8), axis=1)
+
+    def test_w_slice_is_not_contiguous(self):
+        assert not slice_is_contiguous((1, 14, 14, 8), axis=2)
+
+    def test_channel_slice_is_not_contiguous(self):
+        assert not slice_is_contiguous((1, 14, 14, 8), axis=3)
+
+    def test_gemm_column_slice_batch1(self):
+        assert slice_is_contiguous((1, 4096), axis=1)
+        assert not slice_is_contiguous((64, 4096), axis=1)
+
+    def test_negative_axis(self):
+        assert slice_is_contiguous((1, 1, 8), axis=-1)
+
+
+class TestConcatContiguity:
+    def test_h_concat_batch1(self):
+        assert concat_is_contiguous([(1, 7, 14, 8), (1, 7, 14, 8)], axis=1)
+
+    def test_mismatched_non_axis_dims(self):
+        assert not concat_is_contiguous([(1, 7, 14, 8), (1, 7, 13, 8)], axis=1)
+
+    def test_channel_concat_not_contiguous(self):
+        assert not concat_is_contiguous([(1, 7, 14, 8), (1, 7, 14, 8)], axis=3)
+
+    def test_empty(self):
+        assert not concat_is_contiguous([], axis=1)
+
+    def test_rank_mismatch(self):
+        assert not concat_is_contiguous([(1, 7, 14, 8), (7, 14, 8)], axis=1)
+
+
+class TestPadOffset:
+    def test_no_padding(self):
+        assert pad_offset_bytes((1, 14, 14, 8), (0, 0, 0, 0)) == 0
+
+    def test_top_left_padding(self):
+        # One padded row of (14+2) pixels x 8ch x 2B, plus one pixel.
+        off = pad_offset_bytes((1, 14, 14, 8), (1, 1, 1, 1))
+        assert off == 16 * 8 * 2 + 8 * 2

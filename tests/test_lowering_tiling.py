@@ -1,0 +1,104 @@
+"""Tests for PIM channel tiling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import (
+    GRANULARITIES,
+    tile_over_channels,
+    tiles_by_channel,
+)
+
+
+def _gemv(rows=16, k=64, n=32, strided=False):
+    return LoweredGemv(rows=rows, k=k, n=n,
+                       contiguous_k=k if not strided else 8, strided=strided)
+
+
+def _covers_exactly(tiles, gemv):
+    """Tiles must partition the (K, N) space with full row coverage."""
+    cells = set()
+    for t in tiles:
+        assert t.rows == gemv.rows
+        for kk in range(t.k_start, t.k_start + t.k):
+            for cc in range(t.col_start, t.col_start + t.n):
+                assert (kk, cc) not in cells, "overlapping tiles"
+                cells.add((kk, cc))
+    assert len(cells) == gemv.k * gemv.n, "tiles do not cover the space"
+
+
+class TestGranularities:
+    def test_gact_blocks_leave_channels_idle(self):
+        # 32 output columns = one column block -> only 1 channel busy.
+        tiles = tile_over_channels(_gemv(n=32), 16, "g_act")
+        assert len({t.channel for t in tiles}) == 1
+
+    def test_readres_spreads_columns(self):
+        tiles = tile_over_channels(_gemv(n=32), 16, "readres")
+        assert len({t.channel for t in tiles}) == 16
+
+    def test_comp_splits_k_when_columns_scarce(self):
+        tiles = tile_over_channels(_gemv(n=2, k=64), 16, "comp")
+        channels = {t.channel for t in tiles}
+        assert len(channels) > 2
+        assert any(t.partial for t in tiles)
+
+    def test_granularity_ordering_of_parallelism(self):
+        gemv = _gemv(n=8, k=256)
+        used = {
+            gran: len({t.channel for t in tile_over_channels(gemv, 16, gran)})
+            for gran in GRANULARITIES
+        }
+        assert used["g_act"] <= used["readres"] <= used["comp"]
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            tile_over_channels(_gemv(), 16, "bogus")
+
+    def test_bad_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            tile_over_channels(_gemv(), 0)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("n", [1, 2, 15, 16, 17, 64, 1000])
+    def test_full_coverage(self, granularity, n):
+        gemv = _gemv(n=n, k=48)
+        tiles = tile_over_channels(gemv, 16, granularity)
+        _covers_exactly(tiles, gemv)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(16, 512),
+        n=st.integers(1, 200),
+        channels=st.integers(1, 32),
+        granularity=st.sampled_from(GRANULARITIES),
+    )
+    def test_property_coverage(self, k, n, channels, granularity):
+        gemv = _gemv(rows=4, k=k, n=n)
+        tiles = tile_over_channels(gemv, channels, granularity)
+        _covers_exactly(tiles, gemv)
+        assert all(0 <= t.channel < channels for t in tiles)
+
+    def test_macs_conserved(self):
+        gemv = _gemv(rows=8, k=96, n=5)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        assert sum(t.macs for t in tiles) == gemv.macs
+
+
+class TestTilesByChannel:
+    def test_grouping(self):
+        gemv = _gemv(n=3, k=64)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        grouped = tiles_by_channel(tiles)
+        assert sum(len(v) for v in grouped.values()) == len(tiles)
+        for ch, group in grouped.items():
+            assert all(t.channel == ch for t in group)
+
+    def test_balance_with_many_columns(self):
+        tiles = tile_over_channels(_gemv(n=160), 16, "comp")
+        sizes = [t.n for t in tiles]
+        assert max(sizes) - min(sizes) <= 1

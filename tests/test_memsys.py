@@ -1,0 +1,67 @@
+"""Tests for the PIM-enabled memory system."""
+
+import pytest
+
+from repro.gpu.config import RTX2060
+from repro.memsys.contention import controller_contention_slowdown
+from repro.memsys.movement import transfer_time_us
+from repro.memsys.system import MemorySystem
+from repro.pim.config import PimConfig
+
+
+class TestMemorySystem:
+    def test_default_split_is_16_16(self):
+        mem = MemorySystem()
+        assert mem.gpu_channels == 16
+        assert mem.pim_channels == 16
+
+    def test_configs_reflect_split(self):
+        mem = MemorySystem(32, 12)
+        assert mem.gpu_config(RTX2060).mem_channels == 20
+        assert mem.pim_config(PimConfig()).num_channels == 12
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(32, 33)
+        with pytest.raises(ValueError):
+            MemorySystem(32, -1)
+
+    def test_all_pim_blocks_gpu(self):
+        mem = MemorySystem(32, 32)
+        with pytest.raises(ValueError):
+            mem.gpu_config(RTX2060)
+
+    def test_no_pim_blocks_pim(self):
+        mem = MemorySystem(32, 0)
+        with pytest.raises(ValueError):
+            mem.pim_config(PimConfig())
+
+    def test_with_pim_channels(self):
+        mem = MemorySystem().with_pim_channels(8)
+        assert mem.pim_channels == 8
+        assert mem.gpu_channels == 24
+
+
+class TestMovement:
+    def test_zero_bytes_free(self):
+        assert transfer_time_us(0) == 0.0
+
+    def test_scales_with_bytes(self):
+        t1 = transfer_time_us(1e6)
+        t2 = transfer_time_us(2e6)
+        assert t2 > t1
+        assert (t2 - t1) == pytest.approx(1e6 / 256e3)
+
+
+class TestContention:
+    def test_no_traffic_no_slowdown(self):
+        assert controller_contention_slowdown(0, 1000.0) == 1.0
+
+    def test_slowdown_is_small(self):
+        # Paper Section 7: 0.15-0.22% for real models.
+        factor = controller_contention_slowdown(5e6, 1000.0)
+        assert 1.0 < factor < 1.05
+
+    def test_bounded_by_blocking_probability(self):
+        factor = controller_contention_slowdown(1e12, 1.0)
+        assert factor <= 1.02 + 1e-9

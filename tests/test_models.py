@@ -1,0 +1,109 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.graph.ops import is_pim_candidate
+from repro.models import build_model, list_models
+from repro.models.efficientnet import EFFICIENTNET_PARAMS
+from repro.runtime.numerical import execute
+
+
+def _candidate_convs(graph):
+    out = []
+    for n in graph.nodes:
+        if n.op_type != "Conv":
+            continue
+        shapes = [graph.tensors[t].shape for t in n.inputs]
+        if is_pim_candidate(n, shapes):
+            out.append(n)
+    return out
+
+
+class TestRegistry:
+    def test_lists_evaluated_models(self):
+        names = list_models()
+        for required in ("efficientnet-v1-b0", "mobilenet-v2", "mnasnet-1.0",
+                         "resnet-50", "vgg-16", "toy"):
+            assert required in names
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", ["toy", "mobilenet-v2", "mnasnet-1.0",
+                                      "efficientnet-v1-b0"])
+    def test_graphs_validate(self, name):
+        build_model(name).validate()
+
+    def test_resnet50_conv_count(self):
+        g = build_model("resnet-50")
+        # 1 stem + 16 blocks x 3 convs + 4 downsample convs = 53.
+        assert g.op_counts()["Conv"] == 53
+        assert g.op_counts()["Gemm"] == 1
+
+    def test_vgg16_structure(self):
+        g = build_model("vgg-16")
+        assert g.op_counts()["Conv"] == 13
+        assert g.op_counts()["Gemm"] == 3
+        assert g.op_counts()["MaxPool"] == 5
+
+    def test_mobilenet_has_17_dw_convs(self):
+        g = build_model("mobilenet-v2")
+        dw = [n for n in g.nodes if n.op_type == "Conv"
+              and int(n.attr("group", 1)) > 1]
+        assert len(dw) == 17  # one per inverted residual block
+
+    def test_mobilenet_output_shape(self):
+        g = build_model("mobilenet-v2")
+        assert g.tensors[g.outputs[0]].shape == (1, 1000)
+
+    def test_efficientnet_scaling_grows(self):
+        flops = {}
+        for variant in ("b0", "b2"):
+            g = build_model(f"efficientnet-v1-{variant}")
+            from repro.gpu.kernels import node_flops_bytes
+            flops[variant] = sum(node_flops_bytes(n, g)[0] for n in g.nodes)
+        assert flops["b2"] > 1.5 * flops["b0"]
+
+    def test_efficientnet_resolution_scales(self):
+        for variant, (_, _, res) in EFFICIENTNET_PARAMS.items():
+            if variant in ("b0", "b3"):
+                g = build_model(f"efficientnet-v1-{variant}")
+                assert g.tensors["input"].shape[1] == res
+
+    def test_bert_fc_counts(self):
+        g = build_model("bert-seq64")
+        # 12 layers x 6 Gemms (q, k, v, attn_out, ff1, ff2) + classifier.
+        assert g.op_counts()["Gemm"] == 12 * 6 + 1
+        assert g.tensors["input"].shape == (64, 768)
+
+    def test_all_evaluated_models_have_pim_candidates(self):
+        for name in ("mobilenet-v2", "mnasnet-1.0", "efficientnet-v1-b0",
+                     "resnet-50", "vgg-16"):
+            assert len(_candidate_convs(build_model(name))) >= 10
+
+
+class TestNumericalExecution:
+    def test_toy_runs(self, rng):
+        g = build_model("toy")
+        out = execute(g, {"input": rng.standard_normal((1, 56, 56, 3)) * 0.1})
+        (result,) = out.values()
+        assert result.shape == (1, 10)
+        assert np.isfinite(result).all()
+
+    def test_mobilenet_runs_finite(self, rng):
+        g = build_model("mobilenet-v2")
+        out = execute(g, {"input": rng.standard_normal((1, 224, 224, 3)) * 0.1})
+        (result,) = out.values()
+        assert result.shape == (1, 1000)
+        assert np.isfinite(result).all()
+
+    def test_deterministic_weights(self):
+        g1 = build_model("toy")
+        g2 = build_model("toy")
+        for name in g1.initializers:
+            np.testing.assert_array_equal(g1.initializers[name],
+                                          g2.initializers[name])

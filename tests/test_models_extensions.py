@@ -1,0 +1,93 @@
+"""Tests for the extension models (beyond the paper's evaluated five)."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.pimflow import PimFlow, PimFlowConfig
+from repro.runtime.numerical import execute
+from repro.transform.patterns import find_pipeline_candidates
+
+
+class TestBasicResNets:
+    def test_resnet18_structure(self):
+        g = build_model("resnet-18")
+        # stem + 8 basic blocks x 2 convs + 3 downsample convs = 20.
+        assert g.op_counts()["Conv"] == 20
+        assert g.tensors[g.outputs[0]].shape == (1, 1000)
+
+    def test_resnet34_structure(self):
+        g = build_model("resnet-34")
+        assert g.op_counts()["Conv"] == 36
+
+    def test_resnet18_runs(self, rng):
+        g = build_model("resnet-18")
+        out = execute(g, {"input": rng.standard_normal((1, 224, 224, 3)) * 0.1})
+        assert np.isfinite(list(out.values())[0]).all()
+
+    def test_resnet18_pimflow_speedup_smaller_than_mobilenet(self):
+        """Compute-heavy basic blocks: modest PIM gains, like ResNet50."""
+        g = build_model("resnet-18")
+        base = PimFlow(PimFlowConfig(mechanism="gpu")).run(g).makespan_us
+        pf = PimFlow(PimFlowConfig(mechanism="pimflow")).run(g).makespan_us
+        assert 0.9 < base / pf < 1.5
+
+
+class TestShuffleNetV2:
+    def test_structure(self):
+        g = build_model("shufflenet-v2")
+        counts = g.op_counts()
+        assert counts["Conv"] == 56
+        assert counts["Transpose"] == 16  # one shuffle per unit
+        assert counts["Concat"] == 16
+
+    def test_channel_shuffle_is_permutation(self, rng):
+        """The shuffle must only permute channels, never mix values."""
+        from repro.models.shufflenet import _channel_shuffle
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder(seed=1)
+        x = b.input("x", (1, 4, 4, 8))
+        y = _channel_shuffle(b, x)
+        b.output(y)
+        g = b.build()
+        data = rng.standard_normal((1, 4, 4, 8))
+        out = execute(g, {"x": data})[y]
+        # Same multiset of values per spatial position.
+        np.testing.assert_allclose(np.sort(out, axis=-1),
+                                   np.sort(data, axis=-1), atol=1e-6)
+        # And specifically the groups=2 interleave.
+        np.testing.assert_allclose(out[0, 0, 0],
+                                   data[0, 0, 0].reshape(2, 4).T.reshape(-1),
+                                   atol=1e-6)
+
+    def test_runs_finite(self, rng):
+        g = build_model("shufflenet-v2")
+        out = execute(g, {"input": rng.standard_normal((1, 224, 224, 3)) * 0.1})
+        assert np.isfinite(list(out.values())[0]).all()
+
+    def test_has_pipeline_patterns(self):
+        """The branchy units still expose 1x1-DW chains to the matcher."""
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        g = flow.prepare(build_model("shufflenet-v2"))
+        patterns = find_pipeline_candidates(g)
+        assert len(patterns) > 0
+
+    def test_pimflow_compiles_and_wins(self):
+        g = build_model("shufflenet-v2")
+        base = PimFlow(PimFlowConfig(mechanism="gpu")).run(g).makespan_us
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        compiled = flow.compile(g)
+        pf = flow.engine.run(compiled.graph).makespan_us
+        assert base / pf > 1.0
+
+    def test_compiled_semantics_preserved(self, rng):
+        """End-to-end equivalence through splits around channel shuffles."""
+        g = build_model("shufflenet-v2")
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow-md"))
+        compiled = flow.compile(g)
+        feed = {"input": rng.standard_normal((1, 224, 224, 3)) * 0.1}
+        ref = execute(g, feed)
+        out = execute(compiled.graph, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=5e-3, atol=5e-3)

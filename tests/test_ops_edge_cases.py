@@ -1,0 +1,104 @@
+"""Edge-case tests for shape inference and numerical kernels."""
+
+import numpy as np
+import pytest
+
+from repro.graph.node import Node
+from repro.graph.ops import ShapeError, infer_shapes
+from repro.runtime.numerical import execute_node
+
+
+class TestSliceEdgeCases:
+    def test_negative_axis(self):
+        node = Node("s", "Slice", ["x"], ["y"],
+                    {"axis": -1, "start": 0, "end": 2})
+        assert infer_shapes(node, [(1, 4, 4, 8)]) == [(1, 4, 4, 2)]
+
+    def test_negative_bounds(self):
+        node = Node("s", "Slice", ["x"], ["y"],
+                    {"axis": 1, "start": -3, "end": -1})
+        assert infer_shapes(node, [(1, 8, 4, 2)]) == [(1, 2, 4, 2)]
+
+    def test_clamped_end(self):
+        node = Node("s", "Slice", ["x"], ["y"],
+                    {"axis": 1, "start": 6, "end": 100})
+        assert infer_shapes(node, [(1, 8, 4, 2)]) == [(1, 2, 4, 2)]
+
+    def test_numerical_matches_inference(self, rng):
+        x = rng.standard_normal((1, 8, 4, 2)).astype(np.float32)
+        node = Node("s", "Slice", ["x"], ["y"],
+                    {"axis": 1, "start": 2, "end": 5})
+        out = execute_node(node, [x])
+        (shape,) = infer_shapes(node, [x.shape])
+        assert out.shape == shape
+        np.testing.assert_array_equal(out, x[:, 2:5])
+
+
+class TestConcatEdgeCases:
+    def test_negative_axis(self):
+        node = Node("c", "Concat", ["a", "b"], ["y"], {"axis": -1})
+        assert infer_shapes(node, [(1, 4, 4, 3), (1, 4, 4, 5)]) == \
+            [(1, 4, 4, 8)]
+
+    def test_single_input(self):
+        node = Node("c", "Concat", ["a"], ["y"], {"axis": 1})
+        assert infer_shapes(node, [(1, 4)]) == [(1, 4)]
+
+
+class TestTransposeEdgeCases:
+    def test_default_perm_reverses(self):
+        node = Node("t", "Transpose", ["x"], ["y"], {})
+        assert infer_shapes(node, [(2, 3, 4)]) == [(4, 3, 2)]
+
+    def test_invalid_perm_rejected(self):
+        node = Node("t", "Transpose", ["x"], ["y"], {"perm": (0, 0, 1)})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(2, 3, 4)])
+
+
+class TestReshapeEdgeCases:
+    def test_two_minus_ones_rejected(self):
+        node = Node("r", "Reshape", ["x"], ["y"], {"shape": (-1, -1)})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(4, 4)])
+
+    def test_indivisible_minus_one_rejected(self):
+        node = Node("r", "Reshape", ["x"], ["y"], {"shape": (3, -1)})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(4, 4)])
+
+
+class TestPadEdgeCases:
+    def test_negative_padding_rejected(self):
+        node = Node("p", "Pad", ["x"], ["y"],
+                    {"pads": ((0, 0), (-1, 0), (0, 0), (0, 0))})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 2)])
+
+    def test_rank_mismatch_rejected(self):
+        node = Node("p", "Pad", ["x"], ["y"], {"pads": ((0, 0), (1, 1))})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 2)])
+
+
+class TestConvEdgeCases:
+    def test_group_not_dividing_channels_rejected(self):
+        node = Node("c", "Conv", ["x", "w"], ["y"], {
+            "kernel_shape": (1, 1), "strides": (1, 1),
+            "pads": (0, 0, 0, 0), "group": 3})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 8), (1, 1, 2, 6)])
+
+    def test_kernel_larger_than_padded_input_rejected(self):
+        node = Node("c", "Conv", ["x", "w"], ["y"], {
+            "kernel_shape": (7, 7), "strides": (1, 1),
+            "pads": (0, 0, 0, 0), "group": 1})
+        with pytest.raises(ShapeError):
+            infer_shapes(node, [(1, 4, 4, 2), (7, 7, 2, 4)])
+
+    def test_rectangular_input(self):
+        node = Node("c", "Conv", ["x", "w"], ["y"], {
+            "kernel_shape": (3, 3), "strides": (2, 1),
+            "pads": (1, 1, 1, 1), "group": 1})
+        assert infer_shapes(node, [(1, 16, 9, 2), (3, 3, 2, 4)]) == \
+            [(1, 8, 9, 4)]

@@ -1,0 +1,111 @@
+"""Functional (value-level) PIM execution tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.lowering.im2col import (
+    LoweredGemv,
+    im2col_matrix,
+    lower_conv,
+    lowered_weight_matrix,
+)
+from repro.lowering.tiling import GRANULARITIES, ChannelTile, tile_over_channels
+from repro.pim.functional import execute_gemv, execute_tiles
+from repro.runtime.numerical import conv2d_nhwc
+
+
+class TestExecuteTiles:
+    def test_matches_matmul_column_partition(self, rng):
+        x = rng.standard_normal((8, 32)).astype(np.float32)
+        w = rng.standard_normal((32, 24)).astype(np.float32)
+        gemv = LoweredGemv(8, 32, 24, 32, False)
+        tiles = tile_over_channels(gemv, 16, "readres")
+        out = execute_tiles(x, w, tiles)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-4, atol=1e-4)
+
+    def test_matches_matmul_with_k_split(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32)
+        w = rng.standard_normal((64, 3)).astype(np.float32)
+        gemv = LoweredGemv(4, 64, 3, 64, False)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        assert any(t.partial for t in tiles)
+        out = execute_tiles(x, w, tiles)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-4, atol=1e-4)
+
+    def test_rejects_overlapping_tiles(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        tiles = [
+            ChannelTile(0, 2, 0, 8, 0, 3),
+            ChannelTile(1, 2, 0, 8, 2, 2),  # overlaps column 2
+        ]
+        with pytest.raises(ValueError):
+            execute_tiles(x, w, tiles)
+
+    def test_rejects_incomplete_coverage(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        tiles = [ChannelTile(0, 2, 0, 8, 0, 3)]
+        with pytest.raises(ValueError):
+            execute_tiles(x, w, tiles)
+
+    def test_rejects_row_mismatch(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        tiles = [ChannelTile(0, 3, 0, 8, 0, 4)]
+        with pytest.raises(ValueError):
+            execute_tiles(x, w, tiles)
+
+
+class TestExecuteGemv:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(1, 20),
+        k=st.integers(16, 128),
+        n=st.integers(1, 40),
+        channels=st.integers(1, 32),
+        granularity=st.sampled_from(GRANULARITIES),
+    )
+    def test_property_matches_matmul(self, rows, k, n, channels, granularity):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((rows, k)).astype(np.float32)
+        w = rng.standard_normal((k, n)).astype(np.float32)
+        gemv = LoweredGemv(rows, k, n, k, False)
+        out = execute_gemv(x, w, gemv, channels, granularity)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-3, atol=1e-3)
+
+    def test_descriptor_mismatch_rejected(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 4)).astype(np.float32)
+        gemv = LoweredGemv(5, 8, 4, 8, False)
+        with pytest.raises(ValueError):
+            execute_gemv(x, w, gemv, 16)
+
+
+class TestEndToEndConvOnPim:
+    """im2col -> tiling -> functional PIM must equal the direct conv."""
+
+    @pytest.mark.parametrize("kernel,stride,cout", [
+        (1, 1, 16), (3, 1, 8), (3, 2, 4), (5, 1, 3),
+    ])
+    def test_conv_via_pim_tiles(self, rng, kernel, stride, cout):
+        b = GraphBuilder(seed=4)
+        x_name = b.input("x", (1, 9, 9, 4))
+        y = b.conv(x_name, cout=cout, kernel=kernel, stride=stride,
+                   bias=False, name="c")
+        b.output(y)
+        g = b.build()
+        node = g.node("c")
+        x = rng.standard_normal((1, 9, 9, 4)).astype(np.float32)
+        w = g.initializers[node.inputs[1]].astype(np.float32)
+        pads = node.attr("pads")
+        direct = conv2d_nhwc(x, w, None, (stride, stride), pads, 1)
+
+        gemv = lower_conv(node, g)
+        cols = im2col_matrix(x, (kernel, kernel), (stride, stride), pads)
+        flat = execute_gemv(cols, lowered_weight_matrix(w), gemv, 16, "comp")
+        np.testing.assert_allclose(flat.reshape(direct.shape), direct,
+                                   rtol=1e-3, atol=1e-3)

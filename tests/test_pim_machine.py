@@ -1,0 +1,128 @@
+"""Tests for the value-carrying PIM machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.lowering.im2col import (
+    LoweredGemv,
+    im2col_matrix,
+    lower_conv,
+    lowered_weight_matrix,
+)
+from repro.lowering.tiling import tile_over_channels
+from repro.pim.config import (
+    NEWTON_PLUS,
+    NEWTON_PLUS_PLUS,
+    PimConfig,
+    PimOptimizations,
+)
+from repro.pim.machine import (
+    GlobalBuffer,
+    MachineError,
+    ResultLatches,
+    execute_gemv_machine,
+    execute_tile_machine,
+)
+from repro.runtime.numerical import conv2d_nhwc
+
+CFG = PimConfig()
+
+
+def _gemv(rows, k, n):
+    return LoweredGemv(rows=rows, k=k, n=n, contiguous_k=k, strided=False)
+
+
+class TestArchitecturalState:
+    def test_buffer_capacity_enforced(self):
+        buf = GlobalBuffer(capacity_elems=8)
+        buf.gwrite(np.ones(8))
+        with pytest.raises(MachineError):
+            buf.gwrite(np.ones(9))
+
+    def test_comp_before_gwrite_rejected(self):
+        buf = GlobalBuffer(capacity_elems=8)
+        with pytest.raises(MachineError):
+            buf.read()
+
+    def test_latches_accumulate_and_drain(self):
+        latches = ResultLatches()
+        latches.accumulate(0, np.array([1.0, 2.0]))
+        latches.accumulate(0, np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(latches.readres(0), [4.0, 6.0])
+        assert latches.pending() == 0
+
+    def test_readres_without_results_rejected(self):
+        with pytest.raises(MachineError):
+            ResultLatches().readres(3)
+
+
+class TestMachineCorrectness:
+    @pytest.mark.parametrize("rows,k,n,opts", [
+        (8, 64, 32, NEWTON_PLUS),          # single pass, one buffer
+        (8, 64, 32, NEWTON_PLUS_PLUS),     # four buffers
+        (5, 4096, 48, NEWTON_PLUS_PLUS),   # K > capacity: two passes
+        (1, 8192, 16, NEWTON_PLUS),        # GEMV with four passes
+        (7, 100, 3, NEWTON_PLUS_PLUS),     # K-split partial tiles
+    ])
+    def test_matches_matmul(self, rng, rows, k, n, opts):
+        x = rng.standard_normal((rows, k)).astype(np.float32)
+        w = rng.standard_normal((k, n)).astype(np.float32)
+        out = execute_gemv_machine(x, w, _gemv(rows, k, n), CFG, opts)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-3, atol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 12),
+        k=st.integers(16, 5000),
+        n=st.integers(1, 64),
+        nb=st.sampled_from([1, 2, 4]),
+    )
+    def test_property_matches_matmul(self, rows, k, n, nb):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((rows, k)).astype(np.float32)
+        w = rng.standard_normal((k, n)).astype(np.float32)
+        opts = PimOptimizations(num_gwrite_buffers=nb)
+        out = execute_gemv_machine(x, w, _gemv(rows, k, n), CFG, opts)
+        np.testing.assert_allclose(out, x @ w, rtol=1e-2, atol=1e-2)
+
+    def test_tile_outputs_are_disjoint_slices(self, rng):
+        gemv = _gemv(4, 64, 32)
+        x = rng.standard_normal((4, 64)).astype(np.float32)
+        w = rng.standard_normal((64, 32)).astype(np.float32)
+        tiles = tile_over_channels(gemv, 16, "comp")
+        for tile in tiles[:3]:
+            out = execute_tile_machine(tile, gemv, x, w, CFG, NEWTON_PLUS)
+            expected = x[:, tile.k_start:tile.k_start + tile.k] @ \
+                w[tile.k_start:tile.k_start + tile.k,
+                  tile.col_start:tile.col_start + tile.n]
+            np.testing.assert_allclose(out, expected, rtol=1e-3, atol=1e-3)
+
+    def test_descriptor_mismatch_rejected(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32)
+        w = rng.standard_normal((64, 32)).astype(np.float32)
+        with pytest.raises(ValueError):
+            execute_gemv_machine(x, w, _gemv(5, 64, 32), CFG, NEWTON_PLUS)
+
+
+class TestConvThroughMachine:
+    def test_conv_via_pim_machine(self, rng):
+        """Full path: im2col -> tiles -> buffer/latch machine == conv."""
+        b = GraphBuilder(seed=9)
+        x_name = b.input("x", (1, 9, 9, 6))
+        y = b.conv(x_name, cout=10, kernel=3, bias=False, name="c")
+        b.output(y)
+        g = b.build()
+        node = g.node("c")
+        x = rng.standard_normal((1, 9, 9, 6)).astype(np.float32)
+        w = g.initializers[node.inputs[1]].astype(np.float32)
+        direct = conv2d_nhwc(x, w, None, (1, 1), node.attr("pads"), 1)
+
+        gemv = lower_conv(node, g)
+        cols = im2col_matrix(x, (3, 3), (1, 1), node.attr("pads"))
+        flat = execute_gemv_machine(cols, lowered_weight_matrix(w), gemv,
+                                    CFG, NEWTON_PLUS_PLUS)
+        np.testing.assert_allclose(flat.reshape(direct.shape), direct,
+                                   rtol=1e-3, atol=1e-3)

@@ -1,0 +1,87 @@
+"""Tests for the weight-placement planner."""
+
+import pytest
+
+from repro.models import build_model
+from repro.pim.config import NEWTON_PLUS_PLUS, PimConfig
+from repro.pim.placement import (
+    PlacementError,
+    PlacementPlan,
+    layer_rows,
+    plan_placement,
+)
+from repro.pimflow import PimFlow, PimFlowConfig
+
+
+class TestLayerRows:
+    def test_rows_cover_weights(self, small_conv_graph):
+        cfg = PimConfig()
+        rows = layer_rows("c0", small_conv_graph, cfg, NEWTON_PLUS_PLUS)
+        gemv_elems = 3 * 3 * 8 * 16  # K x N of the lowered filter
+        covered = sum(rows.values()) * cfg.weights_per_activation
+        assert covered >= gemv_elems
+
+    def test_wide_layer_spreads_channels(self, fc_graph):
+        rows = layer_rows("fc0", fc_graph, PimConfig(), NEWTON_PLUS_PLUS)
+        assert len(rows) == 16  # 48 output columns over 16 channels
+
+    def test_at_least_one_row_per_used_channel(self, small_conv_graph):
+        rows = layer_rows("c0", small_conv_graph, PimConfig(), NEWTON_PLUS_PLUS)
+        assert all(r >= 1 for r in rows.values())
+
+
+class TestPlan:
+    def test_capacity_enforced(self):
+        plan = PlacementPlan(config=PimConfig())
+        cap = plan.rows_per_channel_capacity
+        plan.place("a", {0: cap})
+        with pytest.raises(PlacementError):
+            plan.place("b", {0: 1})
+
+    def test_partial_failure_leaves_state_clean(self):
+        plan = PlacementPlan(config=PimConfig())
+        cap = plan.rows_per_channel_capacity
+        plan.place("a", {0: cap - 1})
+        with pytest.raises(PlacementError):
+            plan.place("b", {0: 5, 1: 5})
+        # Channel 1 must not have been charged by the failed placement.
+        assert plan.used_rows.get(1, 0) == 0
+
+    def test_utilization_monotone(self):
+        plan = PlacementPlan(config=PimConfig())
+        assert plan.utilization() == 0.0
+        plan.place("a", {0: 100})
+        u1 = plan.utilization()
+        plan.place("b", {0: 100})
+        assert plan.utilization() > u1
+
+
+class TestModelPlacement:
+    @pytest.mark.parametrize("model", ["toy", "mobilenet-v2", "resnet-50"])
+    def test_evaluated_models_fit(self, model):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        graph = flow.prepare(build_model(model))
+        plan = plan_placement(graph, flow.pim.config, flow.pim.opts)
+        assert plan.utilization() < 1.0
+        assert len(plan.layers) > 0
+
+    def test_vgg16_fc_heavy_but_fits(self):
+        # VGG16's 25088x4096 FC is the stress case: ~100M fp16 weights.
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        graph = flow.prepare(build_model("vgg-16"))
+        plan = plan_placement(graph, flow.pim.config, flow.pim.opts)
+        assert 0.0 < plan.utilization() < 1.0
+
+
+class TestCompileIntegration:
+    def test_compile_checks_placement(self):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow",
+                                     check_placement=True))
+        compiled = flow.compile(build_model("toy"))  # must not raise
+        assert compiled.graph is not None
+
+    def test_placement_check_can_be_disabled(self):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow",
+                                     check_placement=False))
+        compiled = flow.compile(build_model("toy"))
+        assert compiled.graph is not None

@@ -1,0 +1,38 @@
+"""Tests for DRAM refresh modeling."""
+
+import dataclasses
+
+import pytest
+
+from repro.lowering.im2col import LoweredGemv
+from repro.pim.config import HBM_VALIDATION, NEWTON_PLUS_PLUS, PimConfig, PimTiming
+from repro.pim.cost import gemv_cost
+
+
+def _gemv():
+    return LoweredGemv(rows=128, k=512, n=128, contiguous_k=512, strided=False)
+
+
+class TestRefresh:
+    def test_refresh_overhead_fraction(self):
+        t = PimTiming(t_refi=6240, t_rfc=280)
+        assert t.refresh_overhead == pytest.approx(280 / 6240)
+
+    def test_zero_refi_disables_refresh(self):
+        t = PimTiming(t_refi=0)
+        assert t.refresh_overhead == 0.0
+
+    def test_refresh_slows_kernels(self):
+        with_refresh = PimConfig()
+        without = dataclasses.replace(
+            with_refresh, timing=dataclasses.replace(with_refresh.timing,
+                                                     t_refi=0))
+        slow = gemv_cost(_gemv(), with_refresh, NEWTON_PLUS_PLUS).cycles
+        fast = gemv_cost(_gemv(), without, NEWTON_PLUS_PLUS).cycles
+        assert slow > fast
+        assert slow / fast == pytest.approx(
+            1 + with_refresh.timing.refresh_overhead, rel=0.01)
+
+    def test_hbm_preset_structure(self):
+        assert HBM_VALIDATION.num_channels == 24
+        assert HBM_VALIDATION.banks_per_channel == 16

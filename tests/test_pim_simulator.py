@@ -1,0 +1,133 @@
+"""Tests for the event-driven PIM simulator and its agreement with the
+closed-form model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.generator import generate_trace, tile_program
+from repro.lowering.im2col import LoweredGemv
+from repro.lowering.tiling import tile_over_channels
+from repro.pim.commands import CmdKind, PimCommand
+from repro.pim.config import (
+    NEWTON_PLUS,
+    NEWTON_PLUS_PLUS,
+    PimConfig,
+    PimOptimizations,
+)
+from repro.pim.cost import gemv_cost, partial_combine_cycles
+from repro.pim.simulator import simulate_program, simulate_trace
+from repro.pim.timing import command_cycles
+
+CFG = PimConfig()
+
+
+def _gemv(rows=32, k=128, n=64, strided=False):
+    return LoweredGemv(rows=rows, k=k, n=n,
+                       contiguous_k=16 if strided else k, strided=strided)
+
+
+def _simulated_cycles(gemv, opts):
+    """Event-simulated kernel cycles plus the partial-combine drain the
+    device model charges (the combine runs outside the channel programs)."""
+    trace = generate_trace(gemv, CFG, opts)
+    return (simulate_trace(trace, CFG).cycles
+            + partial_combine_cycles(gemv, CFG, opts))
+
+
+class TestSimulatorPrimitives:
+    def test_empty_program(self):
+        assert simulate_program([], CFG).cycles == 0
+
+    def test_serial_chain_sums(self):
+        cmds = [
+            PimCommand(CmdKind.GWRITE, bytes=64),
+            PimCommand(CmdKind.G_ACT, deps=(0,)),
+            PimCommand(CmdKind.COMP, ops=8, deps=(1,)),
+            PimCommand(CmdKind.READRES, bytes=32, deps=(2,)),
+        ]
+        expected = sum(command_cycles(c, CFG) for c in cmds)
+        assert simulate_program(cmds, CFG).cycles == expected
+
+    def test_io_and_compute_overlap_without_deps(self):
+        # A GWRITE and a G_ACT with no dependency run concurrently.
+        cmds = [
+            PimCommand(CmdKind.GWRITE, bytes=3200),
+            PimCommand(CmdKind.G_ACT),
+        ]
+        gw = command_cycles(cmds[0], CFG)
+        act = command_cycles(cmds[1], CFG)
+        assert simulate_program(cmds, CFG).cycles == max(gw, act)
+
+    def test_same_resource_serializes(self):
+        cmds = [
+            PimCommand(CmdKind.GWRITE, bytes=320),
+            PimCommand(CmdKind.GWRITE, bytes=320),
+        ]
+        one = command_cycles(cmds[0], CFG)
+        assert simulate_program(cmds, CFG).cycles == 2 * one
+
+    def test_forward_dep_rejected(self):
+        cmds = [PimCommand(CmdKind.COMP, ops=1, deps=(3,))]
+        with pytest.raises(ValueError):
+            simulate_program(cmds, CFG)
+
+
+class TestTraceSimulation:
+    def test_trace_is_max_of_channels(self):
+        gemv = _gemv()
+        trace = generate_trace(gemv, CFG, NEWTON_PLUS)
+        result = simulate_trace(trace, CFG)
+        assert result.cycles == max(result.per_channel_cycles.values())
+
+    def test_command_counts_present(self):
+        trace = generate_trace(_gemv(), CFG, NEWTON_PLUS)
+        result = simulate_trace(trace, CFG)
+        for kind in ("GWRITE", "G_ACT", "COMP", "READRES"):
+            assert result.command_counts.get(kind, 0) >= 1
+
+
+class TestClosedFormAgreement:
+    """The analytical model must track the event simulator."""
+
+    @pytest.mark.parametrize("rows,k,n", [
+        (8, 128, 64), (64, 64, 16), (16, 2048, 128), (100, 192, 1152),
+        (1, 4096, 4096), (500, 32, 96),
+    ])
+    def test_serial_mode_matches_closely(self, rows, k, n):
+        gemv = _gemv(rows=rows, k=k, n=n)
+        opts = NEWTON_PLUS
+        analytic = gemv_cost(gemv, CFG, opts).cycles
+        assert _simulated_cycles(gemv, opts) == pytest.approx(analytic, rel=0.02)
+
+    @pytest.mark.parametrize("rows,k,n", [
+        (8, 128, 64), (64, 64, 16), (16, 2048, 128), (100, 192, 1152),
+    ])
+    def test_hiding_mode_within_tolerance(self, rows, k, n):
+        gemv = _gemv(rows=rows, k=k, n=n)
+        opts = NEWTON_PLUS_PLUS
+        analytic = gemv_cost(gemv, CFG, opts).cycles
+        assert _simulated_cycles(gemv, opts) == pytest.approx(analytic, rel=0.15)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 300),
+        k=st.integers(16, 1024),
+        n=st.integers(1, 256),
+        strided=st.booleans(),
+    )
+    def test_property_agreement_serial(self, rows, k, n, strided):
+        gemv = _gemv(rows=rows, k=k, n=n, strided=strided)
+        analytic = gemv_cost(gemv, CFG, NEWTON_PLUS).cycles
+        assert _simulated_cycles(gemv, NEWTON_PLUS) == \
+            pytest.approx(analytic, rel=0.05)
+
+    def test_hiding_never_slower_in_simulation(self):
+        for rows, k, n in [(32, 128, 64), (128, 512, 32), (16, 64, 256)]:
+            gemv = _gemv(rows=rows, k=k, n=n)
+            serial = simulate_trace(
+                generate_trace(gemv, CFG, PimOptimizations()), CFG).cycles
+            hidden = simulate_trace(
+                generate_trace(gemv, CFG, PimOptimizations(
+                    gwrite_latency_hiding=True)), CFG).cycles
+            assert hidden <= serial

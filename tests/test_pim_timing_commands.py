@@ -1,0 +1,93 @@
+"""Tests for the PIM timing rules and command representation."""
+
+import pytest
+
+from repro.pim.commands import CmdKind, CommandTrace, PimCommand, RESOURCE
+from repro.pim.config import PimConfig
+from repro.pim.timing import (
+    command_cycles,
+    comp_cycles,
+    cycles_to_us,
+    g_act_cycles,
+    gwrite_cycles,
+    readres_cycles,
+)
+
+CFG = PimConfig()
+
+
+class TestLatencies:
+    def test_gwrite_pays_issue_plus_transfer(self):
+        t = CFG.timing
+        assert gwrite_cycles(64, 1, 1, CFG) == t.t_cl + 2
+        assert gwrite_cycles(32, 1, 1, CFG) == t.t_cl + 1
+
+    def test_gwrite_minimum_one_transfer_cycle(self):
+        assert gwrite_cycles(1, 1, 1, CFG) == CFG.timing.t_cl + 1
+
+    def test_gact_is_trcdrd(self):
+        assert g_act_cycles(CFG) == CFG.timing.t_rcdrd == 25
+
+    def test_comp_scales_with_ops(self):
+        assert comp_cycles(10, CFG) == 10 * CFG.timing.t_ccd
+        assert comp_cycles(0, CFG) == CFG.timing.t_ccd  # floor of one op
+
+    def test_readres_like_gwrite(self):
+        assert readres_cycles(320, CFG) == CFG.timing.t_cl + 10
+
+    def test_command_cycles_dispatch(self):
+        assert command_cycles(PimCommand(CmdKind.G_ACT), CFG) == 25
+        assert command_cycles(PimCommand(CmdKind.COMP, ops=4), CFG) == 8
+        assert command_cycles(
+            PimCommand(CmdKind.GWRITE, bytes=64), CFG) == 13
+        assert command_cycles(
+            PimCommand(CmdKind.READRES, bytes=64), CFG) == 13
+
+    def test_cycles_to_us(self):
+        assert cycles_to_us(1000, CFG) == pytest.approx(1.0)  # 1 GHz
+        import dataclasses
+        fast = dataclasses.replace(CFG, clock_ghz=2.0)
+        assert cycles_to_us(1000, fast) == pytest.approx(0.5)
+
+
+class TestCommands:
+    def test_resource_mapping(self):
+        assert RESOURCE[CmdKind.GWRITE] == "io"
+        assert RESOURCE[CmdKind.READRES] == "io"
+        assert RESOURCE[CmdKind.G_ACT] == "compute"
+        assert RESOURCE[CmdKind.COMP] == "compute"
+
+    def test_trace_add_returns_index(self):
+        trace = CommandTrace()
+        assert trace.add(0, PimCommand(CmdKind.GWRITE, bytes=32)) == 0
+        assert trace.add(0, PimCommand(CmdKind.G_ACT)) == 1
+        assert trace.add(1, PimCommand(CmdKind.GWRITE, bytes=32)) == 0
+
+    def test_trace_counts(self):
+        trace = CommandTrace()
+        trace.add(0, PimCommand(CmdKind.GWRITE, bytes=32))
+        trace.add(0, PimCommand(CmdKind.COMP, ops=1))
+        trace.add(1, PimCommand(CmdKind.COMP, ops=1))
+        assert trace.counts() == {"GWRITE": 1, "COMP": 2}
+        assert trace.num_commands == 3
+
+    def test_command_is_frozen(self):
+        cmd = PimCommand(CmdKind.COMP, ops=1)
+        with pytest.raises(Exception):
+            cmd.ops = 2
+
+
+class TestConfigDerived:
+    def test_macs_per_comp(self):
+        assert CFG.macs_per_comp == 256
+
+    def test_buffer_capacity(self):
+        assert CFG.buffer_capacity_elems == 2048
+
+    def test_weights_per_activation(self):
+        assert CFG.weights_per_activation == 1024 * 16
+
+    def test_invalid_buffers_rejected(self):
+        from repro.pim.config import PimOptimizations
+        with pytest.raises(ValueError):
+            PimOptimizations(num_gwrite_buffers=3)

@@ -1,0 +1,148 @@
+"""Tests for the top-level PIMFlow toolchain."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.pimflow import MECHANISMS, PimFlow, PimFlowConfig, run_mechanism
+from repro.runtime.numerical import execute
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return build_model("toy")
+
+
+@pytest.fixture(scope="module")
+def results(toy):
+    out = {}
+    for mech in MECHANISMS:
+        out[mech] = PimFlow(PimFlowConfig(mechanism=mech)).run(toy)
+    return out
+
+
+class TestConfig:
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            PimFlowConfig(mechanism="quantum")
+
+    def test_mechanism_specs(self):
+        assert not MECHANISMS["gpu"].uses_pim
+        assert MECHANISMS["newton+"].split_ratios == (0.0, 1.0)
+        assert len(MECHANISMS["pimflow-md"].split_ratios) == 11
+        assert MECHANISMS["pimflow"].pipelines
+        assert not MECHANISMS["pimflow-md"].pipelines
+
+    def test_ratio_step_override(self):
+        cfg = PimFlowConfig(mechanism="pimflow-md", ratio_step=0.02)
+        assert len(cfg.spec.split_ratios) == 51
+
+    def test_channel_split_applied(self):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        assert flow.gpu.config.mem_channels == 16
+        assert flow.pim.config.num_channels == 16
+
+    def test_gpu_baseline_gets_all_channels(self):
+        flow = PimFlow(PimFlowConfig(mechanism="gpu"))
+        assert flow.gpu.config.mem_channels == 32
+        assert flow.pim is None
+        assert not flow.gpu.write_through
+
+    def test_pim_modes_use_write_through(self):
+        flow = PimFlow(PimFlowConfig(mechanism="newton++"))
+        assert flow.gpu.write_through
+
+
+class TestWorkflow:
+    def test_profile_covers_every_node(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        g = flow.prepare(toy)
+        table = flow.profile(g)
+        for node in g.nodes:
+            assert table.best(node.name, 1) is not None
+
+    def test_profile_has_eleven_ratio_samples(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow-md"))
+        g = flow.prepare(toy)
+        table = flow.profile(g)
+        conv = next(n for n in g.nodes if n.op_type == "Conv"
+                    and int(n.attr("group", 1)) == 1)
+        options = table.options(conv.name, 1)
+        assert len(options) == 11
+
+    def test_compile_with_cached_table(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        first = flow.compile(toy)
+        second = flow.compile(toy, table=first.table)
+        assert second.predicted_time_us == pytest.approx(
+            first.predicted_time_us)
+        assert [d.mode for d in second.decisions] == \
+            [d.mode for d in first.decisions]
+
+    def test_compiled_graph_validates(self, toy):
+        compiled = PimFlow(PimFlowConfig(mechanism="pimflow")).compile(toy)
+        compiled.graph.validate()
+
+    def test_compiled_graph_semantics_preserved(self, toy, rng):
+        """The transformed graph must compute what the model computes."""
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        compiled = flow.compile(toy)
+        feed = {"input": rng.standard_normal((1, 56, 56, 3)) * 0.1}
+        ref = execute(toy, feed)
+        out = execute(compiled.graph, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=5e-3, atol=5e-3)
+
+
+class TestMechanismOrdering:
+    """Paper Fig. 9 orderings, on the toy network."""
+
+    def test_newton_pp_not_slower_than_newton_plus(self, results):
+        assert results["newton++"].makespan_us <= \
+            results["newton+"].makespan_us * 1.001
+
+    def test_pimflow_md_not_slower_than_newton_pp(self, results):
+        assert results["pimflow-md"].makespan_us <= \
+            results["newton++"].makespan_us * 1.001
+
+    def test_pimflow_best_overall(self, results):
+        best_others = min(r.makespan_us for m, r in results.items()
+                          if m != "pimflow")
+        assert results["pimflow"].makespan_us <= best_others * 1.001
+
+    def test_pim_mechanisms_use_pim(self, results):
+        for mech in ("newton+", "newton++", "pimflow-md", "pimflow"):
+            assert results[mech].pim_busy_us > 0, mech
+
+    def test_run_mechanism_helper(self, toy, results):
+        res = run_mechanism(toy, "gpu")
+        assert res.makespan_us == pytest.approx(results["gpu"].makespan_us)
+
+
+class TestStageOptionSearch:
+    """Extension: the search may consider multiple stage counts."""
+
+    def test_multiple_stage_options_never_worse(self, toy):
+        base = PimFlow(PimFlowConfig(mechanism="pimflow")).compile(toy)
+        multi = PimFlow(PimFlowConfig(
+            mechanism="pimflow",
+            pipeline_stage_options=(3, 4))).compile(toy)
+        assert multi.predicted_time_us <= base.predicted_time_us + 1e-6
+
+    def test_stage_options_recorded_in_table(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow",
+                                     pipeline_stage_options=(3,)))
+        g = flow.prepare(toy)
+        table = flow.profile(g)
+        stages = {m.stages for m in table.all_measurements()
+                  if m.mode == "pipeline"}
+        assert {2, 3} <= stages
+
+    def test_chosen_pipeline_stage_applies(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow",
+                                     pipeline_stage_options=(3,)))
+        compiled = flow.compile(toy)
+        compiled.graph.validate()
+        for d in compiled.decisions:
+            if d.mode == "pipeline":
+                assert d.stages in (2, 3)

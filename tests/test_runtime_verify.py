@@ -1,0 +1,73 @@
+"""Tests for the equivalence-verification utility."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.pimflow import PimFlow, PimFlowConfig
+from repro.runtime.verify import (
+    EquivalenceError,
+    random_feeds,
+    verify_equivalence,
+)
+from repro.transform.split import apply_mddp
+
+
+class TestVerifyEquivalence:
+    def test_identical_graphs_pass(self, small_conv_graph):
+        err = verify_equivalence(small_conv_graph, small_conv_graph.clone())
+        assert err == 0.0
+
+    def test_transformed_graph_passes(self, small_conv_graph):
+        transformed = apply_mddp(small_conv_graph, "c0", 0.5)
+        err = verify_equivalence(small_conv_graph, transformed)
+        assert err < 1e-3
+
+    def test_detects_divergence(self, small_conv_graph):
+        broken = small_conv_graph.clone()
+        w = broken.node("c0").inputs[1]
+        broken.initializers[w] = broken.initializers[w] + 1.0
+        with pytest.raises(EquivalenceError):
+            verify_equivalence(small_conv_graph, broken)
+
+    def test_detects_interface_mismatch(self, small_conv_graph, fc_graph):
+        with pytest.raises(EquivalenceError):
+            verify_equivalence(small_conv_graph, fc_graph)
+
+    def test_random_feeds_deterministic(self, small_conv_graph):
+        a = random_feeds(small_conv_graph, seed=3)
+        b = random_feeds(small_conv_graph, seed=3)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_full_toolchain_equivalence(self):
+        toy = build_model("toy")
+        compiled = PimFlow(PimFlowConfig(mechanism="pimflow")).compile(toy)
+        verify_equivalence(toy, compiled.graph)
+
+
+class TestGeluFusion:
+    def test_gelu_fuses_and_matches(self, rng):
+        from repro.graph.builder import GraphBuilder
+        from repro.runtime.numerical import execute
+        from repro.transform.fusion import fuse_activations
+
+        b = GraphBuilder(seed=23)
+        x = b.input("x", (1, 16))
+        y = b.gemm(x, 8, name="g")
+        y = b.gelu(y)
+        b.output(y)
+        g = b.build()
+        fused = fuse_activations(g)
+        assert fused.node("g").attr("activation") == "gelu"
+        feed = {"x": rng.standard_normal((1, 16))}
+        ref = execute(g, feed)
+        out = execute(fused, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-4, atol=1e-4)
+
+    def test_bert_fuses_gelu(self):
+        from repro.models import build_model
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        g = flow.prepare(build_model("bert-seq3"))
+        assert any(n.attr("activation") == "gelu" for n in g.nodes)

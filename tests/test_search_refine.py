@@ -1,0 +1,69 @@
+"""Tests for makespan-aware decision refinement."""
+
+import pytest
+
+from repro.gpu.device import GpuDevice
+from repro.models import build_model
+from repro.pim.device import PimDevice
+from repro.pimflow import PimFlow, PimFlowConfig
+from repro.runtime.engine import ExecutionEngine
+from repro.search.apply import apply_decisions
+from repro.search.refine import refine_decisions
+from repro.search.solver import Decision
+
+
+@pytest.fixture(scope="module")
+def compiled_toy():
+    flow = PimFlow(PimFlowConfig(mechanism="pimflow-md"))
+    toy = flow.prepare(build_model("toy"))
+    return flow, toy, flow.compile(toy)
+
+
+class TestRefine:
+    def test_never_worse(self, compiled_toy):
+        flow, toy, compiled = compiled_toy
+        baseline = flow.engine.run(compiled.graph).makespan_us
+        refined, time_us = refine_decisions(toy, compiled.decisions,
+                                            flow.engine)
+        assert time_us <= baseline + 1e-9
+
+    def test_refined_decisions_apply_cleanly(self, compiled_toy):
+        flow, toy, compiled = compiled_toy
+        refined, time_us = refine_decisions(toy, compiled.decisions,
+                                            flow.engine)
+        g = apply_decisions(toy, refined)
+        g.validate()
+        assert flow.engine.run(g).makespan_us == pytest.approx(time_us)
+
+    def test_ratios_stay_in_range(self, compiled_toy):
+        flow, toy, compiled = compiled_toy
+        refined, _ = refine_decisions(toy, compiled.decisions, flow.engine,
+                                      step=0.1, rounds=3)
+        for d in refined:
+            if d.mode == "split":
+                assert 0.0 <= d.ratio_gpu <= 1.0
+
+    def test_non_split_decisions_untouched(self, compiled_toy):
+        flow, toy, compiled = compiled_toy
+        refined, _ = refine_decisions(toy, compiled.decisions, flow.engine)
+        for before, after in zip(compiled.decisions, refined):
+            if before.mode != "split":
+                assert before == after
+
+    def test_finds_obvious_improvement(self):
+        """Start from a deliberately bad ratio; refinement must recover."""
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow-md"))
+        toy = flow.prepare(build_model("toy"))
+        compiled = flow.compile(toy)
+        worsened = []
+        for d in compiled.decisions:
+            if d.mode == "split" and d.ratio_gpu is not None and \
+                    0.0 < d.ratio_gpu < 1.0:
+                worsened.append(Decision(d.nodes, "split", d.time_us,
+                                         ratio_gpu=0.9, stages=d.stages))
+            else:
+                worsened.append(d)
+        bad_time = flow.engine.run(apply_decisions(toy, worsened)).makespan_us
+        refined, good_time = refine_decisions(toy, worsened, flow.engine,
+                                              rounds=8)
+        assert good_time < bad_time

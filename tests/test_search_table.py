@@ -1,0 +1,71 @@
+"""Tests for the measurement table."""
+
+import pytest
+
+from repro.search.table import MeasurementTable, RegionMeasurement
+
+
+def _m(start="n0", span=1, mode="gpu", time_us=10.0, **kw):
+    return RegionMeasurement(start=start, span=span, mode=mode,
+                             time_us=time_us, **kw)
+
+
+class TestRegionMeasurement:
+    def test_split_requires_ratio(self):
+        with pytest.raises(ValueError):
+            RegionMeasurement("n", 1, "split", 1.0)
+
+    def test_pipeline_requires_chain(self):
+        with pytest.raises(ValueError):
+            RegionMeasurement("n", 2, "pipeline", 1.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMeasurement("n", 1, "magic", 1.0)
+
+
+class TestTable:
+    def test_best_sorted_by_time(self):
+        t = MeasurementTable()
+        t.add(_m(time_us=10.0))
+        t.add(_m(mode="split", ratio_gpu=0.5, time_us=4.0))
+        t.add(_m(mode="split", ratio_gpu=0.3, time_us=6.0))
+        assert t.best("n0", 1).time_us == 4.0
+        assert [m.time_us for m in t.options("n0", 1)] == [4.0, 6.0, 10.0]
+
+    def test_missing_region(self):
+        assert MeasurementTable().best("x", 1) is None
+
+    def test_spans_at(self):
+        t = MeasurementTable()
+        t.add(_m(span=1))
+        t.add(_m(span=3, mode="pipeline", chain=("n0", "n1", "n2")))
+        assert t.spans_at("n0") == [1, 3]
+
+    def test_merge(self):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(time_us=5.0))
+        b.add(_m(start="n1", time_us=7.0))
+        a.merge(b)
+        assert len(a) == 2
+
+    def test_round_trip(self, tmp_path):
+        t = MeasurementTable()
+        t.add(_m(time_us=5.0))
+        t.add(_m(mode="split", ratio_gpu=0.2, time_us=3.0))
+        t.add(_m(span=2, mode="pipeline", chain=("n0", "n1"), stages=3,
+                 time_us=2.0))
+        path = tmp_path / "table.json"
+        t.save(path)
+        loaded = MeasurementTable.load(path)
+        assert len(loaded) == 3
+        best = loaded.best("n0", 2)
+        assert best.mode == "pipeline"
+        assert best.chain == ("n0", "n1")
+        assert best.stages == 3
+
+
+class TestTableErrors:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MeasurementTable.load(tmp_path / "missing.json")

@@ -1,0 +1,59 @@
+"""Property-based round-trip tests for graph serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.serialize import graph_from_dict, graph_to_dict
+from repro.runtime.numerical import execute
+
+
+@st.composite
+def _random_graph(draw):
+    """A random small conv/elementwise/fc graph."""
+    seed = draw(st.integers(0, 1000))
+    h = draw(st.integers(4, 10))
+    cin = draw(st.integers(1, 6))
+    depth = draw(st.integers(1, 4))
+    b = GraphBuilder("rand", seed=seed)
+    x = b.input("x", (1, h, h, cin))
+    for i in range(depth):
+        choice = draw(st.integers(0, 3))
+        c = b.graph.tensors[x].shape[3]
+        if choice == 0:
+            x = b.conv(x, cout=draw(st.integers(1, 8)),
+                       kernel=draw(st.sampled_from([1, 3])))
+        elif choice == 1:
+            x = b.relu(x)
+        elif choice == 2:
+            x = b.dwconv(x, kernel=3)
+        else:
+            x = b.swish(x)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, draw(st.integers(1, 5)))
+    b.output(x)
+    return b.build()
+
+
+class TestSerializationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(graph=_random_graph())
+    def test_round_trip_preserves_semantics(self, graph):
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        rebuilt.validate()
+        rng = np.random.default_rng(0)
+        feed = {"x": rng.standard_normal(graph.tensors["x"].shape)}
+        ref = execute(graph, feed)
+        out = execute(rebuilt, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-5, atol=1e-5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=_random_graph())
+    def test_round_trip_is_stable(self, graph):
+        once = graph_to_dict(graph)
+        twice = graph_to_dict(graph_from_dict(once))
+        assert once == twice

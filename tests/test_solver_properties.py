@@ -1,0 +1,78 @@
+"""Property-based tests: the DP solve is optimal over random tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.solver import solve
+from repro.search.table import MeasurementTable, RegionMeasurement
+
+
+def _brute_force(order, table):
+    """Enumerate every tiling of the order into measured regions."""
+    n = len(order)
+    best = [float("inf")] * (n + 1)
+    best[n] = 0.0
+    for i in range(n - 1, -1, -1):
+        for span in table.spans_at(order[i]):
+            if i + span > n:
+                continue
+            for meas in table.options(order[i], span):
+                if meas.chain and tuple(order[i:i + span]) != meas.chain:
+                    continue
+                best[i] = min(best[i], meas.time_us + best[i + span])
+    return best[0]
+
+
+@st.composite
+def _random_problem(draw):
+    n = draw(st.integers(1, 8))
+    order = [f"n{i}" for i in range(n)]
+    table = MeasurementTable()
+    for name in order:
+        table.add(RegionMeasurement(
+            name, 1, "gpu",
+            draw(st.floats(0.5, 20.0))))
+        if draw(st.booleans()):
+            table.add(RegionMeasurement(
+                name, 1, "split",
+                draw(st.floats(0.5, 20.0)),
+                ratio_gpu=draw(st.sampled_from([0.0, 0.3, 0.5, 0.7]))))
+    # Random pipeline options over contiguous spans.
+    for _ in range(draw(st.integers(0, 4))):
+        start = draw(st.integers(0, n - 1))
+        span = draw(st.integers(2, 3))
+        if start + span > n:
+            continue
+        chain = tuple(order[start:start + span])
+        table.add(RegionMeasurement(
+            chain[0], span, "pipeline",
+            draw(st.floats(0.5, 40.0)), chain=chain))
+    return order, table
+
+
+class TestSolverOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(problem=_random_problem())
+    def test_matches_brute_force(self, problem):
+        order, table = problem
+        dp_time, decisions = solve(order, table)
+        assert dp_time == pytest.approx(_brute_force(order, table))
+        # Decisions tile the order exactly.
+        covered = [node for d in decisions for node in d.nodes]
+        assert covered == order
+        # Reported cost equals the sum of chosen regions.
+        assert dp_time == pytest.approx(sum(d.time_us for d in decisions))
+
+    @settings(max_examples=40, deadline=None)
+    @given(problem=_random_problem())
+    def test_never_worse_than_all_gpu(self, problem):
+        order, table = problem
+        dp_time, _ = solve(order, table)
+        all_gpu = sum(
+            next(m.time_us for m in table.options(name, 1)
+                 if m.mode == "gpu")
+            for name in order)
+        assert dp_time <= all_gpu + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for command-trace serialization."""
+
+import pytest
+
+from repro.codegen.generator import generate_trace
+from repro.codegen.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.lowering.im2col import LoweredGemv
+from repro.pim.config import NEWTON_PLUS_PLUS, PimConfig
+from repro.pim.simulator import simulate_trace
+
+CFG = PimConfig()
+
+
+@pytest.fixture
+def trace():
+    gemv = LoweredGemv(rows=12, k=96, n=48, contiguous_k=96, strided=False)
+    return generate_trace(gemv, CFG, NEWTON_PLUS_PLUS)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.num_commands == trace.num_commands
+        assert rebuilt.counts() == trace.counts()
+        for ch, prog in trace.programs.items():
+            assert rebuilt.programs[ch] == prog
+
+    def test_file_round_trip(self, tmp_path, trace):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.programs == trace.programs
+
+    def test_timing_identical_after_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        rebuilt = load_trace(path)
+        assert simulate_trace(rebuilt, CFG).cycles == \
+            simulate_trace(trace, CFG).cycles
+
+    def test_deps_preserved(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        for ch, prog in trace.programs.items():
+            for original, copy in zip(prog, rebuilt.programs[ch]):
+                assert original.deps == copy.deps
+
+
+class TestErrorHandling:
+    def test_unknown_kind_rejected(self, trace):
+        data = trace_to_dict(trace)
+        first_channel = next(iter(data["channels"]))
+        data["channels"][first_channel][0]["kind"] = "TELEPORT"
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "missing.json")

@@ -1,0 +1,100 @@
+"""Tests for dead-code elimination and constant folding."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.runtime.numerical import execute
+from repro.transform.cleanup import cleanup, eliminate_dead_nodes, fold_constants
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_chain(self):
+        b = GraphBuilder(seed=1)
+        x = b.input("x", (1, 8))
+        live = b.gemm(x, 4, name="live")
+        dead = b.gemm(x, 4, name="dead")
+        b.relu(dead, name="dead_relu")
+        b.output(live)
+        g = eliminate_dead_nodes(b.build())
+        names = {n.name for n in g.nodes}
+        assert names == {"live"}
+
+    def test_keeps_graph_outputs(self):
+        b = GraphBuilder(seed=2)
+        x = b.input("x", (1, 8))
+        y = b.gemm(x, 4, name="g")
+        b.output(y)
+        g = eliminate_dead_nodes(b.build())
+        assert len(g) == 1
+
+    def test_semantics_preserved(self, rng):
+        b = GraphBuilder(seed=3)
+        x = b.input("x", (1, 8))
+        y = b.gemm(x, 4, name="g")
+        b.sigmoid(y, name="unused")
+        b.output(y)
+        g = b.build()
+        feed = {"x": rng.standard_normal((1, 8))}
+        ref = execute(g, feed)
+        out = execute(eliminate_dead_nodes(g), feed)
+        for k in ref:
+            np.testing.assert_array_equal(ref[k], out[k])
+
+    def test_pure_pass(self, small_conv_graph):
+        n = len(small_conv_graph)
+        eliminate_dead_nodes(small_conv_graph)
+        assert len(small_conv_graph) == n
+
+
+class TestConstantFolding:
+    def _const_chain_graph(self):
+        b = GraphBuilder(seed=4)
+        x = b.input("x", (1, 4))
+        w = b.graph.add_initializer("cw", np.ones((1, 4), dtype=np.float32))
+        folded = b._emit("Relu", ["cw"], None, "const_relu")
+        y = b.add(x, folded, name="combine")
+        b.output(y)
+        return b.build()
+
+    def test_folds_constant_node(self):
+        g = fold_constants(self._const_chain_graph())
+        assert all(n.name != "const_relu" for n in g.nodes)
+        assert "const_relu_out" in g.initializers
+
+    def test_semantics_preserved(self, rng):
+        g = self._const_chain_graph()
+        feed = {"x": rng.standard_normal((1, 4))}
+        ref = execute(g, feed)
+        out = execute(fold_constants(g), feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], atol=1e-6)
+
+    def test_does_not_fold_graph_outputs(self):
+        b = GraphBuilder(seed=5)
+        b.input("x", (1, 4))  # unused but keeps the graph non-degenerate
+        b.graph.add_initializer("cw", np.ones((2, 2), dtype=np.float32))
+        out = b._emit("Relu", ["cw"], None, "r")
+        b.output(out)
+        g = fold_constants(b.build())
+        assert any(n.name == "r" for n in g.nodes)
+
+    def test_cascading_folds(self):
+        b = GraphBuilder(seed=6)
+        x = b.input("x", (1, 4))
+        b.graph.add_initializer("cw", np.full((1, 4), -2.0, dtype=np.float32))
+        a = b._emit("Relu", ["cw"], None, "f1")
+        c = b._emit("Sigmoid", [a], None, "f2")
+        b.output(b.add(x, c, name="combine"))
+        g = fold_constants(b.build())
+        assert len(g) == 1  # only the Add survives
+
+    def test_cleanup_composes(self, rng):
+        g = self._const_chain_graph()
+        out = cleanup(g)
+        out.validate()
+        feed = {"x": rng.standard_normal((1, 4))}
+        ref = execute(g, feed)
+        res = execute(out, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], res[k], atol=1e-6)

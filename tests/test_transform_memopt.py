@@ -1,0 +1,83 @@
+"""Tests for the memory-layout optimization pass."""
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.runtime.numerical import execute
+from repro.transform.memopt import optimize_memory
+from repro.transform.pipeline import pipeline_chain
+from repro.transform.split import apply_mddp
+
+
+class TestSliceElision:
+    def test_h_slice_elided_batch1(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b.slice(x, axis=1, start=0, end=7, name="s"))
+        g = optimize_memory(b.build())
+        assert g.node("s").attr("elided") is True
+
+    def test_w_slice_not_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b.slice(x, axis=2, start=0, end=7, name="s"))
+        g = optimize_memory(b.build())
+        assert not g.node("s").attr("elided", False)
+
+    def test_h_slice_not_elided_batch2(self):
+        b = GraphBuilder()
+        x = b.input("x", (2, 14, 14, 8))
+        b.output(b.slice(x, axis=1, start=0, end=7, name="s"))
+        g = optimize_memory(b.build())
+        assert not g.node("s").attr("elided", False)
+
+
+class TestConcatElision:
+    def test_h_concat_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        a = b.slice(x, axis=1, start=0, end=7)
+        c = b.slice(x, axis=1, start=7, end=14)
+        b.output(b.concat([a, c], axis=1, name="cat"))
+        g = optimize_memory(b.build())
+        assert g.node("cat").attr("elided") is True
+
+    def test_channel_concat_not_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.input("y", (1, 14, 14, 8))
+        b.output(b.concat([x, y], axis=3, name="cat"))
+        g = optimize_memory(b.build())
+        assert not g.node("cat").attr("elided", False)
+
+
+class TestTransformedGraphs:
+    def test_mddp_movement_fully_elided(self):
+        b = GraphBuilder(seed=2)
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b.conv(x, cout=16, kernel=3, name="c0"))
+        g = optimize_memory(apply_mddp(b.build(), "c0", 0.5))
+        movement = [n for n in g.nodes if n.op_type in ("Slice", "Concat")]
+        assert movement
+        assert all(n.attr("elided") for n in movement)
+
+    def test_pipeline_movement_fully_elided(self, pointwise_chain_graph):
+        g = pipeline_chain(pointwise_chain_graph,
+                           ("pw1", "act1", "dw1"), num_stages=2)
+        g = optimize_memory(g)
+        movement = [n for n in g.nodes if n.op_type in ("Slice", "Concat")]
+        assert movement
+        assert all(n.attr("elided") for n in movement)
+
+    def test_semantics_unchanged(self, pointwise_chain_graph, rng):
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(pointwise_chain_graph, feed)
+        g = optimize_memory(apply_mddp(pointwise_chain_graph, "pw1", 0.5))
+        out = execute(g, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+    def test_pure_pass_originals_untouched(self, pointwise_chain_graph):
+        g2 = apply_mddp(pointwise_chain_graph, "pw1", 0.5)
+        optimize_memory(g2)
+        assert not any(n.attr("elided") for n in g2.nodes)

@@ -1,0 +1,85 @@
+"""Tests for pipelining pattern detection."""
+
+from repro.graph.builder import GraphBuilder
+from repro.models import build_model
+from repro.transform.patterns import find_pipeline_candidates
+
+
+def _inverted_residual_graph():
+    b = GraphBuilder(seed=4)
+    x = b.input("x", (1, 14, 14, 8))
+    y = b.conv(x, cout=32, kernel=1, name="expand")
+    y = b.relu6(y, name="a1")
+    y = b.dwconv(y, kernel=3, name="dw")
+    y = b.relu6(y, name="a2")
+    y = b.conv(y, cout=8, kernel=1, name="project")
+    y = b.relu(y, name="a3")
+    b.output(y)
+    return b.build()
+
+
+class TestPatternDetection:
+    def test_finds_all_three_types(self):
+        g = _inverted_residual_graph()
+        kinds = {p.kind for p in find_pipeline_candidates(g)}
+        assert kinds == {"1x1-dw", "dw-1x1", "1x1-dw-1x1"}
+
+    def test_chain_contents(self):
+        g = _inverted_residual_graph()
+        by_kind = {p.kind: p for p in find_pipeline_candidates(g)}
+        assert by_kind["1x1-dw"].chain == ("expand", "a1", "dw")
+        assert by_kind["dw-1x1"].chain == ("dw", "a2", "project")
+        assert by_kind["1x1-dw-1x1"].chain == (
+            "expand", "a1", "dw", "a2", "project")
+        assert by_kind["1x1-dw-1x1"].convs == ("expand", "dw", "project")
+
+    def test_branching_breaks_chain(self):
+        b = GraphBuilder(seed=5)
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.conv(x, cout=16, kernel=1, name="pw")
+        z = b.dwconv(y, kernel=3, name="dw")
+        w = b.relu(y)  # second consumer of pw's output
+        b.output(b.add(z, w))
+        g = b.build()
+        assert find_pipeline_candidates(g) == []
+
+    def test_regular_convs_do_not_match(self):
+        b = GraphBuilder(seed=6)
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.conv(x, cout=16, kernel=3, name="c1")
+        y = b.relu(y)
+        y = b.conv(y, cout=16, kernel=3, name="c2")
+        b.output(y)
+        g = b.build()
+        assert find_pipeline_candidates(g) == []
+
+    def test_graph_output_ends_chain(self):
+        b = GraphBuilder(seed=7)
+        x = b.input("x", (1, 14, 14, 8))
+        y = b.conv(x, cout=16, kernel=1, name="pw")
+        b.output(y)  # pw output is a graph output; no chain beyond it
+        z = b.dwconv(y, kernel=3, name="dw")
+        b.output(z)
+        g = b.build()
+        assert find_pipeline_candidates(g) == []
+
+
+class TestModelPatterns:
+    def test_mobilenet_has_many_patterns(self):
+        g = build_model("mobilenet-v2")
+        patterns = find_pipeline_candidates(g)
+        kinds = {p.kind for p in patterns}
+        # Every inverted residual contributes 1x1-DW / DW-1x1 pairs and
+        # the full sandwich.
+        assert {"1x1-dw", "dw-1x1", "1x1-dw-1x1"} <= kinds
+        assert len(patterns) >= 30
+
+    def test_resnet_has_no_patterns(self):
+        # ResNet50 has no depthwise convolutions (paper: "a few to zero
+        # pipelining pattern matches" for ResNet50/VGG16).
+        g = build_model("resnet-50")
+        assert find_pipeline_candidates(g) == []
+
+    def test_vgg_has_no_patterns(self):
+        g = build_model("vgg-16")
+        assert find_pipeline_candidates(g) == []

@@ -1,0 +1,179 @@
+"""Tests for the pipelining pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.runtime.numerical import execute
+from repro.transform.base import TransformError, UnsplittableError
+from repro.transform.pipeline import pipeline_chain
+
+
+def _chain_graph(h=14, cin=8, hidden=16, dw_kernel=3, dw_stride=1, seed=3):
+    b = GraphBuilder("p", seed=seed)
+    x = b.input("x", (1, h, h, cin))
+    y = b.conv(x, cout=hidden, kernel=1, name="pw1")
+    y = b.relu(y, name="act1")
+    y = b.dwconv(y, kernel=dw_kernel, stride=dw_stride, name="dw1")
+    y = b.relu(y, name="act2")
+    y = b.conv(y, cout=cin, kernel=1, name="pw2")
+    b.output(y)
+    return b.build()
+
+
+FULL_CHAIN = ("pw1", "act1", "dw1", "act2", "pw2")
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chain", [
+        ("pw1", "act1", "dw1"),
+        ("dw1", "act2", "pw2"),
+        FULL_CHAIN,
+    ])
+    @pytest.mark.parametrize("stages", [2, 3, 4])
+    def test_chain_equivalence(self, rng, chain, stages):
+        g = _chain_graph()
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(g, feed)
+        g2 = pipeline_chain(g, chain, num_stages=stages)
+        g2.validate()
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+    def test_strided_dw_equivalence(self, rng):
+        g = _chain_graph(dw_stride=2)
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(g, feed)
+        g2 = pipeline_chain(g, FULL_CHAIN, num_stages=2)
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+    def test_5x5_dw_equivalence(self, rng):
+        g = _chain_graph(dw_kernel=5)
+        feed = {"x": rng.standard_normal((1, 14, 14, 8))}
+        ref = execute(g, feed)
+        g2 = pipeline_chain(g, FULL_CHAIN, num_stages=2)
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(8, 24),
+        dw_kernel=st.sampled_from([3, 5]),
+        dw_stride=st.sampled_from([1, 2]),
+        stages=st.integers(2, 4),
+    )
+    def test_property_equivalence(self, h, dw_kernel, dw_stride, stages):
+        g = _chain_graph(h=h, dw_kernel=dw_kernel, dw_stride=dw_stride)
+        rng = np.random.default_rng(0)
+        feed = {"x": rng.standard_normal((1, h, h, 8))}
+        ref = execute(g, feed)
+        try:
+            g2 = pipeline_chain(g, FULL_CHAIN, num_stages=stages)
+        except UnsplittableError:
+            return  # small maps with many stages legitimately fail
+        g2.validate()
+        out = execute(g2, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+
+class TestStructure:
+    def test_devices_follow_paper_rule(self):
+        g2 = pipeline_chain(_chain_graph(), FULL_CHAIN, num_stages=2)
+        for s in (0, 1):
+            assert g2.node(f"pw1__pl_{s}").device == "pim"
+            assert g2.node(f"dw1__pl_{s}").device == "gpu"
+            assert g2.node(f"pw2__pl_{s}").device == "pim"
+            assert g2.node(f"act1__pl_{s}").device == "gpu"
+
+    def test_device_override(self):
+        g2 = pipeline_chain(_chain_graph(), FULL_CHAIN, num_stages=2,
+                            devices={"pw1": "gpu"})
+        assert g2.node("pw1__pl_0").device == "gpu"
+
+    def test_pipeline_metadata(self):
+        g2 = pipeline_chain(_chain_graph(), FULL_CHAIN, num_stages=3,
+                            group_id="grp")
+        stages = {g2.node(f"dw1__pl_{s}").attr("pipeline_stage")
+                  for s in range(3)}
+        assert stages == {0, 1, 2}
+        assert g2.node("dw1__pl_0").attr("pipeline_group") == "grp"
+
+    def test_stage_dependency_structure(self):
+        """Stage s of node j must not depend on stage s+1 of node j-1."""
+        g2 = pipeline_chain(_chain_graph(), ("pw1", "act1", "dw1"), num_stages=2)
+        # dw1 stage 0 consumes only pw1/act1 stage 0 output.
+        order = [n.name for n in g2.toposort()]
+        dw0 = order.index("dw1__pl_0")
+        pw1 = order.index("pw1__pl_1")
+        # Verify via reachability: dw1__pl_0's transitive inputs exclude
+        # any stage-1 piece.
+        def transitive_inputs(graph, node_name):
+            seen = set()
+            stack = [graph.node(node_name)]
+            while stack:
+                n = stack.pop()
+                for t in n.inputs:
+                    p = graph.producer(t)
+                    if p and p.name not in seen:
+                        seen.add(p.name)
+                        stack.append(p)
+            return seen
+        deps = transitive_inputs(g2, "dw1__pl_0")
+        assert not any("__pl_1" in d for d in deps)
+
+    def test_output_name_preserved(self):
+        g = _chain_graph()
+        out_name = g.node("pw2").outputs[0]
+        g2 = pipeline_chain(g, FULL_CHAIN)
+        assert out_name in [t for n in g2.nodes for t in n.outputs]
+        assert g2.outputs == g.outputs
+
+    def test_original_untouched(self):
+        g = _chain_graph()
+        n_before = len(g)
+        pipeline_chain(g, FULL_CHAIN)
+        assert len(g) == n_before
+
+
+class TestErrors:
+    def test_single_stage_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_chain(_chain_graph(), FULL_CHAIN, num_stages=1)
+
+    def test_too_many_stages_rejected(self):
+        g = _chain_graph(h=4)
+        with pytest.raises(UnsplittableError):
+            pipeline_chain(g, FULL_CHAIN, num_stages=4)
+
+    def test_branching_chain_rejected(self, rng):
+        b = GraphBuilder(seed=9)
+        x = b.input("x", (1, 8, 8, 4))
+        y = b.conv(x, cout=4, kernel=1, name="c1")
+        z = b.relu(y, name="r1")
+        w = b.sigmoid(y, name="s1")  # second consumer of c1's output
+        b.output(b.add(z, w))
+        g = b.build()
+        with pytest.raises(TransformError):
+            pipeline_chain(g, ("c1", "r1"))
+
+    def test_non_chain_rejected(self):
+        g = _chain_graph()
+        with pytest.raises(TransformError):
+            pipeline_chain(g, ("pw1", "dw1"))  # skips act1
+
+    def test_non_pipelinable_op_rejected(self, rng):
+        b = GraphBuilder(seed=10)
+        x = b.input("x", (1, 8, 8, 4))
+        y = b.conv(x, cout=4, kernel=1, name="c1")
+        y = b.maxpool(y, kernel=2, stride=2, name="mp")
+        b.output(y)
+        g = b.build()
+        with pytest.raises(TransformError):
+            pipeline_chain(g, ("c1", "mp"))
