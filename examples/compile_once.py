@@ -1,0 +1,71 @@
+"""Compile-once/run-many: the execution-plan artifact and profile cache.
+
+Algorithm-1 profiling dominates the toolchain's cost: every
+PIM-candidate layer at 11 split ratios plus every pipeline candidate,
+each a full simulator evaluation.  This example compiles ResNet-50 into
+a serializable :class:`~repro.plan.ExecutionPlan` once, then shows the
+two reuse paths:
+
+* re-running the saved plan needs no compiler at all (the executor
+  never imports the search subsystem), and
+* re-compiling against the same profile cache replays every
+  measurement from disk — zero simulator invocations.
+
+Run:  python examples/compile_once.py [model-name]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Compiler, PimFlowConfig, PlanExecutor, build_model
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "resnet-50"
+    workdir = Path(tempfile.mkdtemp(prefix="pimflow_compile_once_"))
+    cache_dir = workdir / "cache"
+    plan_path = workdir / f"{model_name}.plan.json"
+
+    print(f"Building {model_name} ...")
+    model = build_model(model_name)
+
+    print(f"\nCold compile (profile cache at {cache_dir}) ...")
+    compiler = Compiler(PimFlowConfig(mechanism="pimflow",
+                                      cache_dir=cache_dir))
+    plan = compiler.build_plan(model, model_name=model_name)
+    cold_sims = compiler.engine.run_count
+    plan.save(plan_path, include_weights=False)
+    print(f"  {cold_sims} simulator invocations, "
+          f"{len(plan.decisions)} regions, "
+          f"predicted {plan.predicted_time_us:.1f} us")
+    print(f"  plan saved to {plan_path} "
+          f"({plan_path.stat().st_size / 1e3:.0f} kB, weights excluded)")
+
+    print("\nFirst run from the plan file ...")
+    first = PlanExecutor(plan_path).run()
+    print(f"  {first.makespan_us:.1f} us")
+
+    print("\nSecond run from the same plan file ...")
+    second = PlanExecutor(plan_path).run()
+    assert second.makespan_us == first.makespan_us
+    print(f"  {second.makespan_us:.1f} us -- identical makespan, "
+          "and the executor never imports the search subsystem")
+
+    print("\nRe-compile with a fresh toolchain over the same cache ...")
+    warm = Compiler(PimFlowConfig(mechanism="pimflow", cache_dir=cache_dir))
+    replayed = warm.build_plan(model, model_name=model_name)
+    stats = warm.cache.stats()
+    print(f"  {warm.engine.run_count} simulator invocations "
+          f"(cold compile needed {cold_sims}): second compile skips "
+          "profiling entirely")
+    print(f"  cache: {stats['entries']} entries, {stats['hits']} hits, "
+          f"{stats['misses']} misses")
+    assert warm.engine.run_count == 0
+    assert replayed.predicted_time_us == plan.predicted_time_us
+    print(f"  predicted {replayed.predicted_time_us:.1f} us -- "
+          "same plan as the cold compile")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,13 +9,21 @@ Workflow::
     pimflow -m=run -n=<net>                  # Step 3: PIMFlow execution
     pimflow -m=stat -n=<net>                 # Table-2-style statistics
 
+Compile-once/run-many::
+
+    pimflow -m=compile -n=<net> --cache-dir=<dir>   # plan artifact
+    pimflow -m=run --plan=<plan.json>               # execute the plan
+
 ``<net>`` is one of the registry names (``pimflow -m=list`` prints
 them).  ``--policy`` selects the offloading mechanism for ``run``:
 Newton+, Newton++, MDDP, Pipeline, or PIMFlow (default).
 
 Profiling results and solved graphs persist under ``--workdir``
 (default ``./pimflow_out``), so ``solve`` and ``run`` can reuse earlier
-steps exactly like the original scripts.
+steps exactly like the original scripts.  ``--cache-dir`` additionally
+enables the content-addressed profile cache: any step that profiles
+serves repeated regions from disk instead of the simulators, and
+``pimflow -m=stat`` reports the cache's effectiveness.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from typing import List, Optional
 from repro.analysis.ratios import candidate_layer_names, mddp_ratio_distribution
 from repro.graph.serialize import load_graph, save_graph
 from repro.models import build_model, list_models
-from repro.pimflow import MECHANISMS, PimFlow, PimFlowConfig
+from repro.pimflow import PimFlow, PimFlowConfig
 from repro.search.table import MeasurementTable
 
 #: Artifact policy names -> mechanism keys.
@@ -61,8 +69,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="PIMFlow: compiler and runtime support for CNN models "
                     "on processing-in-memory DRAM (reproduction)")
     parser.add_argument("-m", "--mode", required=True,
-                        choices=["profile", "solve", "run", "stat", "trace",
-                                 "report", "list"],
+                        choices=["profile", "solve", "compile", "run", "stat",
+                                 "trace", "report", "list"],
                         help="workflow step")
     parser.add_argument("--layer", default=None,
                         help="layer name for -m=trace (default: the "
@@ -84,6 +92,20 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="MD-DP split-ratio interval")
     parser.add_argument("--workdir", default="pimflow_out",
                         help="directory for profiles and solved graphs")
+    parser.add_argument("--plan", default=None,
+                        help="for -m=compile: output path of the plan "
+                             "artifact (default <workdir>/<net>/plan.json); "
+                             "for -m=run: execute this plan instead of "
+                             "compiling")
+    parser.add_argument("--cache-dir", dest="cache_dir", default=None,
+                        help="enable the content-addressed profile cache "
+                             "in this directory")
+    parser.add_argument("--traces", action="store_true",
+                        help="for -m=compile: attach explicit PIM command "
+                             "traces to the plan")
+    parser.add_argument("--with_weights", action="store_true",
+                        help="for -m=compile: embed initializer values in "
+                             "the plan (timing never needs them; large)")
     return parser
 
 
@@ -95,6 +117,7 @@ def _config(args: argparse.Namespace, mechanism: str) -> PimFlowConfig:
         memory=MemorySystem(32, args.pim_channels),
         ratio_step=args.ratio_step,
         pipeline_stages=args.stages,
+        cache_dir=args.cache_dir,
     )
 
 
@@ -155,8 +178,57 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(flow: PimFlow) -> None:
+    cache = flow.cache
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(f"profile cache: {stats['entries']} entries, "
+          f"{stats['hits']} hits / {stats['misses']} misses "
+          f"(hit rate {stats['hit_rate'] * 100:.0f}%)")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a model into a reusable execution-plan artifact."""
+    paths = _paths(args)
+    mechanism = POLICIES[args.policy]
+    flow = PimFlow(_config(args, mechanism))
+    plan = flow.build_plan(build_model(args.net), model_name=args.net,
+                           with_traces=args.traces)
+    out = Path(args.plan) if args.plan else paths["base"] / "plan.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    plan.save(out, include_weights=args.with_weights)
+    info = plan.summary()
+    print(f"compiled {args.net} [{args.policy}]: "
+          f"{info['decisions']} regions, predicted "
+          f"{plan.predicted_time_us:.1f} us, {info['traces']} traces "
+          f"-> {out}")
+    _print_cache_stats(flow)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     paths = _paths(args)
+    if args.plan:
+        from repro.plan import PlanFormatError
+        from repro.runtime.executor import PlanExecutor
+
+        try:
+            executor = PlanExecutor(args.plan)
+        except FileNotFoundError:
+            print(f"plan file not found: {args.plan}", file=sys.stderr)
+            return 2
+        except (PlanFormatError, json.JSONDecodeError) as exc:
+            print(f"cannot load plan {args.plan}: {exc}", file=sys.stderr)
+            return 2
+        result = executor.run()
+        plan = executor.plan
+        print(f"{plan.provenance.get('model', '?')} "
+              f"[plan:{plan.mechanism}]: {result.makespan_us:.1f} us, "
+              f"{result.energy.total_mj:.2f} mJ "
+              f"(gpu busy {result.gpu_busy_us:.1f} us, "
+              f"pim busy {result.pim_busy_us:.1f} us)")
+        return 0
     if args.gpu_only:
         flow = PimFlow(_config(args, "gpu"))
         result = flow.run(build_model(args.net))
@@ -187,6 +259,13 @@ def cmd_stat(args: argparse.Namespace) -> int:
     print("Split ratio to GPU (0: total offload):")
     print("  " + "  ".join(f"{k:>3d}%" for k in dist))
     print("  " + "  ".join(f"{v * 100:3.0f}%" for v in dist.values()))
+    if flow.cache is not None:
+        _print_cache_stats(flow)
+        last = flow.cache.last_run()
+        if last is not None:
+            print(f"last profile run: {last['hits']} hits / "
+                  f"{last['misses']} misses "
+                  f"(hit rate {last['hit_rate'] * 100:.0f}%)")
     return 0
 
 
@@ -267,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_profile(args)
     if args.mode == "solve":
         return cmd_solve(args)
+    if args.mode == "compile":
+        return cmd_compile(args)
     if args.mode == "run":
         return cmd_run(args)
     if args.mode == "stat":

@@ -7,12 +7,18 @@ programs run on the event-driven simulator and are cross-validated
 against the closed-form cost model.
 """
 
-from repro.codegen.generator import generate_trace, tile_program, CommandBudgetError
+from repro.codegen.generator import (
+    CommandBudgetError,
+    generate_trace,
+    tile_program,
+    traces_for_graph,
+)
 from repro.codegen.trace_io import load_trace, save_trace, trace_from_dict, trace_to_dict
 
 __all__ = [
     "generate_trace",
     "tile_program",
+    "traces_for_graph",
     "CommandBudgetError",
     "load_trace",
     "save_trace",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro.graph.graph import Graph
 from repro.lowering.im2col import LoweredGemv
 from repro.lowering.tiling import ChannelTile, tile_over_channels, tiles_by_channel
 from repro.pim.commands import CmdKind, CommandTrace, PimCommand
@@ -144,3 +145,30 @@ def generate_trace(gemv: LoweredGemv, config: PimConfig, opts: PimOptimizations,
         for cmd in emitter.commands:
             trace.add(ch, cmd)
     return trace
+
+
+def traces_for_graph(graph: Graph, config: PimConfig, opts: PimOptimizations,
+                     max_commands: int = 1_000_000) -> Dict[str, CommandTrace]:
+    """Command traces for every PIM-resident layer of a compiled graph.
+
+    Used by the compiler to attach explicit command programs to an
+    :class:`~repro.plan.artifact.ExecutionPlan` for offline inspection
+    and replay.  Layers whose explicit program would exceed the command
+    budget fall back to the closed-form cost model and are skipped.
+    """
+    from repro.graph.ops import is_pim_candidate
+    from repro.lowering.im2col import lower_node
+
+    traces: Dict[str, CommandTrace] = {}
+    for node in graph.toposort():
+        if node.device != "pim":
+            continue
+        shapes = [graph.tensors[t].shape for t in node.inputs]
+        if not is_pim_candidate(node, shapes):
+            continue
+        try:
+            traces[node.name] = generate_trace(lower_node(node, graph),
+                                               config, opts, max_commands)
+        except CommandBudgetError:
+            continue
+    return traces

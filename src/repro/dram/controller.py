@@ -10,7 +10,6 @@ measures GPU/PIM controller contention (Section 7).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.energy.constants import GpuEnergyModel
 from repro.gpu.config import GpuConfig, RTX2060

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.gpu.config import GpuConfig, RTX2060
 from repro.gpu.kernels import TILE_K, TILE_M, TILE_N, WAVES_PER_SM, gemm_dims

@@ -20,7 +20,7 @@ The result must reproduce ``x @ w`` exactly in float32.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

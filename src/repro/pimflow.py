@@ -1,14 +1,20 @@
 """Top-level PIMFlow API: configure, profile, solve, compile, run.
 
 This module wires the whole stack together the way the artifact's
-``pimflow`` driver script does:
+``pimflow`` driver script does, split into an ahead-of-time compile
+layer and a thin runtime facade:
 
-1. ``profile`` measures every PIM-candidate layer at the configured
-   split ratios and every pipelining candidate chain on the simulators.
-2. ``solve`` runs the Algorithm-1 DP over the measurement table.
-3. ``compile`` applies the chosen transformations and the memory-layout
-   optimizer, yielding the executable graph.
-4. ``run`` schedules the compiled graph on the mixed-parallel engine.
+* :class:`Compiler` owns the expensive phases — ``profile`` (Algorithm-1
+  measurements, memoized through a content-addressed
+  :class:`~repro.plan.cache.ProfileCache`), ``solve`` (the DP), and
+  ``compile`` (graph transformation).  ``build_plan`` packages the
+  result as a serializable :class:`~repro.plan.artifact.ExecutionPlan`
+  so compilation happens once and execution many times — including in
+  processes that never import the search subsystem (see
+  :class:`~repro.runtime.executor.PlanExecutor`).
+* :class:`PimFlow` preserves the original one-object API: ``profile``,
+  ``solve``, ``compile`` delegate to the compiler and ``run`` schedules
+  on the mixed-parallel engine exactly as before.
 
 The ``mechanism`` selects the offloading scheme of the evaluation
 (Section 5): ``gpu``, ``newton+``, ``newton++``, ``pimflow-md``,
@@ -17,8 +23,10 @@ The ``mechanism`` selects the offloading scheme of the evaluation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.graph.graph import Graph
 from repro.graph.ops import is_pim_candidate
@@ -33,15 +41,14 @@ from repro.pim.config import (
     PimOptimizations,
 )
 from repro.pim.device import PimDevice
+from repro.plan.artifact import ExecutionPlan
+from repro.plan.cache import ProfileCache
+from repro.plan.fingerprint import config_fingerprint, graph_fingerprint
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.search.apply import apply_decisions
-from repro.search.profiler import (
-    extract_subgraph,
-    profile_pipeline,
-    profile_split,
-)
+from repro.search.profiler import RegionProfiler
 from repro.search.solver import Decision, solve
-from repro.search.table import MeasurementTable, RegionMeasurement
+from repro.search.table import MeasurementTable
 from repro.transform.patterns import find_pipeline_candidates
 
 
@@ -99,6 +106,9 @@ class PimFlowConfig:
     #: otherwise).  The paper places weights in the cell arrays in
     #: advance and implicitly assumes they fit.
     check_placement: bool = True
+    #: Directory for the content-addressed profile cache; None disables
+    #: caching and every ``profile()`` call runs the simulators.
+    cache_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.mechanism not in MECHANISMS:
@@ -124,10 +134,18 @@ class CompiledModel:
     predicted_time_us: float
 
 
-class PimFlow:
-    """One configured PIMFlow toolchain instance."""
+class Compiler:
+    """The ahead-of-time half of the toolchain.
 
-    def __init__(self, config: Optional[PimFlowConfig] = None) -> None:
+    Owns the simulated devices, the execution engine used for
+    measurements, and (optionally) a profile cache.  All expensive work
+    happens here; the products — a :class:`CompiledModel` or a
+    serializable :class:`ExecutionPlan` — can be executed repeatedly
+    without re-entering any of it.
+    """
+
+    def __init__(self, config: Optional[PimFlowConfig] = None,
+                 cache: Optional[ProfileCache] = None) -> None:
         self.config = config or PimFlowConfig()
         spec = self.config.spec
         if spec.uses_pim:
@@ -140,6 +158,37 @@ class PimFlow:
             self.gpu = GpuDevice(self.config.gpu_base, write_through=False)
             self.pim = None
         self.engine = ExecutionEngine(self.gpu, self.pim)
+        if cache is None and self.config.cache_dir:
+            cache = ProfileCache(self.config.cache_dir)
+        self.cache = cache
+        self._config_fp: Optional[str] = None
+
+    @property
+    def config_fingerprint(self) -> str:
+        """Stable hash of everything that can change a measurement.
+
+        Cache entries live under this fingerprint; any change to the
+        mechanism, device configs, optimization flags, or engine
+        parameters moves the toolchain to a disjoint cache namespace,
+        which is exactly the invalidation the cache needs.
+        """
+        if self._config_fp is None:
+            self._config_fp = config_fingerprint(
+                mechanism=self.config.mechanism,
+                spec=self.config.spec,
+                gpu_config=self.gpu.config,
+                pim_config=self.pim.config if self.pim else None,
+                pim_opts=self.pim.opts if self.pim else None,
+                extra={
+                    "fuse": self.config.fuse,
+                    "pipeline_stages": self.config.pipeline_stages,
+                    "pipeline_stage_options":
+                        list(self.config.pipeline_stage_options),
+                    "write_through": self.gpu.write_through,
+                    "sync_overhead_us": self.engine.sync_overhead_us,
+                    "host_io": self.engine.host_io,
+                })
+        return self._config_fp
 
     def prepare(self, graph: Graph) -> Graph:
         """Apply the mechanism-independent inference optimizations:
@@ -155,8 +204,17 @@ class PimFlow:
     # Step 1: profile
     # ------------------------------------------------------------------
     def profile(self, graph: Graph) -> MeasurementTable:
-        """Measure all execution-mode samples for ``graph``."""
+        """Measure all execution-mode samples for ``graph``.
+
+        With a cache configured, regions whose structural fingerprints
+        were measured before (under this configuration fingerprint) are
+        served from disk with zero simulator invocations.
+        """
         spec = self.config.spec
+        profiler = RegionProfiler(self.engine, self.cache,
+                                  self.config_fingerprint)
+        if self.cache is not None:
+            self.cache.reset_stats()
         table = MeasurementTable()
         order = [n.name for n in graph.toposort()]
         shapes = {t.name: t.shape for t in graph.tensors.values()}
@@ -164,22 +222,13 @@ class PimFlow:
         for name in order:
             node = graph.node(name)
             input_shapes = [shapes[t] for t in node.inputs]
-            candidate = spec.uses_pim and is_pim_candidate(node, input_shapes)
-            region = extract_subgraph(graph, [name])
-            if candidate:
-                ratios = set(spec.split_ratios) | {1.0}
-                results = profile_split(region, name, self.engine, sorted(ratios))
-                for ratio, time_us in results.items():
-                    if ratio >= 1.0:
-                        table.add(RegionMeasurement(name, 1, "gpu", time_us))
-                    else:
-                        table.add(RegionMeasurement(name, 1, "split", time_us,
-                                                    ratio_gpu=ratio))
+            if spec.uses_pim and is_pim_candidate(node, input_shapes):
+                ratios = sorted(set(spec.split_ratios) | {1.0})
+                for m in profiler.profile_node(graph, name, ratios):
+                    table.add(m)
             else:
-                for n in region.nodes:
-                    n.device = "gpu"
-                time_us = self.engine.run(region).makespan_us
-                table.add(RegionMeasurement(name, 1, "gpu", time_us))
+                for m in profiler.profile_gpu_node(graph, name):
+                    table.add(m)
 
         if spec.uses_pim and spec.pipelines:
             positions = {name: i for i, name in enumerate(order)}
@@ -192,12 +241,11 @@ class PimFlow:
                 if tuple(order[i:i + span]) != pattern.chain:
                     continue  # chain is not contiguous in topo order
                 for stages in stage_options:
-                    time_us = profile_pipeline(graph, pattern.chain,
-                                               self.engine, num_stages=stages)
-                    if time_us is not None:
-                        table.add(RegionMeasurement(
-                            pattern.chain[0], span, "pipeline", time_us,
-                            chain=pattern.chain, stages=stages))
+                    for m in profiler.profile_chain(graph, pattern.chain,
+                                                    stages):
+                        table.add(m)
+        if self.cache is not None:
+            self.cache.record_run(self.config_fingerprint)
         return table
 
     # ------------------------------------------------------------------
@@ -234,6 +282,138 @@ class PimFlow:
                            pim_layers)
         return CompiledModel(graph=transformed, decisions=decisions,
                              table=table, predicted_time_us=predicted)
+
+    # ------------------------------------------------------------------
+    # Step 3b: package as a reusable artifact
+    # ------------------------------------------------------------------
+    def runtime_spec(self) -> Dict[str, object]:
+        """Serializable description of the execution environment, enough
+        for :class:`~repro.runtime.executor.PlanExecutor` to rebuild an
+        identical engine without this compiler."""
+        return {
+            "mechanism": self.config.mechanism,
+            "write_through": self.gpu.write_through,
+            "gpu_config": asdict(self.gpu.config),
+            "pim_config": asdict(self.pim.config) if self.pim else None,
+            "pim_opts": asdict(self.pim.opts) if self.pim else None,
+            "sync_overhead_us": self.engine.sync_overhead_us,
+            "host_io": self.engine.host_io,
+            "pcie_bytes_per_us": self.engine.pcie_bytes_per_us,
+        }
+
+    def build_plan(self, graph: Graph, model_name: Optional[str] = None,
+                   with_traces: bool = False,
+                   compiled: Optional[CompiledModel] = None) -> ExecutionPlan:
+        """Compile ``graph`` into a self-contained execution plan.
+
+        The plan carries the transformed graph, the solver decisions,
+        the runtime spec, and provenance; ``with_traces`` additionally
+        attaches explicit PIM command programs for every offloaded
+        layer (for offline inspection and replay).  Pass an existing
+        ``compiled`` model to package it without re-compiling.
+        """
+        from repro import __version__
+
+        source_fp = graph_fingerprint(graph)
+        if self.config.mechanism == "gpu":
+            transformed = self.prepare(graph).clone()
+            for node in transformed.nodes:
+                node.device = "gpu"
+            decisions: List[Dict[str, object]] = []
+            predicted = self.engine.run(transformed).makespan_us
+            num_measurements = 0
+        else:
+            if compiled is None:
+                compiled = self.compile(graph)
+            transformed = compiled.graph
+            decisions = [d.to_dict() for d in compiled.decisions]
+            predicted = compiled.predicted_time_us
+            num_measurements = len(compiled.table)
+
+        traces: Dict[str, object] = {}
+        if with_traces and self.pim is not None:
+            from repro.codegen.generator import traces_for_graph
+            from repro.codegen.trace_io import trace_to_dict
+            traces = {
+                name: trace_to_dict(trace)
+                for name, trace in traces_for_graph(
+                    transformed, self.pim.config, self.pim.opts).items()
+            }
+
+        return ExecutionPlan(
+            mechanism=self.config.mechanism,
+            config_fingerprint=self.config_fingerprint,
+            graph=transformed,
+            decisions=decisions,
+            predicted_time_us=predicted,
+            runtime_spec=self.runtime_spec(),
+            provenance={
+                "model": model_name or graph.name,
+                "created_at": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"),
+                "repro_version": __version__,
+                "source_graph_fingerprint": source_fp,
+                "measurements": num_measurements,
+            },
+            traces=traces,
+        )
+
+
+class PimFlow:
+    """One configured PIMFlow toolchain instance.
+
+    A thin facade over :class:`Compiler` plus the execution engine,
+    preserving the original profile/solve/compile/run API.
+    """
+
+    def __init__(self, config: Optional[PimFlowConfig] = None,
+                 cache: Optional[ProfileCache] = None) -> None:
+        self.compiler = Compiler(config, cache=cache)
+
+    @property
+    def config(self) -> PimFlowConfig:
+        return self.compiler.config
+
+    @property
+    def gpu(self) -> GpuDevice:
+        return self.compiler.gpu
+
+    @property
+    def pim(self) -> Optional[PimDevice]:
+        return self.compiler.pim
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self.compiler.engine
+
+    @property
+    def cache(self) -> Optional[ProfileCache]:
+        return self.compiler.cache
+
+    def prepare(self, graph: Graph) -> Graph:
+        return self.compiler.prepare(graph)
+
+    def profile(self, graph: Graph) -> MeasurementTable:
+        """Measure all execution-mode samples for ``graph``."""
+        return self.compiler.profile(graph)
+
+    def solve(self, graph: Graph,
+              table: MeasurementTable) -> Tuple[float, List[Decision]]:
+        """Run the Algorithm-1 DP over the measurement table."""
+        return self.compiler.solve(graph, table)
+
+    def compile(self, graph: Graph,
+                table: Optional[MeasurementTable] = None) -> CompiledModel:
+        """Fuse, profile (unless a table is given), solve, and transform."""
+        return self.compiler.compile(graph, table)
+
+    def build_plan(self, graph: Graph, model_name: Optional[str] = None,
+                   with_traces: bool = False,
+                   compiled: Optional[CompiledModel] = None) -> ExecutionPlan:
+        """Compile ``graph`` into a serializable execution plan."""
+        return self.compiler.build_plan(graph, model_name=model_name,
+                                        with_traces=with_traces,
+                                        compiled=compiled)
 
     # ------------------------------------------------------------------
     # Step 4: run

@@ -1,0 +1,33 @@
+"""Compile-once artifacts: execution plans and the profile cache.
+
+This package is the seam between the compile-time and run-time halves
+of the toolchain.  :class:`ExecutionPlan` is the serializable artifact
+a :class:`~repro.pimflow.Compiler` produces and a
+:class:`~repro.runtime.executor.PlanExecutor` consumes;
+:class:`ProfileCache` memoizes Algorithm-1 measurements on disk keyed
+by the structural/configuration fingerprints of
+:mod:`repro.plan.fingerprint`.  Nothing here imports the search
+subsystem, so the runtime hot path stays search-free.
+"""
+
+from repro.plan.artifact import PLAN_VERSION, ExecutionPlan, PlanFormatError
+from repro.plan.cache import ProfileCache
+from repro.plan.fingerprint import (
+    canonical_region,
+    config_fingerprint,
+    graph_fingerprint,
+    region_fingerprint,
+    stable_hash,
+)
+
+__all__ = [
+    "PLAN_VERSION",
+    "ExecutionPlan",
+    "PlanFormatError",
+    "ProfileCache",
+    "canonical_region",
+    "config_fingerprint",
+    "graph_fingerprint",
+    "region_fingerprint",
+    "stable_hash",
+]

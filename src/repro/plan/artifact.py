@@ -1,0 +1,172 @@
+"""The serializable compile-once artifact.
+
+An :class:`ExecutionPlan` captures everything the runtime needs to
+execute a compiled model — the transformed graph with device
+placements, the solver's decisions, the mechanism and configuration
+fingerprints, and provenance metadata — as a single JSON document.
+Plans can be saved, loaded, diffed, and executed repeatedly without
+touching the search phase; :class:`~repro.runtime.executor.PlanExecutor`
+is the matching hot-path loader.
+
+This module deliberately imports nothing from :mod:`repro.search`:
+decisions are stored as plain dicts and only materialized into
+:class:`~repro.search.solver.Decision` objects on demand, so loading
+and running a plan never pulls the profiler or solver into the process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.graph.graph import Graph
+from repro.graph.serialize import graph_from_dict, graph_to_dict
+
+#: Schema version of the on-disk plan format.
+PLAN_VERSION = 1
+
+
+class PlanFormatError(ValueError):
+    """Raised when a plan document cannot be interpreted."""
+
+
+@dataclass
+class ExecutionPlan:
+    """An ahead-of-time compiled, runnable model artifact."""
+
+    mechanism: str
+    config_fingerprint: str
+    graph: Graph
+    #: Serialized solver decisions (see ``Decision.to_dict``); kept as
+    #: dicts so the runtime never imports the search subsystem.
+    decisions: List[Dict[str, Any]]
+    predicted_time_us: float
+    #: Everything needed to rebuild the execution engine: mechanism,
+    #: concrete device configs, and command-optimization flags.
+    runtime_spec: Dict[str, Any]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    #: Optional per-layer PIM command traces (``trace_to_dict`` form),
+    #: attached by the compiler for offline inspection/replay.
+    traces: Dict[str, Any] = field(default_factory=dict)
+    version: int = PLAN_VERSION
+
+    # ------------------------------------------------------------------
+    # Typed access
+    # ------------------------------------------------------------------
+    def decision_objects(self) -> List[Any]:
+        """The solver decisions as :class:`repro.search.solver.Decision`.
+
+        Imported lazily: plan execution never needs this, only tooling
+        that re-enters the compile phase does.
+        """
+        from repro.search.solver import Decision
+
+        return [Decision.from_dict(d) for d in self.decisions]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, include_weights: bool = True) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "mechanism": self.mechanism,
+            "config_fingerprint": self.config_fingerprint,
+            "predicted_time_us": self.predicted_time_us,
+            "graph": graph_to_dict(self.graph, include_weights=include_weights),
+            "decisions": list(self.decisions),
+            "runtime_spec": dict(self.runtime_spec),
+            "provenance": dict(self.provenance),
+            "traces": dict(self.traces),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionPlan":
+        version = data.get("version")
+        if version != PLAN_VERSION:
+            raise PlanFormatError(
+                f"unsupported plan version {version!r} (expected {PLAN_VERSION})")
+        try:
+            return cls(
+                mechanism=data["mechanism"],
+                config_fingerprint=data["config_fingerprint"],
+                graph=graph_from_dict(data["graph"]),
+                decisions=list(data["decisions"]),
+                predicted_time_us=data["predicted_time_us"],
+                runtime_spec=dict(data["runtime_spec"]),
+                provenance=dict(data.get("provenance", {})),
+                traces=dict(data.get("traces", {})),
+                version=version,
+            )
+        except KeyError as exc:
+            raise PlanFormatError(f"plan document missing field {exc}") from exc
+
+    def save(self, path: Union[str, Path], include_weights: bool = True) -> None:
+        """Write the plan as JSON.
+
+        ``include_weights=False`` drops initializer values (they reload
+        as zeros of the right shape) — the schedule and makespan are
+        weight-value-independent, so lean plans reproduce timing exactly
+        while staying small even for ResNet-scale models.
+        """
+        Path(path).write_text(json.dumps(self.to_dict(include_weights)))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExecutionPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def diff(self, other: "ExecutionPlan") -> List[str]:
+        """Human-readable differences between two plans (empty = same)."""
+        lines: List[str] = []
+        if self.mechanism != other.mechanism:
+            lines.append(f"mechanism: {self.mechanism} != {other.mechanism}")
+        if self.config_fingerprint != other.config_fingerprint:
+            lines.append(
+                f"config fingerprint: {self.config_fingerprint[:12]} != "
+                f"{other.config_fingerprint[:12]}")
+        if abs(self.predicted_time_us - other.predicted_time_us) > 1e-9:
+            lines.append(
+                f"predicted time: {self.predicted_time_us:.3f} us != "
+                f"{other.predicted_time_us:.3f} us")
+        if len(self.decisions) != len(other.decisions):
+            lines.append(f"decision count: {len(self.decisions)} != "
+                         f"{len(other.decisions)}")
+        else:
+            for i, (a, b) in enumerate(zip(self.decisions, other.decisions)):
+                if a != b:
+                    lines.append(
+                        f"decision {i} ({'+'.join(a.get('nodes', ()))}):"
+                        f" {a.get('mode')}@{a.get('ratio_gpu')} != "
+                        f"{b.get('mode')}@{b.get('ratio_gpu')}")
+        placements_a = {n.name: n.device for n in self.graph.nodes}
+        placements_b = {n.name: n.device for n in other.graph.nodes}
+        if set(placements_a) != set(placements_b):
+            lines.append(f"graph nodes: {len(placements_a)} != "
+                         f"{len(placements_b)}")
+        else:
+            moved = [n for n, d in placements_a.items()
+                     if placements_b[n] != d]
+            if moved:
+                lines.append(f"placement differs for {len(moved)} nodes: "
+                             + ", ".join(sorted(moved)[:5]))
+        return lines
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact description for logs and CLI output."""
+        modes: Dict[str, int] = {}
+        for d in self.decisions:
+            modes[d.get("mode", "?")] = modes.get(d.get("mode", "?"), 0) + 1
+        return {
+            "mechanism": self.mechanism,
+            "model": self.provenance.get("model"),
+            "nodes": len(self.graph),
+            "decisions": len(self.decisions),
+            "modes": modes,
+            "predicted_time_us": self.predicted_time_us,
+            "traces": len(self.traces),
+            "config_fingerprint": self.config_fingerprint[:12],
+        }

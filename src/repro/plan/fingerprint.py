@@ -1,0 +1,152 @@
+"""Stable content fingerprints for profiles, configs and plan artifacts.
+
+The profile cache and the :class:`~repro.plan.artifact.ExecutionPlan`
+provenance both need keys that (a) survive process restarts, (b) change
+whenever anything that influences a measurement changes, and (c) do not
+change when irrelevant details — node names, weight values, insertion
+order — change.  The timing simulators are value-independent (they read
+shapes, dtypes and attributes, never tensor contents), so structural
+fingerprints over canonically renamed regions are exact cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of payload leaves to JSON-stable values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return repr(value)
+
+
+def stable_hash(payload: Any) -> str:
+    """SHA-256 over the canonical JSON encoding of ``payload``.
+
+    Dict keys are sorted, dataclasses are flattened with
+    :func:`dataclasses.asdict`, and numpy scalars/arrays become plain
+    Python values, so equal payloads hash equally across processes.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=_jsonable)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, tuple):
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        out[key] = value
+    return out
+
+
+def canonical_region(region: Graph) -> Dict[str, Any]:
+    """Structural description of a region with position-based names.
+
+    Graph inputs become ``in<i>``, initializers ``w<j>`` (in first-use
+    order), and node outputs ``t<k>`` (in topological order), so two
+    regions that differ only in tensor/node naming — e.g. two identical
+    layers of the same model — canonicalize identically.  Shapes,
+    dtypes, op types, attributes, device placements and weight-ness all
+    participate; weight *values* deliberately do not (the timing models
+    never read them).
+    """
+    rename: Dict[str, str] = {}
+    for i, t in enumerate(region.inputs):
+        rename[t] = f"in{i}"
+    weight_idx = 0
+    tensor_idx = 0
+    nodes = []
+    for node in region.toposort():
+        inputs = []
+        for t in node.inputs:
+            if t not in rename:
+                if t not in region.initializers:
+                    raise KeyError(
+                        f"region tensor {t!r} is neither an input, an "
+                        f"initializer, nor produced by an earlier node")
+                rename[t] = f"w{weight_idx}"
+                weight_idx += 1
+            inputs.append(rename[t])
+        outputs = []
+        for t in node.outputs:
+            rename[t] = f"t{tensor_idx}"
+            tensor_idx += 1
+            outputs.append(rename[t])
+        nodes.append({
+            "op": node.op_type,
+            "inputs": inputs,
+            "outputs": outputs,
+            "attrs": _canonical_attrs(node.attrs),
+            "device": node.device,
+        })
+    tensors = sorted(
+        (
+            {
+                "name": rename[t.name],
+                "shape": list(t.shape),
+                "dtype": t.dtype,
+                "weight": t.name in region.initializers,
+            }
+            for t in region.tensors.values()
+            if t.name in rename
+        ),
+        key=lambda d: d["name"],
+    )
+    outputs = sorted(rename[t] for t in region.outputs if t in rename)
+    return {"nodes": nodes, "tensors": tensors, "outputs": outputs}
+
+
+def region_fingerprint(region: Graph, kind: str, **params: Any) -> str:
+    """Content-addressed key for one profiled region.
+
+    ``kind`` names the profiling pass (``"gpu"``, ``"split"``,
+    ``"pipeline"``) and ``params`` its knobs (ratio list, stage count),
+    so the same subgraph profiled under different passes or settings
+    occupies distinct cache slots.
+    """
+    return stable_hash({"kind": kind, "region": canonical_region(region),
+                        "params": params})
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Structural fingerprint of a whole model graph (for provenance)."""
+    return stable_hash(canonical_region(graph))
+
+
+def config_fingerprint(*, mechanism: str, spec: Any, gpu_config: Any,
+                       pim_config: Optional[Any], pim_opts: Optional[Any],
+                       extra: Optional[Dict[str, Any]] = None) -> str:
+    """Fingerprint of everything measurement-relevant in a toolchain
+    configuration: the mechanism spec (allowed ratios, pipelining), the
+    concrete device configs after the channel split, the PIM command
+    optimization flags, and any extra knobs the caller passes (stage
+    options, sync overhead, ...).  Measurements cached under one
+    fingerprint are never served to a differently configured toolchain.
+    """
+    return stable_hash({
+        "mechanism": mechanism,
+        "spec": spec,
+        "gpu_config": gpu_config,
+        "pim_config": pim_config,
+        "pim_opts": pim_opts,
+        "extra": extra or {},
+    })

@@ -1,7 +1,9 @@
-"""Runtime: numerical reference executor and the mixed-parallel engine."""
+"""Runtime: numerical reference executor, the mixed-parallel engine,
+and the plan-driven executor for compiled artifacts."""
 
 from repro.runtime.numerical import execute, execute_node
 from repro.runtime.engine import ExecutionEngine, ScheduleEvent, RunResult
+from repro.runtime.executor import PlanExecutor, engine_from_spec
 from repro.runtime.verify import EquivalenceError, random_feeds, verify_equivalence
 
 __all__ = [
@@ -10,6 +12,8 @@ __all__ = [
     "ExecutionEngine",
     "ScheduleEvent",
     "RunResult",
+    "PlanExecutor",
+    "engine_from_spec",
     "EquivalenceError",
     "random_feeds",
     "verify_equivalence",

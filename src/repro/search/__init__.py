@@ -7,6 +7,7 @@ mode with dynamic programming.
 """
 
 from repro.search.profiler import (
+    RegionProfiler,
     extract_subgraph,
     profile_pipeline,
     profile_split,
@@ -17,6 +18,7 @@ from repro.search.apply import apply_decisions
 from repro.search.refine import refine_decisions
 
 __all__ = [
+    "RegionProfiler",
     "extract_subgraph",
     "profile_split",
     "profile_pipeline",

@@ -13,7 +13,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.graph.graph import Graph
+from repro.plan.cache import ProfileCache
+from repro.plan.fingerprint import region_fingerprint
 from repro.runtime.engine import ExecutionEngine
+from repro.search.table import RegionMeasurement
 from repro.transform.base import TransformError
 from repro.transform.memopt import optimize_memory
 from repro.transform.pipeline import pipeline_chain
@@ -95,3 +98,107 @@ def profile_gpu(graph: Graph, node_names: Sequence[str],
     for node in region.nodes:
         node.device = "gpu"
     return engine.run(region).makespan_us
+
+
+class RegionProfiler:
+    """Measures regions with optional content-addressed caching.
+
+    Each profiled region is fingerprinted structurally (canonical
+    names, so two identical layers of a model share one cache slot) and
+    looked up under the toolchain's configuration fingerprint before
+    any simulator runs.  On a hit, the stored measurements are rebound
+    to the current node names; on a miss, the simulators run and the
+    result — including the *negative* result of an unsplittable
+    pipeline chain — is stored for every later profile of the same
+    structure.
+    """
+
+    def __init__(self, engine: ExecutionEngine,
+                 cache: Optional[ProfileCache] = None,
+                 config_fingerprint: str = "uncached") -> None:
+        self.engine = engine
+        self.cache = cache
+        self.config_fingerprint = config_fingerprint
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _lookup(self, fingerprint: str) -> Optional[List[dict]]:
+        if self.cache is None:
+            return None
+        return self.cache.lookup(self.config_fingerprint, fingerprint)
+
+    def _store(self, fingerprint: str,
+               measurements: List[RegionMeasurement]) -> None:
+        if self.cache is None:
+            return
+        self.cache.store(self.config_fingerprint, fingerprint,
+                         [m.to_dict() for m in measurements])
+
+    @staticmethod
+    def _rebind(entry: dict, start: str,
+                chain: Sequence[str] = ()) -> RegionMeasurement:
+        """Rebind a cached entry to the current region's node names."""
+        data = dict(entry)
+        data["start"] = start
+        if chain:
+            data["chain"] = list(chain)
+        return RegionMeasurement.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Profiling entry points
+    # ------------------------------------------------------------------
+    def profile_node(self, graph: Graph, name: str,
+                     ratios: Sequence[float]) -> List[RegionMeasurement]:
+        """All split-ratio measurements for one PIM-candidate node."""
+        region = extract_subgraph(graph, [name])
+        ratio_list = sorted(set(ratios))
+        fp = region_fingerprint(region, "split", ratios=ratio_list)
+        cached = self._lookup(fp)
+        if cached is not None:
+            return [self._rebind(e, start=name) for e in cached]
+        measurements: List[RegionMeasurement] = []
+        for ratio, time_us in sorted(
+                profile_split(region, name, self.engine, ratio_list).items()):
+            if ratio >= 1.0:
+                measurements.append(RegionMeasurement(
+                    name, 1, "gpu", time_us, fingerprint=fp))
+            else:
+                measurements.append(RegionMeasurement(
+                    name, 1, "split", time_us, ratio_gpu=ratio,
+                    fingerprint=fp))
+        self._store(fp, measurements)
+        return measurements
+
+    def profile_gpu_node(self, graph: Graph,
+                         name: str) -> List[RegionMeasurement]:
+        """The GPU-only measurement for a non-candidate node."""
+        region = extract_subgraph(graph, [name])
+        fp = region_fingerprint(region, "gpu")
+        cached = self._lookup(fp)
+        if cached is not None:
+            return [self._rebind(e, start=name) for e in cached]
+        for node in region.nodes:
+            node.device = "gpu"
+        time_us = self.engine.run(region).makespan_us
+        measurements = [RegionMeasurement(name, 1, "gpu", time_us,
+                                          fingerprint=fp)]
+        self._store(fp, measurements)
+        return measurements
+
+    def profile_chain(self, graph: Graph, chain: Sequence[str],
+                      stages: int) -> List[RegionMeasurement]:
+        """The pipelined measurement for a chain (empty if unsplittable)."""
+        region = extract_subgraph(graph, chain)
+        fp = region_fingerprint(region, "pipeline", stages=stages)
+        cached = self._lookup(fp)
+        if cached is not None:
+            return [self._rebind(e, start=chain[0], chain=chain)
+                    for e in cached]
+        time_us = profile_pipeline(graph, chain, self.engine,
+                                   num_stages=stages)
+        measurements = ([] if time_us is None else [RegionMeasurement(
+            chain[0], len(chain), "pipeline", time_us, chain=tuple(chain),
+            stages=stages, fingerprint=fp)])
+        self._store(fp, measurements)
+        return measurements

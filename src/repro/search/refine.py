@@ -11,7 +11,6 @@ changes that reduce the true makespan.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Sequence, Tuple
 
 from repro.graph.graph import Graph

@@ -18,13 +18,37 @@ from repro.search.table import MeasurementTable, RegionMeasurement
 
 @dataclass(frozen=True)
 class Decision:
-    """One region's chosen execution mode."""
+    """One region's chosen execution mode.
+
+    Decisions round-trip through JSON (``to_dict``/``from_dict``) so an
+    :class:`~repro.plan.artifact.ExecutionPlan` can carry the solver's
+    output verbatim across processes.
+    """
 
     nodes: Tuple[str, ...]
     mode: str                      # "gpu" | "split" | "pipeline"
     time_us: float
     ratio_gpu: Optional[float] = None
     stages: int = 2
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "mode": self.mode,
+            "time_us": self.time_us,
+            "ratio_gpu": self.ratio_gpu,
+            "stages": self.stages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Decision":
+        return cls(
+            nodes=tuple(data["nodes"]),
+            mode=data["mode"],
+            time_us=data["time_us"],
+            ratio_gpu=data.get("ratio_gpu"),
+            stages=data.get("stages", 2),
+        )
 
 
 def solve(order: Sequence[str], table: MeasurementTable) -> Tuple[float, List[Decision]]:

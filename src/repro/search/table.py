@@ -2,15 +2,21 @@
 
 The search phase runs once per model prior to compilation; results are
 stored as a metadata log (JSON) so later compilations can skip straight
-to the solve step, mirroring the artifact workflow.
+to the solve step, mirroring the artifact workflow.  Each entry may
+carry the content fingerprint of the profile-cache slot it came from
+(see :mod:`repro.plan.fingerprint`), which records provenance and lets
+tools trace a measurement back to its cache entry.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import logging
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -21,7 +27,9 @@ class RegionMeasurement:
     ``span`` the number of consecutive nodes covered.  ``mode`` is one
     of ``"gpu"`` (no transformation), ``"split"`` (MD-DP at
     ``ratio_gpu``; 0.0 means full PIM offload), or ``"pipeline"``
-    (chain pipelined with ``stages`` stages).
+    (chain pipelined with ``stages`` stages).  ``fingerprint``, when
+    set, is the content-addressed profile-cache key this measurement
+    was stored under.
     """
 
     start: str
@@ -31,6 +39,7 @@ class RegionMeasurement:
     ratio_gpu: Optional[float] = None
     chain: Tuple[str, ...] = ()
     stages: int = 2
+    fingerprint: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("gpu", "split", "pipeline"):
@@ -39,6 +48,36 @@ class RegionMeasurement:
             raise ValueError("split measurements need a ratio_gpu")
         if self.mode == "pipeline" and len(self.chain) != self.span:
             raise ValueError("pipeline measurements need chain == span nodes")
+
+    @property
+    def identity(self) -> Tuple:
+        """What the measurement is *of* — everything but the time.
+
+        Two measurements with equal identity are duplicate samples of
+        the same execution option; only the better one matters.
+        """
+        return (self.start, self.span, self.mode, self.ratio_gpu,
+                self.chain, self.stages)
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "span": self.span,
+            "mode": self.mode,
+            "time_us": self.time_us,
+            "ratio_gpu": self.ratio_gpu,
+            "chain": list(self.chain),
+            "stages": self.stages,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegionMeasurement":
+        return cls(
+            start=data["start"], span=data["span"], mode=data["mode"],
+            time_us=data["time_us"], ratio_gpu=data.get("ratio_gpu"),
+            chain=tuple(data.get("chain", ())), stages=data.get("stages", 2),
+            fingerprint=data.get("fingerprint"))
 
 
 class MeasurementTable:
@@ -69,9 +108,39 @@ class MeasurementTable:
         return [m for group in self._entries.values() for m in group]
 
     def merge(self, other: "MeasurementTable") -> None:
-        """Absorb another table's measurements."""
+        """Absorb another table's measurements.
+
+        Duplicate samples of the same execution option — same (start,
+        span, mode, ratio, chain, stages) — collapse to the
+        lower-latency one instead of piling up; collisions are logged
+        (at warning level when the two timings disagree materially,
+        e.g. profiles taken under different simulator versions).
+        """
         for m in other.all_measurements():
-            self.add(m)
+            self._add_preferring_better(m)
+
+    def _add_preferring_better(self, measurement: RegionMeasurement) -> None:
+        key = (measurement.start, measurement.span)
+        group = self._entries.setdefault(key, [])
+        for i, existing in enumerate(group):
+            if existing.identity != measurement.identity:
+                continue
+            keep, drop = ((measurement, existing)
+                          if measurement.time_us < existing.time_us
+                          else (existing, measurement))
+            level = (logging.WARNING
+                     if abs(existing.time_us - measurement.time_us)
+                     > 1e-9 * max(abs(existing.time_us), 1.0)
+                     else logging.DEBUG)
+            logger.log(
+                level,
+                "duplicate measurement for %s span=%d mode=%s: keeping "
+                "%.3f us, dropping %.3f us",
+                measurement.start, measurement.span, measurement.mode,
+                keep.time_us, drop.time_us)
+            group[i] = keep
+            return
+        group.append(measurement)
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._entries.values())
@@ -80,30 +149,13 @@ class MeasurementTable:
     # Persistence (the paper's metadata log file)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
-            "entries": [
-                {
-                    "start": m.start,
-                    "span": m.span,
-                    "mode": m.mode,
-                    "time_us": m.time_us,
-                    "ratio_gpu": m.ratio_gpu,
-                    "chain": list(m.chain),
-                    "stages": m.stages,
-                }
-                for group in self._entries.values()
-                for m in group
-            ]
-        }
+        return {"entries": [m.to_dict() for m in self.all_measurements()]}
 
     @classmethod
     def from_dict(cls, data: dict) -> "MeasurementTable":
         table = cls()
         for e in data["entries"]:
-            table.add(RegionMeasurement(
-                start=e["start"], span=e["span"], mode=e["mode"],
-                time_us=e["time_us"], ratio_gpu=e.get("ratio_gpu"),
-                chain=tuple(e.get("chain", ())), stages=e.get("stages", 2)))
+            table.add(RegionMeasurement.from_dict(e))
         return table
 
     def save(self, path: Union[str, Path]) -> None:

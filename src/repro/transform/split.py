@@ -22,7 +22,7 @@ from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.graph.ops import is_pim_candidate
 from repro.graph.tensor import TensorInfo
-from repro.transform.base import TransformError, UnsplittableError, conv_h_window
+from repro.transform.base import TransformError, conv_h_window
 
 
 def split_rows(total: int, ratio_gpu: float) -> int:

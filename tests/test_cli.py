@@ -94,3 +94,92 @@ class TestCommands:
         assert main(["-m=report", "-n=toy", "--policy=Newton++",
                      f"--workdir={tmp_path}"]) == 0
         assert "Newton++" in capsys.readouterr().out
+
+
+def _makespan(line):
+    """Pull the makespan out of a '<model> [...]: X us, ...' line."""
+    return float(line.split("]:")[1].split("us")[0])
+
+
+class TestCompileOnce:
+    def test_compile_then_run_plan_matches_direct(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        base = ["-n=toy", f"--workdir={tmp_path / 'out'}"]
+        assert main(["-m=run"] + base) == 0
+        direct_line = [line for line in capsys.readouterr().out.splitlines()
+                       if "[PIMFlow]" in line][0]
+        assert main(["-m=compile", f"--plan={plan_path}"] + base) == 0
+        out = capsys.readouterr().out
+        assert "compiled toy [PIMFlow]" in out
+        assert plan_path.exists()
+        assert main(["-m=run", f"--plan={plan_path}"] + base) == 0
+        plan_line = capsys.readouterr().out.strip().splitlines()[-1]
+        assert "[plan:pimflow]" in plan_line
+        assert _makespan(plan_line) == _makespan(direct_line)
+
+    def test_compile_default_plan_location(self, tmp_path, capsys):
+        workdir = tmp_path / "out"
+        assert main(["-m=compile", "-n=toy", f"--workdir={workdir}"]) == 0
+        assert (workdir / "toy" / "plan.json").exists()
+
+    def test_compile_with_traces(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", "--traces",
+                     f"--plan={plan_path}", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        n_traces = int(out.split("us, ")[1].split(" traces")[0])
+        assert n_traces > 0
+        data = json.loads(plan_path.read_text())
+        assert len(data["traces"]) == n_traces
+
+    def test_compile_excludes_weights_by_default(self, tmp_path):
+        lean = tmp_path / "lean.json"
+        fat = tmp_path / "fat.json"
+        args = ["-m=compile", "-n=toy", f"--workdir={tmp_path}"]
+        assert main(args + [f"--plan={lean}"]) == 0
+        assert main(args + [f"--plan={fat}", "--with_weights"]) == 0
+        assert lean.stat().st_size < fat.stat().st_size
+
+    def test_compile_reports_cache_stats(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["-m=compile", "-n=toy", f"--workdir={tmp_path / 'out'}",
+                f"--cache-dir={cache}"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "profile cache:" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+
+    def test_stat_reports_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["-m=stat", "-n=toy", f"--workdir={tmp_path}",
+                     f"--cache-dir={cache}"]) == 0
+        out = capsys.readouterr().out
+        assert "profile cache:" in out
+        assert "last profile run:" in out
+
+    def test_run_plan_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["-m=run", "-n=toy",
+                     f"--plan={tmp_path / 'nope.json'}",
+                     f"--workdir={tmp_path}"]) == 2
+        assert "plan file not found" in capsys.readouterr().err
+
+    def test_run_plan_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["-m=run", "-n=toy", f"--plan={bad}",
+                     f"--workdir={tmp_path}"]) == 2
+        assert "cannot load plan" in capsys.readouterr().err
+
+    def test_run_plan_future_version_fails_cleanly(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", f"--plan={plan_path}",
+                     f"--workdir={tmp_path}"]) == 0
+        data = json.loads(plan_path.read_text())
+        data["version"] = 99
+        plan_path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["-m=run", "-n=toy", f"--plan={plan_path}",
+                     f"--workdir={tmp_path}"]) == 2
+        assert "unsupported plan version" in capsys.readouterr().err

@@ -139,6 +139,56 @@ class TestEnergyAccounting:
         assert result.pim_busy_us <= result.makespan_us + 1e-9
 
 
+class TestEventLookup:
+    def test_unknown_node_raises_keyerror(self, engine):
+        result = engine.run(_parallel_graph())
+        with pytest.raises(KeyError, match="no schedule event"):
+            result.event("nonexistent")
+
+    def test_index_survives_event_list_growth(self, engine):
+        """The lazy name->event index rebuilds if events are added."""
+        from repro.runtime.engine import ScheduleEvent
+
+        result = engine.run(_parallel_graph())
+        assert result.event("ca").node == "ca"  # builds the index
+        extra = ScheduleEvent("late", "Conv", "gpu", 0.0, 1.0)
+        result.events.append(extra)
+        assert result.event("late") is extra
+
+    def test_lookup_agrees_with_linear_scan(self, engine):
+        result = engine.run(_parallel_graph())
+        for e in result.events:
+            assert result.event(e.node) is e
+
+    def test_index_excluded_from_equality(self, engine):
+        g = _parallel_graph()
+        a, b = engine.run(g), engine.run(g)
+        a.event("ca")  # populate a's index only
+        assert a == b
+
+
+class TestRunCounter:
+    def test_run_count_increments(self, engine):
+        assert engine.run_count == 0
+        g = _parallel_graph()
+        engine.run(g)
+        engine.run(g)
+        assert engine.run_count == 2
+
+    def test_run_plan_counts_and_matches_run(self, engine):
+        from repro.pimflow import PimFlow, PimFlowConfig
+
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        from repro.models import build_model
+
+        toy = build_model("toy")
+        plan = flow.build_plan(toy)
+        direct = engine.run(plan.graph)
+        via_plan = engine.run_plan(plan)
+        assert engine.run_count == 2
+        assert via_plan.makespan_us == direct.makespan_us
+
+
 class TestHostIO:
     def test_host_transfers_add_latency(self):
         g = _parallel_graph()

@@ -1,6 +1,5 @@
 """Property-based invariants of the execution engine."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,7 +12,6 @@ from repro.runtime.engine import ExecutionEngine
 
 def _random_chain_graph(seed, num_layers, channels, place_pim):
     """A conv chain with randomized per-layer device placement."""
-    rng = np.random.default_rng(seed)
     b = GraphBuilder("prop", seed=seed)
     x = b.input("x", (1, 14, 14, channels))
     names = []

@@ -4,8 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).parent.parent / "examples"
 
 
@@ -38,6 +36,12 @@ class TestExamples:
         out = _run("design_space.py")
         assert "best split" in out
         assert "Newton++" in out
+
+    def test_compile_once(self):
+        out = _run("compile_once.py", "toy")
+        assert "0 simulator invocations" in out
+        assert "second compile skips" in out
+        assert "identical makespan" in out
 
     def test_bert_offload(self):
         out = _run("bert_offload.py")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.builder import GraphBuilder
-from repro.gpu.config import RTX2060, TITAN_V, GpuConfig
+from repro.gpu.config import RTX2060, TITAN_V
 from repro.gpu.kernels import (
     gemm_dims,
     gemm_utilization,

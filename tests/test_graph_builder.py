@@ -1,8 +1,6 @@
 """Unit tests for the GraphBuilder."""
 
 import numpy as np
-import pytest
-
 from repro.graph.builder import GraphBuilder
 
 
@@ -62,7 +60,7 @@ class TestBuilder:
         b = GraphBuilder()
         x = b.input("x", (1, 4))
         b.gemm(x, 4, name="g")
-        y = b.relu6("g_out", name="r6")
+        b.relu6("g_out", name="r6")
         node = b.graph.node("r6")
         assert node.op_type == "Clip"
         assert node.attr("min") == 0.0 and node.attr("max") == 6.0

@@ -1,8 +1,6 @@
 """Tests for the extension models (beyond the paper's evaluated five)."""
 
 import numpy as np
-import pytest
-
 from repro.models import build_model
 from repro.pimflow import PimFlow, PimFlowConfig
 from repro.runtime.numerical import execute

@@ -1,6 +1,5 @@
 """Tests for the closed-form PIM cost model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,9 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codegen.generator import generate_trace, tile_program
+from repro.codegen.generator import generate_trace
 from repro.lowering.im2col import LoweredGemv
-from repro.lowering.tiling import tile_over_channels
 from repro.pim.commands import CmdKind, PimCommand
 from repro.pim.config import (
     NEWTON_PLUS,

@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.gpu.device import GpuDevice
 from repro.models import build_model
-from repro.pim.device import PimDevice
 from repro.pimflow import PimFlow, PimFlowConfig
-from repro.runtime.engine import ExecutionEngine
 from repro.search.apply import apply_decisions
 from repro.search.refine import refine_decisions
 from repro.search.solver import Decision

@@ -65,6 +65,73 @@ class TestTable:
         assert best.stages == 3
 
 
+class TestMergeCollisions:
+    def test_merge_keeps_lower_latency_duplicate(self):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(mode="split", ratio_gpu=0.5, time_us=9.0))
+        b.add(_m(mode="split", ratio_gpu=0.5, time_us=4.0))
+        a.merge(b)
+        assert len(a) == 1
+        assert a.best("n0", 1).time_us == 4.0
+
+    def test_merge_keeps_existing_when_better(self):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(time_us=3.0))
+        b.add(_m(time_us=8.0))
+        a.merge(b)
+        assert len(a) == 1
+        assert a.best("n0", 1).time_us == 3.0
+
+    def test_merge_logs_material_collision(self, caplog):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(time_us=9.0))
+        b.add(_m(time_us=4.0))
+        with caplog.at_level("WARNING", logger="repro.search.table"):
+            a.merge(b)
+        assert any("duplicate measurement" in r.message for r in caplog.records)
+
+    def test_merge_identical_times_logged_quietly(self, caplog):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(time_us=5.0))
+        b.add(_m(time_us=5.0))
+        with caplog.at_level("WARNING", logger="repro.search.table"):
+            a.merge(b)
+        assert not caplog.records
+        assert len(a) == 1
+
+    def test_different_options_are_not_duplicates(self):
+        a, b = MeasurementTable(), MeasurementTable()
+        a.add(_m(mode="split", ratio_gpu=0.3, time_us=5.0))
+        b.add(_m(mode="split", ratio_gpu=0.5, time_us=5.0))
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestFingerprintField:
+    def test_fingerprint_round_trips(self, tmp_path):
+        t = MeasurementTable()
+        t.add(_m(fingerprint="abc123"))
+        t.add(_m(start="n1", time_us=2.0))
+        path = tmp_path / "table.json"
+        t.save(path)
+        loaded = MeasurementTable.load(path)
+        by_start = {m.start: m for m in loaded.all_measurements()}
+        assert by_start["n0"].fingerprint == "abc123"
+        assert by_start["n1"].fingerprint is None
+
+    def test_fingerprint_not_part_of_identity(self):
+        a = _m(fingerprint="aaa", time_us=5.0)
+        b = _m(fingerprint="bbb", time_us=3.0)
+        assert a.identity == b.identity
+        t = MeasurementTable()
+        t.add(a)
+        other = MeasurementTable()
+        other.add(b)
+        t.merge(other)
+        assert len(t) == 1
+        assert t.best("n0", 1).fingerprint == "bbb"
+
+
 class TestTableErrors:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -1,7 +1,6 @@
 """Property-based round-trip tests for graph serialization."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,7 +20,6 @@ def _random_graph(draw):
     x = b.input("x", (1, h, h, cin))
     for i in range(depth):
         choice = draw(st.integers(0, 3))
-        c = b.graph.tensors[x].shape[3]
         if choice == 0:
             x = b.conv(x, cout=draw(st.integers(1, 8)),
                        kernel=draw(st.sampled_from([1, 3])))

@@ -1,7 +1,5 @@
 """Property-based tests: the DP solve is optimal over random tables."""
 
-import itertools
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

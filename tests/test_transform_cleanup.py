@@ -1,8 +1,6 @@
 """Tests for dead-code elimination and constant folding."""
 
 import numpy as np
-import pytest
-
 from repro.graph.builder import GraphBuilder
 from repro.runtime.numerical import execute
 from repro.transform.cleanup import cleanup, eliminate_dead_nodes, fold_constants
@@ -51,7 +49,7 @@ class TestConstantFolding:
     def _const_chain_graph(self):
         b = GraphBuilder(seed=4)
         x = b.input("x", (1, 4))
-        w = b.graph.add_initializer("cw", np.ones((1, 4), dtype=np.float32))
+        b.graph.add_initializer("cw", np.ones((1, 4), dtype=np.float32))
         folded = b._emit("Relu", ["cw"], None, "const_relu")
         y = b.add(x, folded, name="combine")
         b.output(y)

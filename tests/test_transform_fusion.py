@@ -1,8 +1,6 @@
 """Tests for BN folding and activation fusion."""
 
 import numpy as np
-import pytest
-
 from repro.graph.builder import GraphBuilder
 from repro.models import build_model
 from repro.runtime.numerical import execute
