@@ -24,6 +24,13 @@ steps exactly like the original scripts.  ``--cache-dir`` additionally
 enables the content-addressed profile cache: any step that profiles
 serves repeated regions from disk instead of the simulators, and
 ``pimflow -m=stat`` reports the cache's effectiveness.
+
+``--jobs N`` fans profiling cache misses out over N worker processes
+(``--jobs 0`` uses every CPU core; the ``REPRO_JOBS`` environment
+variable sets the default).  Parallel profiling streams progress to
+stderr and produces measurement tables byte-identical to ``--jobs 1``;
+every profiling step additionally prints a ``[profile]`` summary line
+(candidates, jobs run, cache hits, wall-clock).
 """
 
 from __future__ import annotations
@@ -63,6 +70,14 @@ def _preprocess_argv(argv: List[str]) -> List[str]:
     return out
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU core), got {jobs}")
+    return jobs
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pimflow",
@@ -100,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", dest="cache_dir", default=None,
                         help="enable the content-addressed profile cache "
                              "in this directory")
+    parser.add_argument("--jobs", type=_jobs_arg, default=None,
+                        help="profiling worker processes: 1 = serial "
+                             "(default), N = fan cache misses out over N "
+                             "workers, 0 = one per CPU core; the REPRO_JOBS "
+                             "environment variable sets the default")
     parser.add_argument("--traces", action="store_true",
                         help="for -m=compile: attach explicit PIM command "
                              "traces to the plan")
@@ -118,7 +138,33 @@ def _config(args: argparse.Namespace, mechanism: str) -> PimFlowConfig:
         ratio_step=args.ratio_step,
         pipeline_stages=args.stages,
         cache_dir=args.cache_dir,
+        jobs=args.jobs,
     )
+
+
+def _flow(args: argparse.Namespace, mechanism: str) -> PimFlow:
+    """A PimFlow wired for the CLI: config from flags, and live
+    progress telemetry on stderr whenever profiling runs in parallel."""
+    from repro.exec.progress import ConsoleReporter
+
+    flow = PimFlow(_config(args, mechanism))
+    if flow.compiler.jobs != 1:
+        flow.compiler.progress = ConsoleReporter(stream=sys.stderr)
+    return flow
+
+
+def _print_profile_summary(flow: PimFlow) -> None:
+    """One per-phase line so long searches aren't silent."""
+    s = flow.compiler.last_profile_summary
+    if not s:
+        return
+    print(f"[profile] {s['candidates']} candidates, {s['requests']} "
+          f"requests: {s['jobs_run']} jobs on {s['workers']} worker(s), "
+          f"{s['cache_hits']} cache hits, {s['failed']} failed, "
+          f"{s['wall_s']:.2f}s")
+    for failed in s["failed_jobs"]:
+        print(f"[profile] failed job {failed['job_id']}: {failed['error']} "
+              f"(after {failed['attempts']} attempts)", file=sys.stderr)
 
 
 def _paths(args: argparse.Namespace) -> dict:
@@ -136,18 +182,21 @@ def cmd_profile(args: argparse.Namespace) -> int:
     paths = _paths(args)
     paths["base"].mkdir(parents=True, exist_ok=True)
     mechanism = "pimflow-md" if args.profile_type == "split" else "pimflow-pl"
-    flow = PimFlow(_config(args, mechanism))
+    flow = _flow(args, mechanism)
     graph = flow.prepare(build_model(args.net))
     table = flow.profile(graph)
     out = paths[args.profile_type]
     table.save(out)
     print(f"profiled {len(table)} samples ({args.profile_type}) -> {out}")
+    _print_profile_summary(flow)
     return 0
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    import time
+
     paths = _paths(args)
-    flow = PimFlow(_config(args, "pimflow"))
+    flow = _flow(args, "pimflow")
     graph = flow.prepare(build_model(args.net))
 
     table = MeasurementTable()
@@ -161,8 +210,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print("no profiles found; running the full profile step first",
               file=sys.stderr)
         table = flow.profile(graph)
+        _print_profile_summary(flow)
 
+    t0 = time.perf_counter()
     compiled = flow.compile(graph, table)
+    solve_wall = time.perf_counter() - t0
     save_graph(compiled.graph, paths["graph"])
     summary = {
         "predicted_time_us": compiled.predicted_time_us,
@@ -175,6 +227,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
     paths["summary"].write_text(json.dumps(summary, indent=2))
     print(f"solved: predicted {compiled.predicted_time_us:.1f} us over "
           f"{len(compiled.decisions)} regions -> {paths['graph']}")
+    print(f"[solve] {len(table)} samples -> {len(compiled.decisions)} "
+          f"regions, {solve_wall:.2f}s")
     return 0
 
 
@@ -192,7 +246,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     """Compile a model into a reusable execution-plan artifact."""
     paths = _paths(args)
     mechanism = POLICIES[args.policy]
-    flow = PimFlow(_config(args, mechanism))
+    flow = _flow(args, mechanism)
     plan = flow.build_plan(build_model(args.net), model_name=args.net,
                            with_traces=args.traces)
     out = Path(args.plan) if args.plan else paths["base"] / "plan.json"
@@ -203,6 +257,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
           f"{info['decisions']} regions, predicted "
           f"{plan.predicted_time_us:.1f} us, {info['traces']} traces "
           f"-> {out}")
+    _print_profile_summary(flow)
     _print_cache_stats(flow)
     return 0
 
@@ -237,12 +292,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     mechanism = POLICIES[args.policy]
-    flow = PimFlow(_config(args, mechanism))
+    flow = _flow(args, mechanism)
     if args.policy == "PIMFlow" and paths["graph"].exists():
         graph = load_graph(paths["graph"])
         result = flow.engine.run(graph)
     else:
         result = flow.run(build_model(args.net))
+        _print_profile_summary(flow)
     print(f"{args.net} [{args.policy}]: {result.makespan_us:.1f} us, "
           f"{result.energy.total_mj:.2f} mJ "
           f"(gpu busy {result.gpu_busy_us:.1f} us, "
@@ -251,9 +307,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_stat(args: argparse.Namespace) -> int:
-    flow = PimFlow(_config(args, "pimflow-md"))
+    flow = _flow(args, "pimflow-md")
     graph = flow.prepare(build_model(args.net))
     compiled = flow.compile(graph)
+    _print_profile_summary(flow)
     dist = mddp_ratio_distribution(compiled.decisions,
                                    candidate_layer_names(graph))
     print("Split ratio to GPU (0: total offload):")
@@ -320,9 +377,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.gantt import render_gantt
     from repro.analysis.report import compilation_report, format_report
 
-    flow = PimFlow(_config(args, POLICIES[args.policy]))
+    flow = _flow(args, POLICIES[args.policy])
     compiled = flow.compile(build_model(args.net))
     result = flow.engine.run(compiled.graph)
+    _print_profile_summary(flow)
     print(f"{args.net} [{args.policy}]")
     for line in format_report(compilation_report(compiled, result)):
         print("  " + line)

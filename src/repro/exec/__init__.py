@@ -1,0 +1,46 @@
+"""``repro.exec``: the parallel profiling job engine.
+
+Fans independent profiling measurements out across worker processes
+with bounded retry, per-job timeouts, crashed-worker isolation, and
+live progress telemetry.  The profiler
+(:class:`repro.search.profiler.RegionProfiler`) enumerates jobs,
+consults the profile cache, submits only the misses, and merges results
+back in canonical order — so a parallel profile is byte-identical to a
+serial one, just faster.
+
+Public surface:
+
+* :class:`JobSpec` / :class:`JobResult` — serializable job descriptions
+  and outcomes.
+* :class:`JobEngine` — the scheduler (``jobs=1`` inline, ``jobs>1``
+  process pool, ``jobs=0`` one worker per CPU).
+* :func:`execute_job` — the worker-side entry point.
+* :class:`ProgressReporter` and its :class:`CallbackReporter`,
+  :class:`LoggingReporter`, :class:`ConsoleReporter` implementations.
+"""
+
+from repro.exec.engine import JobEngine, resolve_worker_count
+from repro.exec.job import STATUS_FAILED, STATUS_OK, JobResult, JobSpec
+from repro.exec.progress import (
+    CallbackReporter,
+    ConsoleReporter,
+    LoggingReporter,
+    ProgressReporter,
+    ProgressSnapshot,
+)
+from repro.exec.worker import execute_job
+
+__all__ = [
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "CallbackReporter",
+    "ConsoleReporter",
+    "JobEngine",
+    "JobResult",
+    "JobSpec",
+    "LoggingReporter",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "execute_job",
+    "resolve_worker_count",
+]

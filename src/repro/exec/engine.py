@@ -1,0 +1,270 @@
+"""Deterministic, fault-tolerant fan-out of profiling jobs.
+
+:class:`JobEngine` runs a batch of independent :class:`JobSpec` jobs
+through a worker function and returns one :class:`JobResult` per spec
+**in spec order**, regardless of completion order — parallelism never
+changes what the caller observes, only how fast it arrives.
+
+Execution modes:
+
+* ``jobs <= 1`` (default) — every job runs inline in the parent
+  process, preserving the historical serial behaviour (no pools, no
+  pickling, per-job timeouts not enforceable without process
+  isolation).
+* ``jobs > 1`` — jobs fan out over a ``ProcessPoolExecutor`` with
+  ``jobs`` workers (``jobs=0`` resolves to the machine's CPU count).
+
+Failure semantics, parallel mode:
+
+* An exception raised by the worker function counts one failed attempt;
+  the job is retried with exponential backoff up to ``retries`` times,
+  then recorded as a failed :class:`JobResult` — the batch always
+  completes.
+* A worker process that **dies** (segfault, ``SIGKILL``, OOM) breaks
+  the pool: every in-flight future resolves with
+  ``BrokenProcessPool``.  The engine rebuilds the pool and resubmits;
+  futures the executor reported *done* at that moment are charged an
+  attempt (the culprit cannot be distinguished from collateral), the
+  rest are requeued without penalty.  A job that persistently kills its
+  worker therefore exhausts its attempts and is recorded failed while
+  everything else completes.
+* A job exceeding ``timeout_s`` is charged a failed attempt.  A hung
+  worker cannot be reclaimed individually, so the engine terminates the
+  pool's processes, requeues the unexpired in-flight jobs without
+  penalty, and continues on a fresh pool — a runaway simulator costs
+  wall-clock, never a hang.
+
+The engine is profiling-agnostic: the worker function is any picklable
+module-level callable ``fn(spec) -> JobResult`` (the profiler passes
+:func:`repro.exec.worker.execute_job`), which is also what the fault
+-injection tests hook.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.job import STATUS_FAILED, JobResult, JobSpec
+from repro.exec.progress import ProgressReporter, ProgressSnapshot
+
+
+def resolve_worker_count(jobs: int) -> int:
+    """Normalize a worker-count knob: 0 means all CPUs, n>=1 means n."""
+    if jobs < 0:
+        raise ValueError(f"worker count must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+#: Queue entry: (spec index, spec, failed attempts so far, not-before time).
+_Pending = Tuple[int, JobSpec, int, float]
+#: In-flight bookkeeping: (spec index, spec, failed attempts, deadline).
+_InFlight = Tuple[int, JobSpec, int, Optional[float]]
+
+
+class JobEngine:
+    """Runs job batches with bounded retry, timeouts and crash isolation."""
+
+    def __init__(self, worker_fn: Callable[[JobSpec], JobResult],
+                 jobs: int = 1,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 2,
+                 backoff_s: float = 0.05,
+                 progress: Optional[ProgressReporter] = None,
+                 poll_interval_s: float = 0.05,
+                 mp_context=None) -> None:
+        self.worker_fn = worker_fn
+        self.jobs = resolve_worker_count(jobs)
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.progress = progress or ProgressReporter()
+        self.poll_interval_s = poll_interval_s
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec], cached: int = 0) -> List[JobResult]:
+        """Execute every spec; results are returned in spec order.
+
+        ``cached`` seeds the progress snapshots with the number of
+        requests the caller already served from the profile cache, so
+        telemetry reflects the whole profiling phase.
+        """
+        specs = list(specs)
+        self._total = len(specs)
+        self._completed = 0
+        self._failed = 0
+        self._cached = cached
+        self._t0 = time.monotonic()
+        self.progress.on_start(self._snapshot())
+        if self.jobs <= 1 or len(specs) <= 1:
+            results = [self._run_inline(spec) for spec in specs]
+        else:
+            results = self._run_parallel(specs)
+        self.progress.on_finish(self._snapshot())
+        return results
+
+    # ------------------------------------------------------------------
+    # Progress bookkeeping
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> ProgressSnapshot:
+        return ProgressSnapshot(
+            total=self._total, completed=self._completed,
+            failed=self._failed, cached=self._cached,
+            elapsed_s=time.monotonic() - self._t0)
+
+    def _terminal(self, result: JobResult) -> JobResult:
+        if result.ok:
+            self._completed += 1
+        else:
+            self._failed += 1
+        self.progress.on_job_done(result, self._snapshot())
+        return result
+
+    # ------------------------------------------------------------------
+    # Inline (serial) execution
+    # ------------------------------------------------------------------
+    def _run_inline(self, spec: JobSpec) -> JobResult:
+        attempts = 0
+        t0 = time.monotonic()
+        while True:
+            attempts += 1
+            try:
+                result = self.worker_fn(spec)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                if attempts <= self.retries:
+                    self.progress.on_retry(spec, attempts, repr(exc))
+                    time.sleep(self.backoff_s * (2 ** (attempts - 1)))
+                    continue
+                return self._terminal(JobResult(
+                    job_id=spec.job_id, fingerprint=spec.fingerprint,
+                    status=STATUS_FAILED, error=repr(exc), attempts=attempts,
+                    elapsed_s=time.monotonic() - t0))
+            return self._terminal(replace(result, attempts=attempts))
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def _run_parallel(self, specs: List[JobSpec]) -> List[JobResult]:
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        pending: Deque[_Pending] = deque(
+            (i, spec, 0, 0.0) for i, spec in enumerate(specs))
+        inflight: Dict[Future, _InFlight] = {}
+        executor: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending or inflight:
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=self.jobs, mp_context=self.mp_context)
+                now = time.monotonic()
+                # Submit at most one job per worker so a job's deadline
+                # starts ticking roughly when it starts executing.
+                for _ in range(len(pending)):
+                    if len(inflight) >= self.jobs:
+                        break
+                    i, spec, fails, not_before = pending.popleft()
+                    if not_before > now:
+                        pending.append((i, spec, fails, not_before))
+                        continue
+                    deadline = (now + self.timeout_s
+                                if self.timeout_s is not None else None)
+                    future = executor.submit(self.worker_fn, spec)
+                    inflight[future] = (i, spec, fails, deadline)
+                if not inflight:
+                    time.sleep(self.poll_interval_s)
+                    continue
+
+                done, _ = wait(set(inflight), timeout=self.poll_interval_s,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    i, spec, fails, _deadline = inflight.pop(future)
+                    try:
+                        result = future.result(timeout=0)
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        self._attempt_failed(
+                            results, pending, i, spec, fails,
+                            f"worker process died: {exc!r}")
+                    except Exception as exc:  # raised inside the worker fn
+                        self._attempt_failed(results, pending, i, spec, fails,
+                                             repr(exc))
+                    else:
+                        results[i] = self._terminal(
+                            replace(result, attempts=fails + 1))
+                if broken:
+                    # The pool is unusable; jobs not yet reported done are
+                    # requeued without an attempt charge (they may never
+                    # have started) and run on a fresh pool.
+                    for i, spec, fails, _deadline in inflight.values():
+                        pending.append((i, spec, fails, 0.0))
+                    inflight.clear()
+                    self._discard_executor(executor, kill=False)
+                    executor = None
+                    continue
+
+                if self.timeout_s is None:
+                    continue
+                now = time.monotonic()
+                expired = [(f, v) for f, v in inflight.items()
+                           if v[3] is not None and now >= v[3]]
+                if expired:
+                    for future, (i, spec, fails, _deadline) in expired:
+                        del inflight[future]
+                        self._attempt_failed(
+                            results, pending, i, spec, fails,
+                            f"timed out after {self.timeout_s:.1f}s")
+                    # A hung worker cannot be reclaimed individually:
+                    # replace the whole pool, requeue the innocent
+                    # in-flight jobs unpenalized.
+                    for i, spec, fails, _deadline in inflight.values():
+                        pending.append((i, spec, fails, 0.0))
+                    inflight.clear()
+                    self._discard_executor(executor, kill=True)
+                    executor = None
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _attempt_failed(self, results: List[Optional[JobResult]],
+                        pending: Deque[_Pending], index: int, spec: JobSpec,
+                        fails: int, error: str) -> None:
+        """Charge one failed attempt; requeue with backoff or record."""
+        fails += 1
+        if fails <= self.retries:
+            self.progress.on_retry(spec, fails, error)
+            not_before = time.monotonic() + self.backoff_s * (2 ** (fails - 1))
+            pending.append((index, spec, fails, not_before))
+            return
+        results[index] = self._terminal(JobResult(
+            job_id=spec.job_id, fingerprint=spec.fingerprint,
+            status=STATUS_FAILED, error=error, attempts=fails))
+
+    @staticmethod
+    def _discard_executor(executor: ProcessPoolExecutor, kill: bool) -> None:
+        if kill:
+            # Hung workers ignore shutdown; terminate them outright.
+            # _processes is a CPython implementation detail, hence the
+            # defensive access — worst case the zombies linger until the
+            # parent exits, which is still forward progress.
+            processes = getattr(executor, "_processes", None) or {}
+            for proc in list(processes.values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 - best effort cleanup
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - the pool may already be broken
+            pass

@@ -1,0 +1,123 @@
+"""Serializable job descriptions and results for the profiling engine.
+
+A :class:`JobSpec` is a self-contained description of one independent
+profiling measurement: the region to measure (as a JSON-compatible
+serialized graph, weights elided — the timing simulators are
+value-independent, see :mod:`repro.plan.fingerprint`), the profiling
+pass and its knobs, the region's content fingerprint (its profile-cache
+key), the toolchain configuration fingerprint it was enumerated under,
+and an engine spec sufficient to rebuild an identical
+:class:`~repro.runtime.engine.ExecutionEngine` in a worker process.
+
+A :class:`JobResult` carries the measurement entries back to the parent
+(as ``RegionMeasurement.to_dict`` payloads, the same form the profile
+cache stores), plus execution metadata: status, attempts consumed,
+error text for failures, the worker's simulator-invocation count (so
+the parent engine's ``run_count`` bookkeeping stays truthful), and
+wall-clock.  Both types round-trip through plain dicts so they can be
+pickled across process boundaries or logged as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+#: Job terminal states.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent profiling measurement, ready to ship to a worker.
+
+    ``kind`` names the profiling pass (``"split"``, ``"gpu"``,
+    ``"pipeline"``); ``target`` the node name(s) the pass applies to —
+    a single-element tuple for split/gpu jobs, the full chain for
+    pipeline jobs.  ``ratios``/``stages`` are the pass knobs.
+    """
+
+    job_id: int
+    kind: str
+    fingerprint: str
+    config_fingerprint: str
+    region: Mapping[str, Any]
+    target: Tuple[str, ...]
+    ratios: Tuple[float, ...] = ()
+    stages: int = 2
+    engine_spec: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "config_fingerprint": self.config_fingerprint,
+            "region": dict(self.region),
+            "target": list(self.target),
+            "ratios": list(self.ratios),
+            "stages": self.stages,
+            "engine_spec": dict(self.engine_spec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(
+            job_id=data["job_id"],
+            kind=data["kind"],
+            fingerprint=data["fingerprint"],
+            config_fingerprint=data["config_fingerprint"],
+            region=dict(data.get("region", {})),
+            target=tuple(data["target"]),
+            ratios=tuple(data.get("ratios", ())),
+            stages=data.get("stages", 2),
+            engine_spec=dict(data.get("engine_spec", {})),
+        )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job: measurements on success, a recorded failure
+    otherwise — never an aborted search."""
+
+    job_id: int
+    fingerprint: str
+    status: str
+    entries: Tuple[Dict[str, Any], ...] = ()
+    error: str = ""
+    attempts: int = 1
+    runs: int = 0
+    elapsed_s: float = 0.0
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "entries": [dict(e) for e in self.entries],
+            "error": self.error,
+            "attempts": self.attempts,
+            "runs": self.runs,
+            "elapsed_s": self.elapsed_s,
+            "worker_pid": self.worker_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            job_id=data["job_id"],
+            fingerprint=data["fingerprint"],
+            status=data["status"],
+            entries=tuple(dict(e) for e in data.get("entries", ())),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
+            runs=data.get("runs", 0),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            worker_pid=data.get("worker_pid", 0),
+        )

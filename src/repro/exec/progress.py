@@ -1,0 +1,184 @@
+"""Live progress telemetry for the job engine.
+
+The engine drives a :class:`ProgressReporter` through the job
+lifecycle: ``on_start`` with the totals (including how many requests
+were already served by the profile cache), ``on_retry`` for every
+failed attempt that will be retried, ``on_job_done`` for every job that
+reaches a terminal state (completed or failed), and ``on_finish`` once
+the batch drains.  Each hook receives a :class:`ProgressSnapshot` with
+completed/failed/cached counts, elapsed wall-clock, and an ETA
+extrapolated from the observed completion rate.
+
+Three implementations ship: the no-op base class, a
+:class:`CallbackReporter` that forwards events to a single callable
+(the embedding-friendly form), and a :class:`LoggingReporter` that
+rate-limits snapshots through :mod:`logging`.  The CLI builds a
+:class:`ConsoleReporter`, which writes one-line status updates to a
+stream at a bounded rate so long searches are never silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TextIO
+
+from repro.exec.job import JobResult, JobSpec
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Point-in-time view of a job batch."""
+
+    total: int
+    completed: int
+    failed: int
+    cached: int
+    elapsed_s: float
+
+    @property
+    def done(self) -> int:
+        """Jobs in a terminal state."""
+        return self.completed + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Remaining wall-clock extrapolated from the completion rate."""
+        if self.done <= 0 or self.remaining <= 0:
+            return None if self.remaining > 0 else 0.0
+        return self.elapsed_s / self.done * self.remaining
+
+    def describe(self) -> str:
+        parts = [f"{self.done}/{self.total} jobs"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        eta = self.eta_s
+        if eta is not None and self.remaining > 0:
+            parts.append(f"eta {eta:.1f}s")
+        return ", ".join(parts)
+
+
+class ProgressReporter:
+    """Lifecycle hooks for job-batch telemetry.  Base class: no-op."""
+
+    def on_start(self, snapshot: ProgressSnapshot) -> None:
+        """The batch was enumerated; ``snapshot.total`` jobs will run."""
+
+    def on_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
+        """Attempt ``attempt`` of ``spec`` failed and will be retried."""
+
+    def on_job_done(self, result: JobResult,
+                    snapshot: ProgressSnapshot) -> None:
+        """``result`` reached a terminal state (ok or failed)."""
+
+    def on_finish(self, snapshot: ProgressSnapshot) -> None:
+        """All jobs reached a terminal state."""
+
+
+class CallbackReporter(ProgressReporter):
+    """Forwards every event to ``fn(event, snapshot, detail)``.
+
+    ``event`` is one of ``"start"``, ``"retry"``, ``"job_done"``,
+    ``"finish"``; ``detail`` is the :class:`JobResult` for
+    ``job_done``, a ``(spec, attempt, error)`` tuple for ``retry``, and
+    None otherwise.
+    """
+
+    def __init__(self, fn: Callable[[str, Optional[ProgressSnapshot], Any],
+                                    None]) -> None:
+        self.fn = fn
+
+    def on_start(self, snapshot: ProgressSnapshot) -> None:
+        self.fn("start", snapshot, None)
+
+    def on_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
+        self.fn("retry", None, (spec, attempt, error))
+
+    def on_job_done(self, result: JobResult,
+                    snapshot: ProgressSnapshot) -> None:
+        self.fn("job_done", snapshot, result)
+
+    def on_finish(self, snapshot: ProgressSnapshot) -> None:
+        self.fn("finish", snapshot, None)
+
+
+class LoggingReporter(ProgressReporter):
+    """Streams progress through :mod:`logging`, rate-limited.
+
+    Start, finish, retries and failures always log; in-flight
+    snapshots log at most once per ``interval_s``.
+    """
+
+    def __init__(self, log: Optional[logging.Logger] = None,
+                 level: int = logging.INFO,
+                 interval_s: float = 1.0) -> None:
+        self.log = log or logger
+        self.level = level
+        self.interval_s = interval_s
+        self._last_emit = 0.0
+
+    def on_start(self, snapshot: ProgressSnapshot) -> None:
+        self.log.log(self.level, "profiling %d jobs (%d served from cache)",
+                     snapshot.total, snapshot.cached)
+        self._last_emit = time.monotonic()
+
+    def on_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
+        self.log.warning("job %d (%s %s) attempt %d failed, retrying: %s",
+                         spec.job_id, spec.kind, "/".join(spec.target),
+                         attempt, error)
+
+    def on_job_done(self, result: JobResult,
+                    snapshot: ProgressSnapshot) -> None:
+        if not result.ok:
+            self.log.warning("job %d failed after %d attempts: %s",
+                             result.job_id, result.attempts, result.error)
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval_s:
+            self._last_emit = now
+            self.log.log(self.level, "%s", snapshot.describe())
+
+    def on_finish(self, snapshot: ProgressSnapshot) -> None:
+        self.log.log(self.level, "profiling done: %s", snapshot.describe())
+
+
+class ConsoleReporter(ProgressReporter):
+    """One-line status updates to a stream (the CLI's live telemetry)."""
+
+    def __init__(self, stream: Optional[TextIO] = None, label: str = "profile",
+                 interval_s: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.interval_s = interval_s
+        self._last_emit = 0.0
+
+    def _emit(self, snapshot: ProgressSnapshot) -> None:
+        print(f"{self.label}: {snapshot.describe()}", file=self.stream,
+              flush=True)
+
+    def on_start(self, snapshot: ProgressSnapshot) -> None:
+        if snapshot.total:
+            self._emit(snapshot)
+        self._last_emit = time.monotonic()
+
+    def on_job_done(self, result: JobResult,
+                    snapshot: ProgressSnapshot) -> None:
+        now = time.monotonic()
+        if now - self._last_emit >= self.interval_s or snapshot.remaining == 0:
+            self._last_emit = now
+            self._emit(snapshot)
+
+    def on_finish(self, snapshot: ProgressSnapshot) -> None:
+        if snapshot.failed:
+            print(f"{self.label}: {snapshot.failed} job(s) failed "
+                  f"(recorded, search continues)", file=self.stream,
+                  flush=True)

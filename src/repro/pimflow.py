@@ -23,11 +23,14 @@ The ``mechanism`` selects the offloading scheme of the evaluation
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+import os
+import time
+from dataclasses import dataclass, field, replace
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.exec.progress import ProgressReporter
 from repro.graph.graph import Graph
 from repro.graph.ops import is_pim_candidate
 from repro.gpu.config import GpuConfig, RTX2060
@@ -46,7 +49,7 @@ from repro.plan.cache import ProfileCache
 from repro.plan.fingerprint import config_fingerprint, graph_fingerprint
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.search.apply import apply_decisions
-from repro.search.profiler import RegionProfiler
+from repro.search.profiler import ProfileRequest, RegionProfiler
 from repro.search.solver import Decision, solve
 from repro.search.table import MeasurementTable
 from repro.transform.patterns import find_pipeline_candidates
@@ -109,6 +112,19 @@ class PimFlowConfig:
     #: Directory for the content-addressed profile cache; None disables
     #: caching and every ``profile()`` call runs the simulators.
     cache_dir: Optional[Union[str, Path]] = None
+    #: Profiling worker processes: 1 = serial (historical behaviour),
+    #: N > 1 = fan cache misses out over N workers, 0 = one worker per
+    #: CPU.  None defers to the ``REPRO_JOBS`` environment variable
+    #: (default 1).  Parallel profiling is deterministic — the
+    #: measurement table is byte-identical to the serial one — so this
+    #: knob deliberately does not participate in the configuration
+    #: fingerprint.
+    jobs: Optional[int] = None
+    #: Per-job wall-clock limit in parallel mode; a job exceeding it is
+    #: retried and eventually recorded as failed.  None = no limit.
+    job_timeout_s: Optional[float] = None
+    #: Failed-attempt retries per job before recording a failure.
+    job_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.mechanism not in MECHANISMS:
@@ -145,8 +161,10 @@ class Compiler:
     """
 
     def __init__(self, config: Optional[PimFlowConfig] = None,
-                 cache: Optional[ProfileCache] = None) -> None:
+                 cache: Optional[ProfileCache] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
         self.config = config or PimFlowConfig()
+        self.progress = progress
         spec = self.config.spec
         if spec.uses_pim:
             gpu_cfg = self.config.memory.gpu_config(self.config.gpu_base)
@@ -162,6 +180,21 @@ class Compiler:
             cache = ProfileCache(self.config.cache_dir)
         self.cache = cache
         self._config_fp: Optional[str] = None
+        #: Summary of the most recent profile phase (request counts,
+        #: cache hits, jobs run, wall-clock) for CLI/telemetry use.
+        self.last_profile_summary: Dict[str, object] = {}
+
+    @property
+    def jobs(self) -> int:
+        """Resolved profiling worker count: the config's ``jobs`` knob,
+        else the ``REPRO_JOBS`` environment variable, else 1."""
+        if self.config.jobs is not None:
+            return self.config.jobs
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "") or 1)
+        except ValueError:
+            return 1
+        return jobs if jobs >= 0 else 1  # a broken env var never aborts
 
     @property
     def config_fingerprint(self) -> str:
@@ -203,32 +236,27 @@ class Compiler:
     # ------------------------------------------------------------------
     # Step 1: profile
     # ------------------------------------------------------------------
-    def profile(self, graph: Graph) -> MeasurementTable:
-        """Measure all execution-mode samples for ``graph``.
-
-        With a cache configured, regions whose structural fingerprints
-        were measured before (under this configuration fingerprint) are
-        served from disk with zero simulator invocations.
-        """
+    def _profile_requests(self, graph: Graph) -> Tuple[List[ProfileRequest], int]:
+        """Enumerate every measurement Algorithm 1 needs, in the
+        canonical (topological, then pipeline-pattern) order the serial
+        profiler has always used.  Returns the requests and the number
+        of PIM-candidate regions among them."""
         spec = self.config.spec
-        profiler = RegionProfiler(self.engine, self.cache,
-                                  self.config_fingerprint)
-        if self.cache is not None:
-            self.cache.reset_stats()
-        table = MeasurementTable()
         order = [n.name for n in graph.toposort()]
         shapes = {t.name: t.shape for t in graph.tensors.values()}
+        requests: List[ProfileRequest] = []
+        candidates = 0
 
         for name in order:
             node = graph.node(name)
             input_shapes = [shapes[t] for t in node.inputs]
             if spec.uses_pim and is_pim_candidate(node, input_shapes):
+                candidates += 1
                 ratios = sorted(set(spec.split_ratios) | {1.0})
-                for m in profiler.profile_node(graph, name, ratios):
-                    table.add(m)
+                requests.append(ProfileRequest("split", (name,),
+                                               tuple(ratios)))
             else:
-                for m in profiler.profile_gpu_node(graph, name):
-                    table.add(m)
+                requests.append(ProfileRequest("gpu", (name,)))
 
         if spec.uses_pim and spec.pipelines:
             positions = {name: i for i, name in enumerate(order)}
@@ -240,12 +268,45 @@ class Compiler:
                 span = len(pattern.chain)
                 if tuple(order[i:i + span]) != pattern.chain:
                     continue  # chain is not contiguous in topo order
+                candidates += 1
                 for stages in stage_options:
-                    for m in profiler.profile_chain(graph, pattern.chain,
-                                                    stages):
-                        table.add(m)
+                    requests.append(ProfileRequest(
+                        "pipeline", tuple(pattern.chain), stages=stages))
+        return requests, candidates
+
+    def profile(self, graph: Graph) -> MeasurementTable:
+        """Measure all execution-mode samples for ``graph``.
+
+        With a cache configured, regions whose structural fingerprints
+        were measured before (under this configuration fingerprint) are
+        served from disk with zero simulator invocations.  With
+        ``jobs > 1`` (or ``REPRO_JOBS`` set), cache misses fan out over
+        worker processes through :mod:`repro.exec`; the resulting table
+        is byte-identical to the serial one.
+        """
+        t0 = time.perf_counter()
+        requests, candidates = self._profile_requests(graph)
+        profiler = RegionProfiler(
+            self.engine, self.cache, self.config_fingerprint,
+            jobs=self.jobs, engine_spec=self.runtime_spec(),
+            timeout_s=self.config.job_timeout_s,
+            retries=self.config.job_retries,
+            progress=self.progress)
+        if self.cache is not None:
+            self.cache.reset_stats()
+        table = MeasurementTable()
+        for measurements in profiler.profile_requests(graph, requests):
+            for m in measurements:
+                table.add(m)
         if self.cache is not None:
             self.cache.record_run(self.config_fingerprint)
+        self.last_profile_summary = {
+            "candidates": candidates,
+            "samples": len(table),
+            **profiler.last_stats,
+            "failed_jobs": [r.to_dict() for r in profiler.failed_jobs],
+            "wall_s": time.perf_counter() - t0,
+        }
         return table
 
     # ------------------------------------------------------------------
@@ -288,18 +349,10 @@ class Compiler:
     # ------------------------------------------------------------------
     def runtime_spec(self) -> Dict[str, object]:
         """Serializable description of the execution environment, enough
-        for :class:`~repro.runtime.executor.PlanExecutor` to rebuild an
-        identical engine without this compiler."""
-        return {
-            "mechanism": self.config.mechanism,
-            "write_through": self.gpu.write_through,
-            "gpu_config": asdict(self.gpu.config),
-            "pim_config": asdict(self.pim.config) if self.pim else None,
-            "pim_opts": asdict(self.pim.opts) if self.pim else None,
-            "sync_overhead_us": self.engine.sync_overhead_us,
-            "host_io": self.engine.host_io,
-            "pcie_bytes_per_us": self.engine.pcie_bytes_per_us,
-        }
+        for :class:`~repro.runtime.executor.PlanExecutor` — or a
+        profiling worker process — to rebuild an identical engine
+        without this compiler."""
+        return {"mechanism": self.config.mechanism, **self.engine.to_spec()}
 
     def build_plan(self, graph: Graph, model_name: Optional[str] = None,
                    with_traces: bool = False,
@@ -367,8 +420,9 @@ class PimFlow:
     """
 
     def __init__(self, config: Optional[PimFlowConfig] = None,
-                 cache: Optional[ProfileCache] = None) -> None:
-        self.compiler = Compiler(config, cache=cache)
+                 cache: Optional[ProfileCache] = None,
+                 progress: Optional[ProgressReporter] = None) -> None:
+        self.compiler = Compiler(config, cache=cache, progress=progress)
 
     @property
     def config(self) -> PimFlowConfig:

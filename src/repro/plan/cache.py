@@ -19,6 +19,14 @@ changed device config, mechanism, or optimization flag lands in a fresh
 subdirectory, and :meth:`ProfileCache.invalidate` removes a stale
 configuration's entries wholesale.
 
+Concurrency: writes are atomic (unique temp file + ``os.replace``), so
+readers never observe partial entries even with several profilers
+sharing one cache directory.  Within one toolchain the parallel
+profiling path additionally funnels all writes through the parent
+process — the :class:`~repro.search.profiler.RegionProfiler` is the
+single writer, merging worker results after jobs complete — so worker
+crashes can never corrupt or half-write an entry.
+
 Entries are lists of measurement dicts (``RegionMeasurement.to_dict``
 form), kept as plain data so this module needs nothing from
 :mod:`repro.search`.
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import shutil
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -87,7 +96,9 @@ class ProfileCache:
         path = self._entry_path(config_fingerprint, region_fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"entries": entries, "meta": meta or {}}
-        tmp = path.with_suffix(".tmp")
+        # Per-process temp name: two processes storing the same entry
+        # must never interleave writes into one temp file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)  # atomic: concurrent profilers never see partials
 

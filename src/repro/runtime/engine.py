@@ -23,7 +23,7 @@ over the inter-channel network).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.energy.accumulator import EnergyBreakdown
@@ -81,7 +81,15 @@ class RunResult:
 
 
 class ExecutionEngine:
-    """Schedules transformed graphs over one GPU and one PIM device."""
+    """Schedules transformed graphs over one GPU and one PIM device.
+
+    Engines are plain picklable objects (device configs and energy
+    models are dataclasses; there are no open handles), and
+    :meth:`to_spec` emits the JSON-compatible description that
+    :func:`repro.runtime.executor.engine_from_spec` rebuilds an
+    identical engine from — the contract both the plan artifact and the
+    job-engine worker processes rely on.
+    """
 
     def __init__(self, gpu: GpuDevice, pim: Optional[PimDevice] = None,
                  sync_overhead_us: float = SYNC_OVERHEAD_US,
@@ -100,6 +108,20 @@ class ExecutionEngine:
         #: cache's zero-reprofiling guarantee is asserted against this
         #: counter in the test suite.
         self.run_count = 0
+
+    def to_spec(self) -> Dict[str, object]:
+        """Serializable engine description, sufficient to rebuild an
+        engine that prices every kernel identically (see
+        :func:`repro.runtime.executor.engine_from_spec`)."""
+        return {
+            "write_through": self.gpu.write_through,
+            "gpu_config": asdict(self.gpu.config),
+            "pim_config": asdict(self.pim.config) if self.pim else None,
+            "pim_opts": asdict(self.pim.opts) if self.pim else None,
+            "sync_overhead_us": self.sync_overhead_us,
+            "host_io": self.host_io,
+            "pcie_bytes_per_us": self.pcie_bytes_per_us,
+        }
 
     def _placement(self, node: Node, graph: Graph) -> str:
         if node.device != "pim":

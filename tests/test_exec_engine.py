@@ -1,0 +1,193 @@
+"""Unit tests for the repro.exec job engine.
+
+Worker functions used with jobs > 1 must be module-level (picklable);
+several below simulate misbehaviour: raising, crashing the worker
+process outright, or hanging past the timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.exec import (
+    STATUS_FAILED,
+    STATUS_OK,
+    CallbackReporter,
+    JobEngine,
+    JobResult,
+    JobSpec,
+    ProgressSnapshot,
+    resolve_worker_count,
+)
+
+
+def make_spec(job_id, kind="ok", region=None):
+    return JobSpec(job_id=job_id, kind=kind, fingerprint=f"fp{job_id}",
+                   config_fingerprint="cfg", region=region or {},
+                   target=("n",))
+
+
+def ok_worker(spec):
+    return JobResult(job_id=spec.job_id, fingerprint=spec.fingerprint,
+                     status=STATUS_OK, entries=({"id": spec.job_id},),
+                     worker_pid=os.getpid())
+
+
+def always_raises(spec):
+    raise RuntimeError(f"boom {spec.job_id}")
+
+
+def flaky_worker(spec):
+    """Fails the first attempt of each job, succeeds afterwards (a
+    filesystem sentinel survives across worker processes)."""
+    sentinel = os.path.join(spec.region["dir"], f"seen{spec.job_id}")
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("1")
+        raise RuntimeError("first attempt fails")
+    return ok_worker(spec)
+
+
+def crash_worker(spec):
+    """SIGKILLs its own worker process for 'crash' jobs."""
+    if spec.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ok_worker(spec)
+
+
+def sleepy_worker(spec):
+    if spec.kind == "sleep":
+        time.sleep(60)
+    return ok_worker(spec)
+
+
+class TestJobTypes:
+    def test_spec_roundtrip(self):
+        spec = JobSpec(job_id=3, kind="split", fingerprint="abc",
+                       config_fingerprint="cfg", region={"name": "g"},
+                       target=("c0",), ratios=(0.0, 0.5, 1.0), stages=3,
+                       engine_spec={"host_io": False})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_result_roundtrip(self):
+        result = JobResult(job_id=3, fingerprint="abc", status=STATUS_FAILED,
+                           entries=({"time_us": 1.0},), error="boom",
+                           attempts=2, runs=4, elapsed_s=0.1, worker_pid=7)
+        assert JobResult.from_dict(result.to_dict()) == result
+        assert not result.ok
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(7) == 7
+        assert resolve_worker_count(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_worker_count(-1)
+
+
+class TestInlineMode:
+    def test_results_in_spec_order(self):
+        engine = JobEngine(ok_worker, jobs=1)
+        results = engine.run([make_spec(i) for i in range(5)])
+        assert [r.job_id for r in results] == list(range(5))
+        assert all(r.ok for r in results)
+
+    def test_exception_recorded_after_retries(self):
+        engine = JobEngine(always_raises, jobs=1, retries=2, backoff_s=0.0)
+        results = engine.run([make_spec(0)])
+        assert results[0].status == STATUS_FAILED
+        assert results[0].attempts == 3
+        assert "boom 0" in results[0].error
+
+    def test_flaky_job_retried_to_success(self, tmp_path):
+        engine = JobEngine(flaky_worker, jobs=1, retries=2, backoff_s=0.0)
+        results = engine.run([make_spec(0, region={"dir": str(tmp_path)})])
+        assert results[0].ok
+        assert results[0].attempts == 2
+
+
+class TestParallelMode:
+    def test_results_in_spec_order(self):
+        engine = JobEngine(ok_worker, jobs=2)
+        results = engine.run([make_spec(i) for i in range(8)])
+        assert [r.job_id for r in results] == list(range(8))
+        assert all(r.ok for r in results)
+
+    def test_worker_exception_is_retried_then_recorded(self):
+        engine = JobEngine(always_raises, jobs=2, retries=1, backoff_s=0.0)
+        results = engine.run([make_spec(i) for i in range(3)])
+        assert all(r.status == STATUS_FAILED for r in results)
+        assert all(r.attempts == 2 for r in results)
+
+    def test_flaky_jobs_recover(self, tmp_path):
+        engine = JobEngine(flaky_worker, jobs=2, retries=2, backoff_s=0.0)
+        specs = [make_spec(i, region={"dir": str(tmp_path)})
+                 for i in range(4)]
+        results = engine.run(specs)
+        assert all(r.ok for r in results)
+        assert all(r.attempts >= 2 for r in results)
+
+    def test_killed_worker_is_isolated(self):
+        """A SIGKILLed worker yields a failed record for the culprit and
+        completed results for everything else — never a hang."""
+        engine = JobEngine(crash_worker, jobs=2, retries=2, backoff_s=0.0)
+        specs = [make_spec(0, kind="crash")] + \
+                [make_spec(i) for i in range(1, 6)]
+        results = engine.run(specs)
+        assert results[0].status == STATUS_FAILED
+        assert "died" in results[0].error
+        assert all(r.ok for r in results[1:])
+
+    def test_timeout_recorded_and_pool_recovers(self):
+        engine = JobEngine(sleepy_worker, jobs=2, retries=0, backoff_s=0.0,
+                           timeout_s=1.0)
+        specs = [make_spec(0, kind="sleep")] + \
+                [make_spec(i) for i in range(1, 4)]
+        t0 = time.monotonic()
+        results = engine.run(specs)
+        assert time.monotonic() - t0 < 30  # never waits for the sleeper
+        assert results[0].status == STATUS_FAILED
+        assert "timed out" in results[0].error
+        assert all(r.ok for r in results[1:])
+
+
+class TestProgress:
+    def test_lifecycle_events_and_counts(self):
+        events = []
+        reporter = CallbackReporter(
+            lambda event, snap, detail: events.append((event, snap, detail)))
+        engine = JobEngine(ok_worker, jobs=1, progress=reporter)
+        engine.run([make_spec(i) for i in range(3)], cached=2)
+        names = [e[0] for e in events]
+        assert names[0] == "start" and names[-1] == "finish"
+        assert names.count("job_done") == 3
+        final = events[-1][1]
+        assert final.total == 3 and final.completed == 3
+        assert final.failed == 0 and final.cached == 2
+
+    def test_retry_events(self):
+        events = []
+        reporter = CallbackReporter(
+            lambda event, snap, detail: events.append(event))
+        engine = JobEngine(always_raises, jobs=1, retries=2, backoff_s=0.0,
+                           progress=reporter)
+        engine.run([make_spec(0)])
+        assert events.count("retry") == 2
+
+    def test_snapshot_eta(self):
+        snap = ProgressSnapshot(total=4, completed=1, failed=1, cached=0,
+                                elapsed_s=2.0)
+        assert snap.done == 2 and snap.remaining == 2
+        assert snap.eta_s == pytest.approx(2.0)
+        done = ProgressSnapshot(total=4, completed=4, failed=0, cached=0,
+                                elapsed_s=2.0)
+        assert done.eta_s == 0.0
+        fresh = ProgressSnapshot(total=4, completed=0, failed=0, cached=0,
+                                 elapsed_s=0.0)
+        assert fresh.eta_s is None
+        assert "jobs" in snap.describe()

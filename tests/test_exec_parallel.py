@@ -1,0 +1,262 @@
+"""End-to-end parallel profiling tests: determinism vs the serial path,
+cache interoperation, fault tolerance, and the CLI surface.
+
+The injected worker functions are module-level so worker processes can
+unpickle them by reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.models import build_model
+from repro.pimflow import Compiler, PimFlow, PimFlowConfig
+from repro.plan.cache import ProfileCache
+from repro.search.profiler import RegionProfiler
+from repro.search.table import MeasurementTable
+
+
+def compile_model(model, jobs, cache=None):
+    flow = PimFlow(PimFlowConfig(mechanism="pimflow", jobs=jobs), cache=cache)
+    graph = flow.prepare(build_model(model))
+    table = flow.profile(graph)
+    predicted, decisions = flow.solve(graph, table)
+    return flow, graph, table, predicted, decisions
+
+
+def fail_pipeline_jobs(spec):
+    """Delegates to the real worker except for pipeline jobs, which
+    always raise — simulating a simulator crash on one region class."""
+    from repro.exec.worker import execute_job
+    if spec.kind == "pipeline":
+        raise RuntimeError("injected pipeline failure")
+    return execute_job(spec)
+
+
+def hang_pipeline_jobs(spec):
+    from repro.exec.worker import execute_job
+    if spec.kind == "pipeline":
+        time.sleep(60)
+    return execute_job(spec)
+
+
+def kill_pipeline_workers(spec):
+    """SIGKILLs the worker process on pipeline jobs — the hardest
+    failure mode: the pool breaks and must be rebuilt."""
+    import os
+    import signal
+    from repro.exec.worker import execute_job
+    if spec.kind == "pipeline":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return execute_job(spec)
+
+
+class TestDeterminism:
+    """ISSUE satellite: serial and parallel profiling are byte-identical."""
+
+    @pytest.mark.parametrize("model", ["toy", "mobilenet-v2"])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_table_and_decisions_identical(self, model, jobs):
+        _, _, t_serial, p_serial, d_serial = compile_model(model, 1)
+        _, _, t_par, p_par, d_par = compile_model(model, jobs)
+        assert t_par.to_dict() == t_serial.to_dict()
+        assert p_par == p_serial
+        assert [d.to_dict() for d in d_par] == \
+               [d.to_dict() for d in d_serial]
+
+    def test_plan_identical_modulo_provenance(self):
+        model = build_model("toy")
+
+        def plan_json(jobs):
+            plan = PimFlow(PimFlowConfig(jobs=jobs)).build_plan(
+                model, model_name="toy")
+            data = plan.to_dict()
+            data["provenance"].pop("created_at")
+            return json.dumps(data, sort_keys=True)
+
+        assert plan_json(2) == plan_json(1)
+
+    def test_parallel_credits_run_count(self):
+        flow, _, _, _, _ = compile_model("toy", 2)
+        assert flow.engine.run_count > 0
+
+    def test_profile_summary_populated(self):
+        flow, _, _, _, _ = compile_model("toy", 2)
+        summary = flow.compiler.last_profile_summary
+        assert summary["requests"] > 0
+        assert summary["jobs_run"] > 0
+        assert summary["workers"] == 2
+        assert summary["failed"] == 0
+        assert summary["failed_jobs"] == []
+        assert summary["wall_s"] > 0
+
+
+class TestCacheInterop:
+    """Serial and parallel runs share one cache in both directions."""
+
+    def test_parallel_cold_then_serial_warm(self, tmp_path):
+        _, _, t_cold, _, _ = compile_model(
+            "toy", 2, cache=ProfileCache(tmp_path / "cache"))
+        flow, _, t_warm, _, _ = compile_model(
+            "toy", 1, cache=ProfileCache(tmp_path / "cache"))
+        assert t_warm.to_dict() == t_cold.to_dict()
+        assert flow.engine.run_count == 0  # fully served from disk
+
+    def test_serial_cold_then_parallel_warm(self, tmp_path):
+        _, _, t_cold, _, _ = compile_model(
+            "toy", 1, cache=ProfileCache(tmp_path / "cache"))
+        flow, _, t_warm, _, _ = compile_model(
+            "toy", 2, cache=ProfileCache(tmp_path / "cache"))
+        assert t_warm.to_dict() == t_cold.to_dict()
+        assert flow.engine.run_count == 0
+        assert flow.compiler.last_profile_summary["jobs_run"] == 0
+
+    def test_cold_run_cache_stats_mode_independent(self, tmp_path):
+        """Duplicate structures count as hits in both modes (serially
+        they literally are; in parallel they rebind the owner job)."""
+        flow_s, _, _, _, _ = compile_model(
+            "toy", 1, cache=ProfileCache(tmp_path / "a"))
+        flow_p, _, _, _, _ = compile_model(
+            "toy", 2, cache=ProfileCache(tmp_path / "b"))
+        assert flow_s.cache.stats()["hits"] > 0
+        assert flow_p.cache.stats()["hits"] == flow_s.cache.stats()["hits"]
+        assert flow_p.cache.stats()["misses"] == flow_s.cache.stats()["misses"]
+
+    def test_repro_jobs_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert Compiler(PimFlowConfig()).jobs == 3
+        assert Compiler(PimFlowConfig(jobs=1)).jobs == 1  # config wins
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        assert Compiler(PimFlowConfig()).jobs == 1
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert Compiler(PimFlowConfig()).jobs == 1
+
+    def test_jobs_not_in_config_fingerprint(self):
+        serial = Compiler(PimFlowConfig(jobs=1)).config_fingerprint
+        parallel = Compiler(PimFlowConfig(jobs=4)).config_fingerprint
+        assert serial == parallel
+
+
+class TestFaultTolerance:
+    """ISSUE satellite: injected worker failures are retried, recorded,
+    and never corrupt the cache or abort the search."""
+
+    def _profile(self, worker_fn, tmp_path, **kwargs):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        graph = flow.prepare(build_model("toy"))
+        requests, _ = flow.compiler._profile_requests(graph)
+        profiler = RegionProfiler(
+            flow.engine, ProfileCache(tmp_path / "cache"),
+            flow.compiler.config_fingerprint, jobs=2,
+            engine_spec=flow.compiler.runtime_spec(),
+            worker_fn=worker_fn, **kwargs)
+        results = profiler.profile_requests(graph, requests)
+        return flow, graph, requests, profiler, results
+
+    def test_exceptions_retried_then_recorded(self, tmp_path):
+        flow, graph, requests, profiler, results = self._profile(
+            fail_pipeline_jobs, tmp_path, retries=1)
+        pipeline_idx = [i for i, r in enumerate(requests)
+                        if r.kind == "pipeline"]
+        assert pipeline_idx  # toy under 'pimflow' has pipeline candidates
+
+        # Failures were retried (retries+1 attempts) and recorded.
+        assert profiler.failed_jobs
+        assert all(r.attempts == 2 for r in profiler.failed_jobs)
+        assert all("injected" in r.error for r in profiler.failed_jobs)
+        assert profiler.last_stats["failed"] == len(profiler.failed_jobs)
+
+        # The batch completed: every request answered, failed ones empty.
+        assert len(results) == len(requests)
+        for i in pipeline_idx:
+            assert results[i] == []
+
+        # The search completes on the partial table.
+        table = MeasurementTable()
+        for measurements in results:
+            for m in measurements:
+                table.add(m)
+        predicted, decisions = flow.solve(graph, table)
+        assert predicted > 0 and decisions
+
+        # The cache holds nothing for the failed regions (no corruption).
+        cache = ProfileCache(tmp_path / "cache")
+        fp = flow.compiler.config_fingerprint
+        for failed in profiler.failed_jobs:
+            assert cache.lookup(fp, failed.fingerprint) is None
+
+        # A later healthy serial run over the same cache fills the gap
+        # and matches a clean serial run exactly.
+        healed = RegionProfiler(flow.engine, ProfileCache(tmp_path / "cache"),
+                                fp).profile_requests(graph, requests)
+        clean = RegionProfiler(flow.engine).profile_requests(graph, requests)
+        assert [[m.to_dict() for m in ms] for ms in healed] == \
+               [[m.to_dict() for m in ms] for ms in clean]
+
+    def test_killed_workers_recorded_and_cache_intact(self, tmp_path):
+        flow, graph, requests, profiler, results = self._profile(
+            kill_pipeline_workers, tmp_path, retries=1)
+        assert profiler.failed_jobs
+        assert all("died" in r.error for r in profiler.failed_jobs)
+        assert len(results) == len(requests)
+
+        # Every surviving cache entry is readable — nothing half-written.
+        cache = ProfileCache(tmp_path / "cache")
+        fp = flow.compiler.config_fingerprint
+        split_fps = {m.fingerprint for i, r in enumerate(requests)
+                     if r.kind == "split" for m in results[i]}
+        assert split_fps
+        for region_fp in split_fps:
+            assert cache.lookup(fp, region_fp) is not None
+
+        # A healing re-profile over the intact cache fills every gap
+        # (collateral jobs can exhaust attempts too when the pool keeps
+        # breaking) and the search completes.
+        healed = RegionProfiler(flow.engine, cache, fp).profile_requests(
+            graph, requests)
+        table = MeasurementTable()
+        for measurements in healed:
+            for m in measurements:
+                table.add(m)
+        predicted, decisions = flow.solve(graph, table)
+        assert predicted > 0 and decisions
+
+    def test_timeouts_recorded_without_hanging(self, tmp_path):
+        t0 = time.monotonic()
+        flow, graph, requests, profiler, results = self._profile(
+            hang_pipeline_jobs, tmp_path, retries=0, timeout_s=1.0)
+        assert time.monotonic() - t0 < 60  # never waits out the sleepers
+        assert profiler.failed_jobs
+        assert all("timed out" in r.error for r in profiler.failed_jobs)
+        assert len(results) == len(requests)
+        split_idx = [i for i, r in enumerate(requests) if r.kind == "split"]
+        assert all(results[i] for i in split_idx)  # innocents completed
+
+
+class TestCli:
+    def test_jobs_flag_summary_and_progress(self, tmp_path, capsys):
+        assert main(["-m=profile", "-t=split", "-n=toy", "--jobs=2",
+                     f"--workdir={tmp_path}"]) == 0
+        captured = capsys.readouterr()
+        assert "[profile]" in captured.out
+        assert "worker(s)" in captured.out
+        assert "jobs" in captured.err  # ConsoleReporter progress lines
+
+    def test_serial_still_prints_summary(self, tmp_path, capsys):
+        # --jobs=1 pins serial mode even when REPRO_JOBS is set.
+        assert main(["-m=profile", "-t=split", "-n=toy", "--jobs=1",
+                     f"--workdir={tmp_path}"]) == 0
+        captured = capsys.readouterr()
+        assert "[profile]" in captured.out
+        assert captured.err == ""  # no progress stream in serial mode
+
+    def test_solve_prints_phase_line(self, tmp_path, capsys):
+        base = ["-n=toy", f"--workdir={tmp_path}"]
+        assert main(["-m=profile", "-t=split"] + base) == 0
+        assert main(["-m=profile", "-t=pipeline"] + base) == 0
+        assert main(["-m=solve"] + base) == 0
+        assert "[solve]" in capsys.readouterr().out
