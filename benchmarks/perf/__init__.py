@@ -1,0 +1,19 @@
+"""Tracked performance microbenchmarks for the two hot paths.
+
+This package times (1) the vectorized numpy reference executor and
+(2) the full ``PimFlow.compile`` pipeline on a fixed model set, and
+keeps the measured trajectory in ``BENCH_RUNTIME.json`` at the repo
+root so perf wins and regressions are visible in review.
+
+Usage (from the repo root)::
+
+    python benchmarks/perf/run.py              # measure and print
+    python benchmarks/perf/run.py --update     # rewrite BENCH_RUNTIME.json
+    python benchmarks/perf/run.py --check      # compare vs baseline; exit 1
+                                               # on a >3x regression
+
+``run.py`` bootstraps ``sys.path`` itself, so no ``PYTHONPATH`` setup
+is needed.  The CI perf-smoke job runs ``--check`` with a deliberately
+loose 3x failure threshold: shared runners are noisy, and the job
+exists to catch egregious regressions, not 10% drift.
+"""

@@ -1,0 +1,183 @@
+"""Measurement core of the perf-smoke harness.
+
+Two metric families, both reported in milliseconds (best of ``rounds``
+repetitions, the standard microbenchmark estimator under scheduler
+noise):
+
+* ``numerical.<model>.batch<B>_ms`` — one :func:`repro.runtime.
+  numerical.execute` call on deterministic random feeds with batch B
+  fed into the batch-1 graph (the batched-feed path).
+* ``compile.<model>.cold_ms`` / ``compile.<model>.repeat_ms`` — a full
+  ``PimFlow.compile`` on a fresh toolchain (cold: nothing memoized)
+  and a second compile on the same toolchain (repeat: measurement memo
+  and cost caches warm).
+
+Everything is pure in-process timing of deterministic code — no disk
+cache, no worker processes — so results are comparable across runs on
+one machine and across commits in CI (with a loose threshold).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+DEFAULT_MODELS = ("mobilenet-v2", "shufflenet-v2", "resnet-50")
+DEFAULT_BATCHES = (1, 8)
+DEFAULT_ROUNDS = 3
+
+#: A current/baseline ratio above this fails ``--check``.  Deliberately
+#: loose: CI runners are noisy and the job is a smoke test for
+#: egregious regressions only.
+DEFAULT_FAIL_RATIO = 3.0
+
+
+def _best_of(fn, rounds: int) -> float:
+    """Best wall-clock of ``rounds`` calls, in milliseconds."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def bench_numerical(model: str, batches: Iterable[int],
+                    rounds: int) -> Dict[str, float]:
+    """Time the numpy executor on one model at each batch size."""
+    from repro.models.registry import build_model
+    from repro.runtime.numerical import execute
+
+    graph = build_model(model)
+    rng = np.random.default_rng(0)
+    metrics: Dict[str, float] = {}
+    for batch in batches:
+        feeds = {
+            name: (rng.standard_normal(
+                (batch,) + graph.tensors[name].shape[1:]) * 0.1
+            ).astype(np.float32)
+            for name in graph.inputs
+        }
+        execute(graph, feeds)  # warm-up: initializer-f32 cache, toposort
+        metrics[f"numerical.{model}.batch{batch}_ms"] = _best_of(
+            lambda: execute(graph, feeds), rounds)
+    return metrics
+
+
+def bench_compile(model: str, rounds: int) -> Dict[str, float]:
+    """Time cold and repeat ``PimFlow.compile`` on one model."""
+    from repro.models.registry import build_model
+    from repro.pimflow import PimFlow, PimFlowConfig
+
+    graph = build_model(model)
+    config = PimFlowConfig(mechanism="pimflow", jobs=1)
+
+    cold = float("inf")
+    flow: Optional[PimFlow] = None
+    for _ in range(rounds):
+        flow = PimFlow(config)
+        t0 = time.perf_counter()
+        flow.compile(graph)
+        cold = min(cold, time.perf_counter() - t0)
+    repeat = _best_of(lambda: flow.compile(graph), rounds)
+    return {
+        f"compile.{model}.cold_ms": cold * 1e3,
+        f"compile.{model}.repeat_ms": repeat,
+    }
+
+
+def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
+                   batches: Iterable[int] = DEFAULT_BATCHES,
+                   rounds: int = DEFAULT_ROUNDS,
+                   progress=print) -> Dict[str, object]:
+    """Run every benchmark; returns the ``BENCH_RUNTIME.json`` payload."""
+    models = tuple(models)
+    batches = tuple(batches)
+    metrics: Dict[str, float] = {}
+    for model in models:
+        progress(f"[perf] numerical {model} (batches {batches}) ...")
+        metrics.update(bench_numerical(model, batches, rounds))
+        progress(f"[perf] compile {model} ...")
+        metrics.update(bench_compile(model, rounds))
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "models": list(models),
+            "batches": list(batches),
+            "rounds": rounds,
+        },
+        "metrics": {k: round(v, 3) for k, v in sorted(metrics.items())},
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline I/O and comparison
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    return data
+
+
+def save_baseline(path: Path, results: Dict[str, object]) -> None:
+    Path(path).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def compare(baseline: Dict[str, object], current: Dict[str, object],
+            fail_ratio: float = DEFAULT_FAIL_RATIO,
+            ) -> Tuple[List[Tuple[str, Optional[float], Optional[float],
+                                  Optional[float], str]], bool]:
+    """Per-metric deltas of ``current`` against ``baseline``.
+
+    Returns ``(rows, ok)`` where each row is ``(metric, baseline_ms,
+    current_ms, ratio, status)``.  Status is ``"ok"``, ``"faster"``
+    (>25% better), ``"slower"`` (worse but under the threshold),
+    ``"REGRESSION"`` (over ``fail_ratio``), or ``"new"``/``"missing"``
+    for metrics present on only one side (never a failure — the metric
+    set may legitimately grow).  ``ok`` is False iff any row regressed.
+    """
+    base_metrics: Dict[str, float] = dict(baseline.get("metrics", {}))
+    cur_metrics: Dict[str, float] = dict(current.get("metrics", {}))
+    rows = []
+    ok = True
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(name)
+        cur = cur_metrics.get(name)
+        if base is None:
+            rows.append((name, None, cur, None, "new"))
+            continue
+        if cur is None:
+            rows.append((name, base, None, None, "missing"))
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        if ratio > fail_ratio:
+            status = "REGRESSION"
+            ok = False
+        elif ratio > 1.25:
+            status = "slower"
+        elif ratio < 0.75:
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append((name, base, cur, ratio, status))
+    return rows, ok
+
+
+def format_rows(rows) -> str:
+    lines = [f"{'metric':44s} {'baseline':>10s} {'current':>10s} "
+             f"{'ratio':>7s}  status"]
+    for name, base, cur, ratio, status in rows:
+        base_s = f"{base:10.1f}" if base is not None else f"{'-':>10s}"
+        cur_s = f"{cur:10.1f}" if cur is not None else f"{'-':>10s}"
+        ratio_s = f"{ratio:6.2f}x" if ratio is not None else f"{'-':>7s}"
+        lines.append(f"{name:44s} {base_s} {cur_s} {ratio_s}  {status}")
+    return "\n".join(lines)

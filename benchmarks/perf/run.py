@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""CLI for the perf-smoke harness (see ``benchmarks/perf/__init__``).
+
+Self-bootstrapping: resolves the repo root from its own location and
+puts ``src`` (the library) and this directory on ``sys.path``, so it
+runs as a plain script with no environment setup::
+
+    python benchmarks/perf/run.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+REPO_ROOT = _HERE.parent.parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import harness  # noqa: E402  (path bootstrap above)
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_RUNTIME.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the tracked perf microbenchmarks.")
+    parser.add_argument("--models", nargs="+",
+                        default=list(harness.DEFAULT_MODELS))
+    parser.add_argument("--batches", nargs="+", type=int,
+                        default=list(harness.DEFAULT_BATCHES))
+    parser.add_argument("--rounds", type=int, default=harness.DEFAULT_ROUNDS)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: BENCH_RUNTIME.json "
+                             "at the repo root)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the measured results to the baseline file")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on any "
+                             "regression beyond --fail-ratio")
+    parser.add_argument("--fail-ratio", type=float,
+                        default=harness.DEFAULT_FAIL_RATIO,
+                        help="current/baseline ratio that fails --check "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    results = harness.run_benchmarks(models=args.models, batches=args.batches,
+                                     rounds=args.rounds)
+
+    if args.check:
+        baseline = harness.load_baseline(args.baseline)
+        rows, ok = harness.compare(baseline, results,
+                                   fail_ratio=args.fail_ratio)
+        print(harness.format_rows(rows))
+        if not ok:
+            print(f"\nFAIL: regression beyond {args.fail_ratio}x "
+                  f"vs {args.baseline}")
+            return 1
+        print(f"\nOK: within {args.fail_ratio}x of {args.baseline}")
+        return 0
+
+    if args.update:
+        harness.save_baseline(args.baseline, results)
+        print(f"wrote {args.baseline}")
+
+    width = max(len(k) for k in results["metrics"])
+    for name, value in results["metrics"].items():
+        print(f"{name:{width}s} {value:10.1f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

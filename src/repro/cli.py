@@ -43,7 +43,7 @@ from typing import List, Optional
 
 from repro.analysis.ratios import candidate_layer_names, mddp_ratio_distribution
 from repro.graph.serialize import load_graph, save_graph
-from repro.models import build_model, list_models
+from repro.models import build_model, list_models, normalize_model_name
 from repro.pimflow import PimFlow, PimFlowConfig
 from repro.search.table import MeasurementTable
 
@@ -397,6 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in list_models():
             print(name)
         return 0
+    if args.net is not None:
+        args.net = normalize_model_name(args.net)
     if args.net not in list_models():
         print(f"unknown net {args.net!r}; use -m=list", file=sys.stderr)
         return 2

@@ -10,6 +10,11 @@ from repro.gpu.config import GpuConfig, RTX2060
 from repro.gpu.kernels import KernelCost, node_cost
 from repro.graph.graph import Graph
 from repro.graph.node import Node
+from repro.graph.ops import node_structural_key
+
+#: Per-device memo entries before the cache resets (safety valve for
+#: pathological long-lived devices; real models need a few hundred).
+COST_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True)
@@ -39,10 +44,25 @@ class GpuDevice:
         self.config = config
         self.energy_model = energy_model or GpuEnergyModel()
         self.write_through = write_through
+        #: Structural-key -> KernelCost memo.  ``node_cost`` is a pure
+        #: function of the node structure and this device's (immutable)
+        #: config, so the same layer shape — re-priced at every split
+        #: ratio and refine perturbation — computes once.
+        self._cost_cache: Dict[tuple, KernelCost] = {}
+        self.cost_cache_hits = 0
 
     def run_node(self, node: Node, graph: Graph) -> KernelCost:
-        """Cost of one node as a GPU kernel."""
-        return node_cost(node, graph, self.config, self.write_through)
+        """Cost of one node as a GPU kernel (memoized structurally)."""
+        key = node_structural_key(node, graph.tensors)
+        cost = self._cost_cache.get(key)
+        if cost is not None:
+            self.cost_cache_hits += 1
+            return cost
+        if len(self._cost_cache) >= COST_CACHE_LIMIT:
+            self._cost_cache.clear()
+        cost = node_cost(node, graph, self.config, self.write_through)
+        self._cost_cache[key] = cost
+        return cost
 
     def node_energy_mj(self, cost: KernelCost) -> float:
         """Energy of one kernel."""

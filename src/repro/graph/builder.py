@@ -70,11 +70,13 @@ class GraphBuilder:
         """Declare a graph input tensor."""
         self.graph.add_tensor(TensorInfo(name, shape, self.dtype))
         self.graph.inputs.append(name)
+        self.graph.touch()
         return name
 
     def output(self, tensor: str) -> None:
         """Mark a tensor as a graph output."""
         self.graph.outputs.append(tensor)
+        self.graph.touch()
 
     def build(self) -> Graph:
         """Validate and return the graph."""

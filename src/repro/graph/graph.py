@@ -34,6 +34,27 @@ class Graph:
         self.inputs: List[str] = []
         self.outputs: List[str] = []
         self._name_counter = 0
+        self._version = 0
+        self._topo_cache: Optional[List[Node]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter of structural mutations.
+
+        Derived caches (the memoized :meth:`toposort`, the executor's
+        float32 initializer cache) key on this value.  All ``Graph``
+        methods that change structure bump it; code that rewires nodes
+        or graph input/output lists *in place* must call :meth:`touch`.
+        """
+        return self._version
+
+    def touch(self) -> None:
+        """Invalidate derived caches after an in-place structural edit."""
+        self._version += 1
+        self._topo_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,6 +74,7 @@ class Graph:
         """Register a weight tensor with its constant value."""
         info = self.add_tensor(TensorInfo(name, tuple(value.shape), dtype))
         self.initializers[name] = value
+        self.touch()
         return info
 
     def add_node(self, node: Node) -> Node:
@@ -63,6 +85,7 @@ class Graph:
             if t not in self.tensors:
                 raise GraphError(f"node {node.name!r} references unknown tensor {t!r}")
         self.nodes.append(node)
+        self.touch()
         return node
 
     def unique_name(self, prefix: str) -> str:
@@ -102,7 +125,9 @@ class Graph:
         """Remove a node by name and return it."""
         for i, n in enumerate(self.nodes):
             if n.name == name:
-                return self.nodes.pop(i)
+                removed = self.nodes.pop(i)
+                self.touch()
+                return removed
         raise KeyError(f"no node named {name!r}")
 
     # ------------------------------------------------------------------
@@ -112,7 +137,16 @@ class Graph:
         """Nodes in topological (dataflow) order.
 
         Raises :class:`GraphError` on cycles or undefined data inputs.
+        The result is memoized until the next structural mutation
+        (:meth:`touch`); callers receive a fresh list each time, but
+        the ``Node`` objects are the graph's own.
         """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        self._topo_cache = self._toposort_uncached()
+        return list(self._topo_cache)
+
+    def _toposort_uncached(self) -> List[Node]:
         ready: Dict[str, bool] = {t: True for t in self.inputs}
         for t in self.initializers:
             ready[t] = True

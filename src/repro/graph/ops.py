@@ -18,7 +18,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.graph.node import Node
 
@@ -82,6 +82,35 @@ def is_pim_candidate(node: Node, input_shapes: Sequence[Shape]) -> bool:
     if node.op_type == "Conv" and is_depthwise(node, input_shapes):
         return False
     return True
+
+
+def _freeze_attr(value) -> object:
+    """Hashable form of a node attribute value."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_attr(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_attr(v)) for k, v in value.items()))
+    if hasattr(value, "tobytes"):  # numpy array / scalar
+        return (getattr(value, "shape", ()), value.tobytes())
+    return value
+
+
+def node_structural_key(node: Node, tensors: Mapping[str, object]) -> Tuple:
+    """Hashable key capturing everything an analytical cost model reads.
+
+    Two nodes with equal keys have identical op type, attributes, and
+    input/output tensor shapes+dtypes, so any pure cost function of the
+    node (GPU roofline, PIM command timing) returns identical results —
+    the memoization contract of :class:`~repro.gpu.device.GpuDevice`
+    and :class:`~repro.pim.device.PimDevice`.  Node *names* and device
+    placements are deliberately excluded: the same layer structure at a
+    different position (or on the other device timeline) prices the
+    same.
+    """
+    attrs = tuple(sorted((k, _freeze_attr(v)) for k, v in node.attrs.items()))
+    ins = tuple((tensors[t].shape, tensors[t].dtype) for t in node.inputs)
+    outs = tuple((tensors[t].shape, tensors[t].dtype) for t in node.outputs)
+    return (node.op_type, attrs, ins, outs)
 
 
 def _expect_rank(shape: Shape, rank: int, what: str) -> None:

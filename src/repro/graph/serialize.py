@@ -84,6 +84,7 @@ def graph_from_dict(data: Dict[str, Any]) -> Graph:
                         n.get("device", "auto")))
     g.inputs = list(data["inputs"])
     g.outputs = list(data["outputs"])
+    g.touch()
     return g
 
 

@@ -8,6 +8,12 @@ network the artifact uses for its walkthrough.  Weights are random and
 deterministic — the reproduction only needs layer shapes and dataflow.
 """
 
-from repro.models.registry import MODEL_BUILDERS, build_model, list_models
+from repro.models.registry import (
+    MODEL_BUILDERS,
+    build_model,
+    list_models,
+    normalize_model_name,
+)
 
-__all__ = ["MODEL_BUILDERS", "build_model", "list_models"]
+__all__ = ["MODEL_BUILDERS", "build_model", "list_models",
+           "normalize_model_name"]

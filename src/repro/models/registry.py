@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, List
 
 from repro.graph.graph import Graph
@@ -45,12 +46,25 @@ def list_models() -> List[str]:
     return sorted(MODEL_BUILDERS)
 
 
+def normalize_model_name(name: str) -> str:
+    """Canonical registry spelling: lowercase, hyphen-separated."""
+    return name.strip().lower().replace("_", "-")
+
+
 def build_model(name: str) -> Graph:
-    """Build a registered model by its artifact name."""
+    """Build a registered model by its artifact name.
+
+    Names are normalized before lookup, so ``mobilenet_v2`` and
+    ``MobileNet-V2`` both resolve to ``mobilenet-v2``.
+    """
     try:
-        builder = MODEL_BUILDERS[name]
+        builder = MODEL_BUILDERS[normalize_model_name(name)]
     except KeyError:
+        close = difflib.get_close_matches(normalize_model_name(name),
+                                          list_models(), n=3, cutoff=0.5)
+        hint = f" (did you mean: {', '.join(close)}?)" if close else ""
         raise KeyError(
-            f"unknown model {name!r}; available: {', '.join(list_models())}"
+            f"unknown model {name!r}{hint}; "
+            f"available: {', '.join(list_models())}"
         ) from None
     return builder()

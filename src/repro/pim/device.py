@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.energy.constants import PimEnergyModel
 from repro.graph.graph import Graph
@@ -34,15 +34,36 @@ class PimDevice:
     device per offloading mechanism.
     """
 
+    #: Per-device memo entries before the cache resets (safety valve).
+    COST_CACHE_LIMIT = 65536
+
     def __init__(self, config: Optional[PimConfig] = None,
                  opts: PimOptimizations = NEWTON_PLUS_PLUS,
                  energy_model: Optional[PimEnergyModel] = None) -> None:
         self.config = config or PimConfig()
         self.opts = opts
         self.energy_model = energy_model or PimEnergyModel()
+        #: LoweredGemv -> PimRunCost memo.  The GEMV descriptor is a
+        #: frozen dataclass capturing everything the command-timing
+        #: model reads, so two layers lowering to the same (rows, k, n,
+        #: contiguity) price identically — one computation per
+        #: structure instead of one per split ratio per refine step.
+        self._cost_cache: Dict[LoweredGemv, PimRunCost] = {}
+        self.cost_cache_hits = 0
 
     def run_gemv(self, gemv: LoweredGemv) -> PimRunCost:
-        """Cost of one lowered GEMV batch."""
+        """Cost of one lowered GEMV batch (memoized on the descriptor)."""
+        cached = self._cost_cache.get(gemv)
+        if cached is not None:
+            self.cost_cache_hits += 1
+            return cached
+        if len(self._cost_cache) >= self.COST_CACHE_LIMIT:
+            self._cost_cache.clear()
+        result = self._run_gemv_uncached(gemv)
+        self._cost_cache[gemv] = result
+        return result
+
+    def _run_gemv_uncached(self, gemv: LoweredGemv) -> PimRunCost:
         cost: GemvCost = gemv_cost(gemv, self.config, self.opts)
         energy = self.energy_model.trace_energy_mj(
             activations=cost.activations,

@@ -45,7 +45,7 @@ from repro.pim.config import (
 )
 from repro.pim.device import PimDevice
 from repro.plan.artifact import ExecutionPlan
-from repro.plan.cache import ProfileCache
+from repro.plan.cache import MemoryProfileCache, ProfileCache
 from repro.plan.fingerprint import config_fingerprint, graph_fingerprint
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.search.apply import apply_decisions
@@ -109,9 +109,14 @@ class PimFlowConfig:
     #: otherwise).  The paper places weights in the cell arrays in
     #: advance and implicitly assumes they fit.
     check_placement: bool = True
-    #: Directory for the content-addressed profile cache; None disables
-    #: caching and every ``profile()`` call runs the simulators.
+    #: Directory for the content-addressed profile cache; None keeps
+    #: the cache in memory (see ``memoize``).
     cache_dir: Optional[Union[str, Path]] = None
+    #: With no ``cache_dir``, memoize measurements in process memory so
+    #: repeat ``profile()``/``compile()`` calls on one toolchain replay
+    #: them instead of re-running the simulators.  Set False to force
+    #: every profile through the simulators (e.g. when timing them).
+    memoize: bool = True
     #: Profiling worker processes: 1 = serial (historical behaviour),
     #: N > 1 = fan cache misses out over N workers, 0 = one worker per
     #: CPU.  None defers to the ``REPRO_JOBS`` environment variable
@@ -178,6 +183,8 @@ class Compiler:
         self.engine = ExecutionEngine(self.gpu, self.pim)
         if cache is None and self.config.cache_dir:
             cache = ProfileCache(self.config.cache_dir)
+        elif cache is None and self.config.memoize:
+            cache = MemoryProfileCache()
         self.cache = cache
         self._config_fp: Optional[str] = None
         #: Summary of the most recent profile phase (request counts,

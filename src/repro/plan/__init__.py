@@ -11,7 +11,7 @@ subsystem, so the runtime hot path stays search-free.
 """
 
 from repro.plan.artifact import PLAN_VERSION, ExecutionPlan, PlanFormatError
-from repro.plan.cache import ProfileCache
+from repro.plan.cache import MemoryProfileCache, ProfileCache
 from repro.plan.fingerprint import (
     canonical_region,
     config_fingerprint,
@@ -23,6 +23,7 @@ from repro.plan.fingerprint import (
 __all__ = [
     "PLAN_VERSION",
     "ExecutionPlan",
+    "MemoryProfileCache",
     "PlanFormatError",
     "ProfileCache",
     "canonical_region",

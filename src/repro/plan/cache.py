@@ -165,3 +165,60 @@ class ProfileCache:
             return json.loads(path.read_text())
         except json.JSONDecodeError:
             return None
+
+
+class MemoryProfileCache(ProfileCache):
+    """Dict-backed profile cache: same addressing, zero disk I/O.
+
+    The default measurement memo of a :class:`~repro.pimflow.Compiler`
+    when no ``cache_dir`` is configured: repeat ``profile()``/
+    ``compile()`` calls on the same compiler replay measurements
+    instead of re-running the transform passes and simulators, and the
+    process leaves nothing behind on exit.  Entries are stored as the
+    same plain measurement dicts the disk cache keeps, so serial and
+    parallel profiling stay byte-identical through either backend.
+    """
+
+    def __init__(self) -> None:
+        # Deliberately skip ProfileCache.__init__ — no directories.
+        self._entries: Dict[tuple, List[Dict[str, Any]]] = {}
+        self._last_run: Optional[Dict[str, Any]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, config_fingerprint: str,
+               region_fingerprint: str) -> Optional[List[Dict[str, Any]]]:
+        entries = self._entries.get((config_fingerprint, region_fingerprint))
+        if entries is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [dict(e) for e in entries]
+
+    def store(self, config_fingerprint: str, region_fingerprint: str,
+              entries: List[Dict[str, Any]],
+              meta: Optional[Dict[str, Any]] = None) -> None:
+        self._entries[(config_fingerprint, region_fingerprint)] = [
+            dict(e) for e in entries]
+
+    def invalidate(self, config_fingerprint: Optional[str] = None) -> int:
+        if config_fingerprint is None:
+            removed = len(self._entries)
+            self._entries.clear()
+            return removed
+        stale = [k for k in self._entries if k[0] == config_fingerprint]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def record_run(self, config_fingerprint: str) -> None:
+        payload = dict(self.stats())
+        payload["config_fingerprint"] = config_fingerprint
+        self._last_run = payload
+
+    def last_run(self) -> Optional[Dict[str, Any]]:
+        return self._last_run

@@ -6,11 +6,27 @@ graph must produce outputs numerically equal to the original.  All math
 runs in float32 regardless of declared tensor dtype, which keeps the
 equality checks deterministic across differently-ordered but equivalent
 computations (splits, pipelining, command-level reordering).
+
+The executor is also the serving engine behind ``runtime.verify`` and
+any host-side inference, so convolution dispatches through vectorized
+fast paths instead of a per-group Python loop:
+
+* **depthwise** (``group == cin``, one filter per channel): strided
+  window slices multiplied elementwise against the per-channel filter
+  taps — no contraction at all.
+* **regular** (``group == 1``): im2col + one GEMM when the lowered
+  matrix is small enough, falling back to per-tap ``tensordot``
+  accumulation for very large expansions (e.g. early VGG layers).
+* **grouped** (``1 < group < cin``): a single einsum contraction per
+  kernel tap over a ``(N, OH, OW, G, Cg)`` channel layout.
+
+:func:`conv2d_nhwc_reference` keeps the original per-group loop as the
+oracle the property tests compare every fast path against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +37,10 @@ Env = Dict[str, np.ndarray]
 KernelFn = Callable[[Node, List[np.ndarray]], np.ndarray]
 
 KERNELS: Dict[str, KernelFn] = {}
+
+#: im2col expansions beyond this many float32 elements fall back to
+#: per-tap accumulation (64 MB keeps peak memory bounded on big convs).
+IM2COL_MAX_ELEMENTS = 16 * 1024 * 1024
 
 
 def kernel(op_type: str) -> Callable[[KernelFn], KernelFn]:
@@ -33,23 +53,35 @@ def kernel(op_type: str) -> Callable[[KernelFn], KernelFn]:
     return wrap
 
 
-def conv2d_nhwc(x: np.ndarray, w: np.ndarray, bias: np.ndarray,
-                strides, pads, group: int) -> np.ndarray:
-    """Direct NHWC convolution with groups.
-
-    Vectorized over the kernel window: for each kernel offset the padded
-    input is strided-sliced and contracted against the corresponding
-    weight slice, accumulating into the output.  This is both the
-    reference semantics and the shape used to validate the im2col
-    lowering in :mod:`repro.lowering`.
-    """
+def _conv_geometry(x: np.ndarray, w: np.ndarray, strides, pads, group: int):
+    """Shared shape math and validation for all conv paths."""
     n, h, wdt, cin = x.shape
     kh, kw, cin_g, cout = w.shape
     sh, sw = strides
     pt, pl, pb, pr = pads
-    xp = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    if group < 1 or cin % group or cout % group:
+        raise ValueError(
+            f"group={group} must divide both cin={cin} and cout={cout}")
+    if cin_g * group != cin:
+        raise ValueError(
+            f"weight cin/group={cin_g} inconsistent with cin={cin}, "
+            f"group={group}")
     oh = (h + pt + pb - kh) // sh + 1
     ow = (wdt + pl + pr - kw) // sw + 1
+    xp = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    return xp, n, oh, ow, kh, kw, sh, sw, cin_g, cout
+
+
+def conv2d_nhwc_reference(x: np.ndarray, w: np.ndarray, bias: np.ndarray,
+                          strides, pads, group: int) -> np.ndarray:
+    """Naive per-group loop convolution — the semantics oracle.
+
+    Kept deliberately simple (one ``tensordot`` per group per kernel
+    tap) so the vectorized paths in :func:`conv2d_nhwc` have an
+    independent reference to be property-tested against.
+    """
+    xp, n, oh, ow, kh, kw, sh, sw, cin_g, cout = _conv_geometry(
+        x, w, strides, pads, group)
     cout_g = cout // group
     out = np.zeros((n, oh, ow, cout), dtype=np.float32)
     for g in range(group):
@@ -61,6 +93,86 @@ def conv2d_nhwc(x: np.ndarray, w: np.ndarray, bias: np.ndarray,
                 patch = xg[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
                 acc += np.tensordot(patch, wg[i, j], axes=([3], [0]))
         out[..., g * cout_g:(g + 1) * cout_g] = acc
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _conv_depthwise(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
+                    sh, sw, cout) -> np.ndarray:
+    # One filter tap per channel: the contraction degenerates to an
+    # elementwise multiply-accumulate over strided window slices.
+    taps = w.reshape(kh, kw, cout)
+    out = np.zeros((n, oh, ow, cout), dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            out += xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :] * taps[i, j]
+    return out
+
+
+def _conv_grouped(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
+                  sh, sw, cin_g, cout, group) -> np.ndarray:
+    # (N, OH, OW, G, Cg) layout: one einsum contraction per kernel tap
+    # covers every group at once.
+    cout_g = cout // group
+    # w[i, j] is (cin_g, cout) with cout = G-major; expose the groups.
+    wg = w.reshape(kh, kw, cin_g, group, cout_g).transpose(0, 1, 3, 2, 4)
+    out = np.zeros((n, oh, ow, group, cout_g), dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            patch = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+            patch = patch.reshape(n, oh, ow, group, cin_g)
+            out += np.einsum("nxygc,gcd->nxygd", patch, wg[i, j],
+                             optimize=True)
+    return out.reshape(n, oh, ow, cout)
+
+
+def _conv_regular(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
+                  sh, sw, cin, cout) -> np.ndarray:
+    if kh == 1 and kw == 1:
+        # Pointwise: a single GEMM over a strided view, no expansion.
+        patch = xp[:, :oh * sh:sh, :ow * sw:sw, :]
+        return np.ascontiguousarray(patch).reshape(-1, cin) @ \
+            w.reshape(cin, cout)
+    if n * oh * ow * kh * kw * cin <= IM2COL_MAX_ELEMENTS:
+        # im2col + one GEMM.
+        cols = np.empty((n, oh, ow, kh, kw, cin), dtype=np.float32)
+        for i in range(kh):
+            for j in range(kw):
+                cols[:, :, :, i, j, :] = \
+                    xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+        return cols.reshape(n * oh * ow, kh * kw * cin) @ \
+            w.reshape(kh * kw * cin, cout)
+    # Expansion too large: per-tap GEMM accumulation (full cin at once).
+    out = np.zeros((n, oh, ow, cout), dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            patch = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+            out += np.tensordot(patch, w[i, j], axes=([3], [0]))
+    return out
+
+
+def conv2d_nhwc(x: np.ndarray, w: np.ndarray, bias: np.ndarray,
+                strides, pads, group: int) -> np.ndarray:
+    """Vectorized NHWC convolution with groups.
+
+    Dispatches to a depthwise, regular (im2col + GEMM), or grouped
+    (einsum) fast path; all three match
+    :func:`conv2d_nhwc_reference` within float32 tolerance (the test
+    suite asserts this property) and remain the semantics used to
+    validate the im2col lowering in :mod:`repro.lowering`.
+    """
+    xp, n, oh, ow, kh, kw, sh, sw, cin_g, cout = _conv_geometry(
+        x, w, strides, pads, group)
+    cin = x.shape[3]
+    if group == 1:
+        out = _conv_regular(xp, w, n, oh, ow, kh, kw, sh, sw, cin, cout)
+        out = out.reshape(n, oh, ow, cout)
+    elif group == cin and cin_g == 1 and cout == group:
+        out = _conv_depthwise(xp, w, n, oh, ow, kh, kw, sh, sw, cout)
+    else:
+        out = _conv_grouped(xp, w, n, oh, ow, kh, kw, sh, sw, cin_g,
+                            cout, group)
     if bias is not None:
         out = out + bias
     return out
@@ -211,7 +323,21 @@ def _run_flatten(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
 
 @kernel("Reshape")
 def _run_reshape(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
-    return inputs[0].reshape(node.attr("shape"))
+    x = inputs[0]
+    shape = tuple(node.attr("shape"))
+    size = 1
+    for d in shape:
+        size *= d
+    if size != x.size and shape:
+        # Batched feed: the attribute shape was recorded for the
+        # graph's declared batch; rescale the leading (batch) dim so
+        # batched execution reshapes each sample identically.
+        rest = 1
+        for d in shape[1:]:
+            rest *= d
+        if rest > 0 and x.size % rest == 0:
+            shape = (-1,) + tuple(shape[1:])
+    return x.reshape(shape)
 
 
 @kernel("Transpose")
@@ -264,23 +390,66 @@ def execute_node(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
     fn = KERNELS.get(node.op_type)
     if fn is None:
         raise NotImplementedError(f"no numpy kernel for op {node.op_type!r}")
-    return fn(node, [np.asarray(x, dtype=np.float32) for x in inputs])
+    return fn(node, [
+        x if isinstance(x, np.ndarray) and x.dtype == np.float32
+        else np.asarray(x, dtype=np.float32)
+        for x in inputs
+    ])
+
+
+def graph_initializers_f32(graph: Graph) -> Dict[str, np.ndarray]:
+    """Float32 views of a graph's initializers, cached per graph.
+
+    The cache is keyed on the graph's mutation :attr:`~Graph.version`
+    and entry count, so repeated :func:`execute` calls skip the
+    per-call dtype coercion while any ``add_initializer`` (or
+    :meth:`~Graph.touch`) invalidates it.
+    """
+    cached = getattr(graph, "_f32_initializers", None)
+    if (cached is not None and cached[0] == graph.version
+            and len(cached[1]) == len(graph.initializers)):
+        return cached[1]
+    converted = {
+        name: np.asarray(value, dtype=np.float32)
+        for name, value in graph.initializers.items()
+    }
+    graph._f32_initializers = (graph.version, converted)
+    return converted
+
+
+def _node_results(node: Node, result) -> Sequence[np.ndarray]:
+    """Normalize a kernel's return value to one array per output."""
+    if isinstance(result, (tuple, list)):
+        if len(result) != len(node.outputs):
+            raise ValueError(
+                f"kernel for {node.op_type!r} returned {len(result)} arrays "
+                f"for {len(node.outputs)} outputs")
+        return result
+    if len(node.outputs) != 1:
+        raise ValueError(
+            f"kernel for {node.op_type!r} returned one array for "
+            f"{len(node.outputs)} outputs")
+    return (result,)
 
 
 def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
     """Run a graph on concrete inputs and return its output tensors.
 
     ``feeds`` maps graph-input names to arrays; initializers come from
-    the graph itself.  Intermediate tensors are freed as soon as their
-    last consumer has run, so large transformed graphs stay cheap.
+    the graph itself (converted to float32 once per graph and cached).
+    Feeds may carry a larger leading batch dimension than the graph
+    declares — every registered op is batch-polymorphic, so an
+    ``(8, H, W, C)`` feed into a batch-1 graph executes all eight
+    samples in one pass, amortizing the per-node Python dispatch.
+    Intermediate tensors are freed as soon as their last consumer has
+    run, so large transformed graphs stay cheap.
     """
+    inits = graph_initializers_f32(graph)
     env: Env = {}
     for name in graph.inputs:
         if name not in feeds:
             raise KeyError(f"missing feed for graph input {name!r}")
         env[name] = np.asarray(feeds[name], dtype=np.float32)
-    for name, value in graph.initializers.items():
-        env[name] = np.asarray(value, dtype=np.float32)
 
     order = graph.toposort()
     remaining_uses: Dict[str, int] = {}
@@ -289,17 +458,24 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
             remaining_uses[t] = remaining_uses.get(t, 0) + 1
 
     outputs: Dict[str, np.ndarray] = {}
-    keep = set(graph.outputs) | set(graph.initializers) | set(graph.inputs)
+    keep = set(graph.outputs) | set(graph.inputs)
+    wanted = set(graph.outputs)
     for n in order:
-        result = execute_node(n, [env[t] for t in n.inputs])
-        env[n.outputs[0]] = result
-        if n.outputs[0] in graph.outputs:
-            outputs[n.outputs[0]] = result
+        fn = KERNELS.get(n.op_type)
+        if fn is None:
+            raise NotImplementedError(f"no numpy kernel for op {n.op_type!r}")
+        result = fn(n, [env[t] if t in env else inits[t] for t in n.inputs])
+        for t, value in zip(n.outputs, _node_results(n, result)):
+            env[t] = value
+            if t in wanted:
+                outputs[t] = value
         for t in n.inputs:
             remaining_uses[t] -= 1
-            if remaining_uses[t] == 0 and t not in keep:
+            if remaining_uses[t] == 0 and t not in keep and t in env:
                 del env[t]
     for t in graph.outputs:
         if t in env:
             outputs[t] = env[t]
+        elif t in inits:
+            outputs[t] = inits[t]
     return outputs

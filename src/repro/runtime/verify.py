@@ -20,14 +20,22 @@ class EquivalenceError(AssertionError):
     """Raised when two graphs disagree beyond tolerance."""
 
 
-def random_feeds(graph: Graph, seed: int = 0,
-                 scale: float = 0.1) -> Dict[str, np.ndarray]:
-    """Deterministic random inputs for every graph input."""
+def random_feeds(graph: Graph, seed: int = 0, scale: float = 0.1,
+                 batch: Optional[int] = None) -> Dict[str, np.ndarray]:
+    """Deterministic random inputs for every graph input.
+
+    ``batch`` overrides the leading dimension of every input — the
+    executor is batch-polymorphic, so a graph declared at batch 1 can
+    be driven at any batch size.
+    """
     rng = np.random.default_rng(seed)
-    return {
-        name: rng.standard_normal(graph.tensors[name].shape) * scale
-        for name in graph.inputs
-    }
+    feeds = {}
+    for name in graph.inputs:
+        shape = graph.tensors[name].shape
+        if batch is not None:
+            shape = (batch,) + tuple(shape[1:])
+        feeds[name] = rng.standard_normal(shape) * scale
+    return feeds
 
 
 def verify_equivalence(reference: Graph, transformed: Graph,

@@ -90,6 +90,7 @@ def extract_subgraph(graph: Graph, node_names: Sequence[str]) -> Graph:
                 region.outputs.append(t)
     if not region.outputs:
         region.outputs.append(region.nodes[-1].outputs[0])
+    region.touch()
     return region
 
 

@@ -68,5 +68,10 @@ def single_consumer_chain(graph: Graph, names) -> None:
 
 
 def rename_output(node: Node, old: str, new: str) -> None:
-    """Replace an output tensor name in-place."""
+    """Replace an output tensor name in-place.
+
+    Callers must :meth:`~repro.graph.graph.Graph.touch` the owning
+    graph afterwards — this rewires dataflow edges behind the cached
+    toposort's back.
+    """
     node.outputs = [new if t == old else t for t in node.outputs]

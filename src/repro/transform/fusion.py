@@ -75,6 +75,7 @@ def fold_batchnorm(graph: Graph) -> Graph:
             # Keep the tensor table consistent: the conv's old output
             # info is stale but harmless; shapes are identical.
             del g.tensors[old_out]
+            g.touch()  # node wiring changed in place
             changed = True
     return g
 
@@ -105,6 +106,7 @@ def fuse_activations(graph: Graph) -> Graph:
             old_out = producer.outputs[0]
             producer.outputs = [act.outputs[0]]
             del g.tensors[old_out]
+            g.touch()  # node wiring changed in place
             changed = True
     return g
 

@@ -28,6 +28,11 @@ class TestCommands:
     def test_unknown_net(self, capsys):
         assert main(["-m=run", "-n=lenet"]) == 2
 
+    def test_net_aliases_normalized(self, tmp_path, capsys):
+        workdir = str(tmp_path / "out")
+        assert main(["-m=run", "-n=Toy", f"--workdir={workdir}"]) == 0
+        assert "toy [" in capsys.readouterr().out
+
     def test_full_workflow(self, tmp_path, capsys):
         workdir = str(tmp_path / "out")
         base = ["-n=toy", f"--workdir={workdir}"]

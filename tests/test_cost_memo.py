@@ -1,0 +1,109 @@
+"""Memoization must never change what the cost models compute.
+
+Three layers of caching are exercised: the GPU kernel-cost memo, the
+PIM GEMV-cost memo, and the in-memory measurement memo behind
+``PimFlow.profile`` — each compared against an uncached evaluation.
+The graph-level ``toposort`` cache is checked for correct invalidation
+under mutation.
+"""
+
+import json
+
+import pytest
+
+from repro.gpu.device import GpuDevice
+from repro.graph.node import Node
+from repro.graph.tensor import TensorInfo
+from repro.lowering.im2col import LoweredGemv
+from repro.models import build_model
+from repro.pim.device import PimDevice
+from repro.pimflow import PimFlow, PimFlowConfig
+
+
+class TestGpuCostMemo:
+    def test_memoized_costs_equal_fresh_device(self):
+        graph = build_model("mobilenet-v2")
+        warm = GpuDevice()
+        first = [warm.run_node(n, graph) for n in graph.nodes]
+        assert warm.cost_cache_hits > 0  # repeated blocks share structure
+        second = [warm.run_node(n, graph) for n in graph.nodes]
+        fresh = [GpuDevice().run_node(n, graph) for n in graph.nodes]
+        assert first == second == fresh
+
+    def test_cache_keys_ignore_node_name_and_device(self):
+        graph = build_model("toy")
+        dev = GpuDevice()
+        node = graph.nodes[0]
+        dev.run_node(node, graph)
+        renamed = node.clone(name="other", device="gpu")
+        dev.run_node(renamed, graph)
+        assert dev.cost_cache_hits == 1
+
+
+class TestPimCostMemo:
+    def test_memoized_costs_equal_fresh_device(self):
+        gemvs = [
+            LoweredGemv(rows=r, k=k, n=n, contiguous_k=c, strided=s)
+            for (r, k, n, c, s) in [(8, 32, 24, 32, False),
+                                    (196, 576, 128, 64, True),
+                                    (49, 1024, 256, 1024, False)]
+        ]
+        warm = PimDevice()
+        first = [warm.run_gemv(g) for g in gemvs]
+        second = [warm.run_gemv(g) for g in gemvs]
+        assert warm.cost_cache_hits == len(gemvs)
+        fresh = [PimDevice().run_gemv(g) for g in gemvs]
+        assert first == second == fresh
+
+    def test_cache_limit_resets_instead_of_growing(self):
+        dev = PimDevice()
+        dev.COST_CACHE_LIMIT = 2
+        for k in (16, 32, 64, 128):
+            dev.run_gemv(LoweredGemv(4, k, 8, k, False))
+        assert len(dev._cost_cache) <= 2
+
+
+class TestToposortCache:
+    def test_repeated_calls_reuse_cache_and_stay_correct(self):
+        g = build_model("toy")
+        first = g.toposort()
+        version = g.version
+        second = g.toposort()
+        assert [n.name for n in first] == [n.name for n in second]
+        assert g.version == version  # pure reads don't invalidate
+        # Callers get independent lists: mutating one must not corrupt
+        # the cache.
+        second.reverse()
+        assert [n.name for n in g.toposort()] == [n.name for n in first]
+
+    def test_add_and_remove_node_invalidate(self):
+        g = build_model("toy")
+        before = [n.name for n in g.toposort()]
+        last = g.nodes[-1]
+        src = last.outputs[0]
+        g.add_tensor(TensorInfo("tail_out", g.tensors[src].shape,
+                                g.tensors[src].dtype))
+        extra = Node("tail_relu", "Relu", [src], ["tail_out"])
+        g.add_node(extra)
+        assert [n.name for n in g.toposort()] == before + ["tail_relu"]
+        g.remove_node("tail_relu")
+        assert [n.name for n in g.toposort()] == before
+
+    def test_touch_bumps_version(self):
+        g = build_model("toy")
+        v = g.version
+        g.touch()
+        assert g.version == v + 1
+
+
+class TestMeasurementTableUnchanged:
+    """The memoized profile must be byte-identical to the uncached one."""
+
+    @pytest.mark.parametrize("model", ["toy", "mobilenet-v2"])
+    def test_memoized_profile_matches_uncached(self, model):
+        graph = build_model(model)
+        memo = PimFlow(PimFlowConfig(mechanism="pimflow")).profile(graph)
+        plain = PimFlow(PimFlowConfig(mechanism="pimflow",
+                                      memoize=False)).profile(graph)
+        assert json.dumps(memo.to_dict(), sort_keys=True) == \
+            json.dumps(plain.to_dict(), sort_keys=True)

@@ -31,6 +31,16 @@ class TestRegistry:
         with pytest.raises(KeyError):
             build_model("alexnet")
 
+    def test_alias_normalization(self):
+        canonical = build_model("mobilenet-v2")
+        for alias in ("mobilenet_v2", "MobileNet-V2", " mobilenet-v2 ",
+                      "MOBILENET_V2"):
+            assert build_model(alias).name == canonical.name
+
+    def test_unknown_model_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean.*mobilenet-v2"):
+            build_model("mobilnet-v2")
+
 
 class TestStructure:
     @pytest.mark.parametrize("name", ["toy", "mobilenet-v2", "mnasnet-1.0",

@@ -1,0 +1,160 @@
+"""Property tests for the vectorized executor fast paths.
+
+Every conv dispatch branch (depthwise, grouped einsum, pointwise GEMM,
+im2col, per-tap fallback) must match the naive per-group loop kept in
+:func:`repro.runtime.numerical.conv2d_nhwc_reference` within float32
+tolerance, and the batched-feed / multi-output ``execute`` semantics
+must hold on real graphs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.runtime.numerical as numerical
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.graph.tensor import TensorInfo
+from repro.models import build_model
+from repro.runtime.numerical import (
+    KERNELS,
+    conv2d_nhwc,
+    conv2d_nhwc_reference,
+    execute,
+)
+
+
+def _case(n, h, w, cin, cout, kh, kw, sh, sw, pads, group, bias=True,
+          seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, h, w, cin)).astype(np.float32)
+    wt = rng.standard_normal((kh, kw, cin // group, cout)).astype(np.float32)
+    b = rng.standard_normal((cout,)).astype(np.float32) if bias else None
+    return x, wt, b, (sh, sw), pads, group
+
+
+def _assert_matches_reference(x, wt, b, strides, pads, group):
+    got = conv2d_nhwc(x, wt, b, strides, pads, group)
+    want = conv2d_nhwc_reference(x, wt, b, strides, pads, group)
+    assert got.shape == want.shape
+    np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+
+class TestConvPathsMatchReference:
+    @pytest.mark.parametrize("case", [
+        # regular 3x3, padded
+        _case(2, 8, 8, 5, 7, 3, 3, 1, 1, (1, 1, 1, 1), 1),
+        # pointwise, strided
+        _case(1, 9, 9, 6, 4, 1, 1, 2, 2, (0, 0, 0, 0), 1),
+        # depthwise 3x3, strided + padded
+        _case(2, 10, 10, 8, 8, 3, 3, 2, 2, (1, 1, 1, 1), 8),
+        # grouped, cout_g=3
+        _case(1, 7, 7, 8, 12, 3, 3, 1, 1, (1, 1, 1, 1), 4),
+        # grouped, cout_g=1 (cout == group but cin_g > 1: NOT depthwise)
+        _case(1, 6, 6, 8, 4, 3, 3, 1, 1, (0, 0, 0, 0), 4),
+        # asymmetric strides and pads
+        _case(1, 11, 9, 6, 9, 5, 3, 2, 1, (2, 0, 1, 1), 3),
+        # no bias
+        _case(1, 5, 5, 4, 4, 3, 3, 1, 1, (1, 1, 1, 1), 1, bias=False),
+    ])
+    def test_explicit_cases(self, case):
+        _assert_matches_reference(*case)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 2),
+        hw=st.integers(4, 9),
+        cin_g=st.integers(1, 3),
+        group=st.integers(1, 4),
+        cout_g=st.integers(1, 3),
+        kh=st.integers(1, 3),
+        kw=st.integers(1, 3),
+        sh=st.integers(1, 2),
+        sw=st.integers(1, 2),
+        pad=st.integers(0, 2),
+        seed=st.integers(0, 10),
+    )
+    def test_random_geometries(self, n, hw, cin_g, group, cout_g, kh, kw,
+                               sh, sw, pad, seed):
+        case = _case(n, hw, hw, cin_g * group, cout_g * group, kh, kw,
+                     sh, sw, (pad, pad, pad, pad), group, seed=seed)
+        _assert_matches_reference(*case)
+
+    def test_im2col_fallback_matches(self, monkeypatch):
+        # Force the per-tap accumulation branch for a conv that would
+        # normally take the im2col path.
+        monkeypatch.setattr(numerical, "IM2COL_MAX_ELEMENTS", 1)
+        _assert_matches_reference(
+            *_case(1, 8, 8, 5, 7, 3, 3, 1, 1, (1, 1, 1, 1), 1))
+
+    def test_group_must_divide_channels(self):
+        x, wt, b, strides, pads, _ = _case(1, 6, 6, 4, 4, 3, 3, 1, 1,
+                                           (0, 0, 0, 0), 1)
+        with pytest.raises(ValueError, match="group=3 must divide"):
+            conv2d_nhwc(x, wt, b, strides, pads, 3)
+        with pytest.raises(ValueError, match="group=3 must divide"):
+            conv2d_nhwc_reference(x, wt, b, strides, pads, 3)
+
+    def test_inconsistent_weight_shape_rejected(self):
+        x = np.zeros((1, 6, 6, 8), dtype=np.float32)
+        wt = np.zeros((3, 3, 4, 8), dtype=np.float32)  # cin_g=4, group=4
+        with pytest.raises(ValueError, match="inconsistent"):
+            conv2d_nhwc(x, wt, None, (1, 1), (0, 0, 0, 0), 4)
+
+
+class TestBatchedExecute:
+    @pytest.mark.parametrize("model", ["toy", "shufflenet-v2"])
+    def test_batched_feed_equals_stacked_singles(self, model):
+        graph = build_model(model)
+        rng = np.random.default_rng(7)
+        (name,) = graph.inputs
+        shape = graph.tensors[name].shape
+        batch = 3
+        feed = (rng.standard_normal((batch,) + tuple(shape[1:])) * 0.1
+                ).astype(np.float32)
+        batched = execute(graph, {name: feed})
+        for i in range(batch):
+            single = execute(graph, {name: feed[i:i + 1]})
+            for out in graph.outputs:
+                np.testing.assert_allclose(batched[out][i:i + 1],
+                                           single[out],
+                                           rtol=1e-3, atol=1e-3)
+
+
+class TestMultiOutputExecute:
+    @pytest.fixture()
+    def split_kernel(self):
+        def _split(node, inputs):
+            x = inputs[0]
+            half = x.shape[-1] // 2
+            return x[..., :half], x[..., half:]
+
+        KERNELS["SplitHalf"] = _split
+        yield
+        del KERNELS["SplitHalf"]
+
+    def _graph(self):
+        g = Graph("multi")
+        g.add_tensor(TensorInfo("x", (2, 4), "float32"))
+        for t in ("lo", "hi", "y"):
+            g.add_tensor(TensorInfo(t, (2, 2), "float32"))
+        g.add_node(Node("split", "SplitHalf", ["x"], ["lo", "hi"]))
+        g.add_node(Node("add", "Add", ["lo", "hi"], ["y"]))
+        g.inputs.append("x")
+        g.outputs.extend(["y", "hi"])
+        g.touch()
+        return g
+
+    def test_all_node_outputs_stored(self, split_kernel):
+        g = self._graph()
+        x = np.arange(8, dtype=np.float32).reshape(2, 4)
+        out = execute(g, {"x": x})
+        np.testing.assert_array_equal(out["hi"], x[:, 2:])
+        np.testing.assert_array_equal(out["y"], x[:, :2] + x[:, 2:])
+
+    def test_output_count_mismatch_is_an_error(self, split_kernel):
+        g = self._graph()
+        KERNELS["SplitHalf"] = lambda node, inputs: inputs[0]
+        with pytest.raises(ValueError, match="one array for 2 outputs"):
+            execute(g, {"x": np.zeros((2, 4), dtype=np.float32)})

@@ -6,7 +6,7 @@ import pytest
 
 from repro.models import build_model
 from repro.pimflow import PimFlow, PimFlowConfig
-from repro.plan.cache import ProfileCache
+from repro.plan.cache import MemoryProfileCache, ProfileCache
 from repro.search.table import RegionMeasurement
 
 
@@ -134,8 +134,30 @@ class TestCachedProfiling:
         monkeypatch.chdir(tmp_path)
         flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
         flow.profile(toy)
-        assert flow.cache is None
+        # No cache_dir -> in-memory memo only; the filesystem stays
+        # untouched.
+        assert isinstance(flow.cache, MemoryProfileCache)
         assert list(tmp_path.iterdir()) == []
+
+    def test_memoize_false_disables_caching(self, toy, tmp_path,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow", memoize=False))
+        flow.profile(toy)
+        first = flow.engine.run_count
+        assert flow.cache is None
+        flow.profile(toy)
+        assert flow.engine.run_count == 2 * first  # everything re-measured
+        assert list(tmp_path.iterdir()) == []
+
+    def test_memory_memo_skips_repeat_simulations(self, toy):
+        flow = PimFlow(PimFlowConfig(mechanism="pimflow"))
+        first = flow.profile(toy)
+        sims_first = flow.engine.run_count
+        assert sims_first > 0
+        second = flow.profile(toy)
+        assert flow.engine.run_count == sims_first
+        assert second.to_dict() == first.to_dict()
 
     def test_identical_layers_share_cache_slots(self, tmp_path):
         """Structurally identical regions hit the same object, so a
