@@ -7,6 +7,19 @@ noise):
 * ``numerical.<model>.batch<B>_ms`` — one :func:`repro.runtime.
   numerical.execute` call on deterministic random feeds with batch B
   fed into the batch-1 graph (the batched-feed path).
+* ``numerical.<model>.compiled_ms`` — one repeat inference through the
+  buffer-planned :class:`~repro.runtime.compiled.CompiledExecutable`
+  at batch 1 (binding excluded: compile-once/run-many measures the
+  run-many half).
+* ``numerical.<model>.batch1_peak_mb`` / ``compiled_peak_mb`` —
+  tracemalloc peak of one batch-1 inference (interpreted, and compiled
+  including arena binding), tracking the arena planner's footprint win.
+* ``numerical.<model>.split_ms`` / ``split_noelide_ms`` — compiled
+  repeat inference of the MD-DP-split graph (every PIM-candidate conv
+  split 50/50, memory-layout optimizer applied) with buffer-plan
+  elision on vs off.  The paper's Fig. 7 claim is ``split_ms`` staying
+  near ``compiled_ms`` while ``split_noelide_ms`` pays the
+  slice/concat/pad copy tax.
 * ``compile.<model>.cold_ms`` / ``compile.<model>.repeat_ms`` — a full
   ``PimFlow.compile`` on a fresh toolchain (cold: nothing memoized)
   and a second compile on the same toolchain (repeat: measurement memo
@@ -52,6 +65,7 @@ def bench_numerical(model: str, batches: Iterable[int],
                     rounds: int) -> Dict[str, float]:
     """Time the numpy executor on one model at each batch size."""
     from repro.models.registry import build_model
+    from repro.runtime.compiled import CompiledExecutable
     from repro.runtime.numerical import execute
 
     graph = build_model(model)
@@ -67,6 +81,66 @@ def bench_numerical(model: str, batches: Iterable[int],
         execute(graph, feeds)  # warm-up: initializer-f32 cache, toposort
         metrics[f"numerical.{model}.batch{batch}_ms"] = _best_of(
             lambda: execute(graph, feeds), rounds)
+        if batch == 1:
+            metrics[f"numerical.{model}.batch1_peak_mb"] = _peak_mb(
+                lambda: execute(graph, feeds))
+            exe = CompiledExecutable(graph)
+            exe.run(feeds)  # warm-up: shape capture, binding, arena
+            metrics[f"numerical.{model}.compiled_ms"] = _best_of(
+                lambda: exe.run(feeds), rounds)
+            # Footprint includes binding: the arena is the live set.
+            metrics[f"numerical.{model}.compiled_peak_mb"] = _peak_mb(
+                lambda: CompiledExecutable(graph).run(feeds))
+    return metrics
+
+
+def _peak_mb(fn) -> float:
+    """tracemalloc peak of one ``fn()`` call, in megabytes."""
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1] / 1e6
+    finally:
+        tracemalloc.stop()
+
+
+def _mddp_split_graph(graph):
+    """Split every PIM-candidate conv 50/50 and run the memory-layout
+    optimizer — the transformed-graph shape the paper's Section 4.3.2
+    elision targets."""
+    from repro.graph.ops import is_pim_candidate
+    from repro.transform.memopt import optimize_memory
+    from repro.transform.split import apply_mddp
+
+    g = graph
+    for node in graph.toposort():
+        shapes = [graph.tensors[t].shape for t in node.inputs]
+        if is_pim_candidate(node, shapes):
+            g = apply_mddp(g, node.name, 0.5)
+    return optimize_memory(g)
+
+
+def bench_split(model: str, rounds: int) -> Dict[str, float]:
+    """Time compiled inference of the MD-DP-split graph, elide on/off."""
+    from repro.models.registry import build_model
+    from repro.runtime.compiled import CompiledExecutable
+
+    graph = build_model(model)
+    split = _mddp_split_graph(graph)
+    rng = np.random.default_rng(0)
+    feeds = {
+        name: (rng.standard_normal(graph.tensors[name].shape) * 0.1
+               ).astype(np.float32)
+        for name in graph.inputs
+    }
+    metrics: Dict[str, float] = {}
+    for elide, key in ((True, "split_ms"), (False, "split_noelide_ms")):
+        exe = CompiledExecutable(split, elide=elide)
+        exe.run(feeds)
+        metrics[f"numerical.{model}.{key}"] = _best_of(
+            lambda: exe.run(feeds), rounds)
     return metrics
 
 
@@ -103,6 +177,8 @@ def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
     for model in models:
         progress(f"[perf] numerical {model} (batches {batches}) ...")
         metrics.update(bench_numerical(model, batches, rounds))
+        progress(f"[perf] split-graph {model} (elide on/off) ...")
+        metrics.update(bench_split(model, rounds))
         progress(f"[perf] compile {model} ...")
         metrics.update(bench_compile(model, rounds))
     return {

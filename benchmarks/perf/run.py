@@ -67,7 +67,8 @@ def main(argv=None) -> int:
 
     width = max(len(k) for k in results["metrics"])
     for name, value in results["metrics"].items():
-        print(f"{name:{width}s} {value:10.1f} ms")
+        unit = "mb" if name.endswith("_mb") else "ms"
+        print(f"{name:{width}s} {value:10.1f} {unit}")
     return 0
 
 

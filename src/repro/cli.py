@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -126,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--with_weights", action="store_true",
                         help="for -m=compile: embed initializer values in "
                              "the plan (timing never needs them; large)")
+    parser.add_argument("--compiled", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="for -m=run with --plan: execute host "
+                             "inference through the buffer-planned compiled "
+                             "executor (--no-compiled falls back to the "
+                             "interpreted reference executor)")
     return parser
 
 
@@ -193,8 +200,6 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
-    import time
-
     paths = _paths(args)
     flow = _flow(args, "pimflow")
     graph = flow.prepare(build_model(args.net))
@@ -278,6 +283,26 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         result = executor.run()
         plan = executor.plan
+
+        # Host-side numerical inference through the buffer-planned
+        # compiled executor (or the interpreter with --no-compiled).
+        # Printed before the schedule line: scripts parse the final
+        # line for the makespan.
+        from repro.runtime.verify import random_feeds
+        feeds = random_feeds(plan.graph, seed=0)
+        mode = "compiled" if args.compiled else "interpreted"
+        start = time.perf_counter()
+        executor.infer(feeds, compiled=args.compiled)
+        first_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        executor.infer(feeds, compiled=args.compiled)
+        repeat_ms = (time.perf_counter() - start) * 1e3
+        stats = executor.buffer_stats()
+        print(f"host exec [{mode}]: first {first_ms:.1f} ms, "
+              f"repeat {repeat_ms:.1f} ms; arena "
+              f"{stats['arena_bytes'] / 1e6:.1f} MB "
+              f"({stats['copies_elided']} copies elided)")
+
         print(f"{plan.provenance.get('model', '?')} "
               f"[plan:{plan.mechanism}]: {result.makespan_us:.1f} us, "
               f"{result.energy.total_mj:.2f} mJ "
@@ -316,6 +341,19 @@ def cmd_stat(args: argparse.Namespace) -> int:
     print("Split ratio to GPU (0: total offload):")
     print("  " + "  ".join(f"{k:>3d}%" for k in dist))
     print("  " + "  ".join(f"{v * 100:3.0f}%" for v in dist.values()))
+    from repro.runtime.bufferplan import plan_buffers
+    stats = plan_buffers(compiled.graph).stats()
+    print("Buffer plan (transformed graph):")
+    print(f"  arena {stats['arena_bytes'] / 1e6:.1f} MB for "
+          f"{stats['num_tensors']} tensors in {stats['num_roots']} buffers "
+          f"(naive {stats['naive_bytes'] / 1e6:.1f} MB)")
+    print(f"  copies elided: {stats['copies_elided']} "
+          f"(slice views {stats['slice_views']}, concat zero-copy inputs "
+          f"{stats['concat_zero_copy_inputs']}, pad zero-copy "
+          f"{stats['pad_zero_copy']}, in-place reuse "
+          f"{stats['inplace_reused']})")
+    print(f"  padded conv reads served in-arena: "
+          f"{stats['padded_conv_reads']}")
     if flow.cache is not None:
         _print_cache_stats(flow)
         last = flow.cache.last_run()

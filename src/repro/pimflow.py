@@ -400,6 +400,9 @@ class Compiler:
                     transformed, self.pim.config, self.pim.opts).items()
             }
 
+        from repro.runtime.bufferplan import plan_buffers
+        buffer_plan = plan_buffers(transformed).stats()
+
         return ExecutionPlan(
             mechanism=self.config.mechanism,
             config_fingerprint=self.config_fingerprint,
@@ -407,6 +410,7 @@ class Compiler:
             decisions=decisions,
             predicted_time_us=predicted,
             runtime_spec=self.runtime_spec(),
+            buffer_plan=buffer_plan,
             provenance={
                 "model": model_name or graph.name,
                 "created_at": datetime.now(timezone.utc).isoformat(

@@ -50,6 +50,11 @@ class ExecutionPlan:
     #: Optional per-layer PIM command traces (``trace_to_dict`` form),
     #: attached by the compiler for offline inspection/replay.
     traces: Dict[str, Any] = field(default_factory=dict)
+    #: Buffer-plan statistics of the transformed graph (arena bytes,
+    #: elided copies, ...; see ``BufferPlan.stats``), recorded at
+    #: compile time so serving tools can report the memory layout
+    #: without re-running the planner.  Empty for pre-planner plans.
+    buffer_plan: Dict[str, Any] = field(default_factory=dict)
     version: int = PLAN_VERSION
 
     # ------------------------------------------------------------------
@@ -79,6 +84,7 @@ class ExecutionPlan:
             "runtime_spec": dict(self.runtime_spec),
             "provenance": dict(self.provenance),
             "traces": dict(self.traces),
+            "buffer_plan": dict(self.buffer_plan),
         }
 
     @classmethod
@@ -97,6 +103,7 @@ class ExecutionPlan:
                 runtime_spec=dict(data["runtime_spec"]),
                 provenance=dict(data.get("provenance", {})),
                 traces=dict(data.get("traces", {})),
+                buffer_plan=dict(data.get("buffer_plan", {})),
                 version=version,
             )
         except KeyError as exc:

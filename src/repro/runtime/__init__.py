@@ -1,7 +1,10 @@
-"""Runtime: numerical reference executor, the mixed-parallel engine,
-and the plan-driven executor for compiled artifacts."""
+"""Runtime: numerical reference executor, the buffer-planned compiled
+executor, the mixed-parallel engine, and the plan-driven executor for
+compiled artifacts."""
 
 from repro.runtime.numerical import execute, execute_node
+from repro.runtime.bufferplan import BufferPlan, plan_buffers
+from repro.runtime.compiled import CompiledExecutable
 from repro.runtime.engine import ExecutionEngine, ScheduleEvent, RunResult
 from repro.runtime.executor import PlanExecutor, engine_from_spec
 from repro.runtime.verify import EquivalenceError, random_feeds, verify_equivalence
@@ -9,6 +12,9 @@ from repro.runtime.verify import EquivalenceError, random_feeds, verify_equivale
 __all__ = [
     "execute",
     "execute_node",
+    "BufferPlan",
+    "plan_buffers",
+    "CompiledExecutable",
     "ExecutionEngine",
     "ScheduleEvent",
     "RunResult",

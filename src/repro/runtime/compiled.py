@@ -1,0 +1,658 @@
+"""Compile-once executor over a planned arena.
+
+:class:`CompiledExecutable` binds a graph once — buffer plan, numpy
+views, parsed attributes, kernel dispatch — and then serves repeat
+inference as a flat list of zero-argument closures.  Per run there is
+no toposort, no dict lookup, no attribute parsing, no refcounting, and
+(for planned tensors) no allocation: every tensor's bytes live at a
+fixed offset of one shared arena, elided Slice/Concat/Pad nodes from
+:mod:`repro.transform.memopt` cost nothing, and convolutions read
+pre-padded arena views instead of calling ``np.pad`` per invocation.
+
+Semantics contract: outputs are **byte-identical** to the interpreted
+:func:`repro.runtime.numerical.execute` oracle.  Every specialized
+closure therefore re-expresses the interpreter's exact floating-point
+op sequence (same ufuncs, same operand order, same GEMM operands) with
+the destination redirected into the arena; anything without a proven
+bit-identical specialization falls back to calling the registered
+kernel and copying the result into place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.node import Node
+from repro.runtime.bufferplan import BufferPlan, plan_buffers
+from repro.runtime.numerical import (
+    IM2COL_MAX_ELEMENTS,
+    KERNELS,
+    _node_results,
+    graph_initializers_f32,
+    stable_sigmoid,
+    stable_silu,
+)
+
+
+class _Scratch:
+    """Two shared scratch pools, sized during bind, allocated after.
+
+    Closures capture this holder and index it at call time; execution
+    is single-threaded one node at a time, so one pool of each kind
+    (``a``: im2col columns / contiguous input staging, ``b``: conv
+    output staging / depthwise tap products) serves the whole graph.
+    """
+
+    __slots__ = ("need_a", "need_b", "a", "b")
+
+    def __init__(self) -> None:
+        self.need_a = 0
+        self.need_b = 0
+        self.a: Optional[np.ndarray] = None
+        self.b: Optional[np.ndarray] = None
+
+    def allocate(self) -> None:
+        self.a = np.empty(self.need_a, dtype=np.float32)
+        self.b = np.empty(self.need_b, dtype=np.float32)
+
+    def view_a(self, shape: Tuple[int, ...]) -> np.ndarray:
+        n = 1
+        for d in shape:
+            n *= d
+        return self.a[:n].reshape(shape)
+
+    def view_b(self, shape: Tuple[int, ...]) -> np.ndarray:
+        n = 1
+        for d in shape:
+            n *= d
+        return self.b[:n].reshape(shape)
+
+
+def _capture_shapes(graph: Graph,
+                    feeds: Mapping[str, np.ndarray]) -> Dict[str, tuple]:
+    """Exact per-tensor run shapes for feeds that differ from declared.
+
+    Runs the interpreted kernels once (freeing tensors as their last
+    consumer passes, like ``execute``), recording every shape.  Only
+    needed for batch-polymorphic execution; when feeds match the
+    declared shapes the graph's own tensor table is used instead.
+    """
+    inits = graph_initializers_f32(graph)
+    shapes: Dict[str, tuple] = {
+        name: tuple(info.shape) for name, info in graph.tensors.items()}
+    env: Dict[str, np.ndarray] = {
+        name: np.asarray(feeds[name], dtype=np.float32)
+        for name in graph.inputs}
+    for name, arr in env.items():
+        shapes[name] = arr.shape
+    order = graph.toposort()
+    remaining: Dict[str, int] = {}
+    for n in order:
+        for t in n.inputs:
+            remaining[t] = remaining.get(t, 0) + 1
+    keep = set(graph.outputs) | set(graph.inputs)
+    for n in order:
+        fn = KERNELS.get(n.op_type)
+        if fn is None:
+            raise NotImplementedError(f"no numpy kernel for op {n.op_type!r}")
+        result = fn(n, [env[t] if t in env else inits[t] for t in n.inputs])
+        for t, value in zip(n.outputs, _node_results(n, result)):
+            env[t] = value
+            shapes[t] = value.shape
+        for t in n.inputs:
+            remaining[t] -= 1
+            if remaining[t] == 0 and t not in keep and t in env:
+                del env[t]
+    return shapes
+
+
+def _activation_inplace(node: Node) -> Optional[Callable[[np.ndarray], None]]:
+    """In-place variant of ``apply_fused_activation`` for arena views."""
+    kind = node.attr("activation")
+    if not kind:
+        return None
+    if kind == "relu":
+        def act(out: np.ndarray) -> None:
+            np.maximum(out, 0.0, out=out)
+        return act
+    if kind == "clip":
+        lo = node.attr("activation_min", 0.0)
+        hi = node.attr("activation_max", 6.0)
+
+        def act(out: np.ndarray) -> None:
+            np.clip(out, lo, hi, out=out)
+        return act
+    if kind == "silu":
+        def act(out: np.ndarray) -> None:
+            stable_silu(out, out=out)
+        return act
+    if kind == "sigmoid":
+        def act(out: np.ndarray) -> None:
+            stable_sigmoid(out, out=out)
+        return act
+    if kind == "gelu":
+        def act(out: np.ndarray) -> None:
+            np.copyto(out, 0.5 * out * (1.0 + np.tanh(
+                0.7978845608 * (out + 0.044715 * out ** 3))))
+        return act
+    raise ValueError(f"unknown fused activation {kind!r}")
+
+
+class _Program:
+    """One graph bound for one set of feed shapes."""
+
+    def __init__(self, graph: Graph, shapes: Dict[str, tuple],
+                 *, elide: bool) -> None:
+        self.graph = graph
+        self.plan: BufferPlan = plan_buffers(graph, shapes, elide=elide)
+        self.shapes = shapes
+        self._inits = graph_initializers_f32(graph)
+        self._scratch = _Scratch()
+        self._steps: List[Callable[[], None]] = []
+        # Arena zeroed exactly once: pinned roots keep margins and
+        # elided-Pad borders zero across runs, everything else is fully
+        # rewritten every run.
+        self.arena = np.zeros(self.plan.arena_elements, dtype=np.float32)
+        self._views: Dict[str, np.ndarray] = {}
+        self._root_arrays: Dict[str, np.ndarray] = {}
+        self._bind()
+        self._scratch.allocate()
+        self._input_views = [(name, self._views[name])
+                             for name in graph.inputs]
+        self._output_views = {t: self._views.get(t) for t in graph.outputs}
+
+    # ------------------------------------------------------------------
+    # View resolution
+    # ------------------------------------------------------------------
+    def _root_interior(self, root: str) -> np.ndarray:
+        if root in self._root_arrays:
+            return self._root_arrays[root]
+        alloc = self.plan.roots[root]
+        start = alloc.arena_offset
+        arr = self.arena[start:start + alloc.elements].reshape(
+            alloc.padded_shape)
+        interior = arr[tuple(
+            slice(b, b + d) for d, (b, _) in zip(alloc.shape, alloc.margins))]
+        self._root_arrays[root] = interior
+        return interior
+
+    def _rect_view(self, tensor: str) -> np.ndarray:
+        st = self.plan.storage[tensor]
+        if st.root in self._inits:
+            base = self._inits[st.root]
+        else:
+            base = self._root_interior(st.root)
+        if st.root == tensor:
+            return base
+        return base[tuple(slice(o, o + d)
+                          for o, d in zip(st.offset, st.shape))]
+
+    def _view(self, tensor: str) -> np.ndarray:
+        v = self._views.get(tensor)
+        if v is None:
+            if tensor in self._inits:
+                # Weights are never laid into the arena; they are
+                # shared read-only across runs and graphs.
+                v = self._inits[tensor]
+            else:
+                v = self._rect_view(tensor)
+            self._views[tensor] = v
+        return v
+
+    def _padded_conv_view(self, tensor: str,
+                          pads: Tuple[int, int, int, int]) -> np.ndarray:
+        """The pre-padded read window for a served convolution input."""
+        st = self.plan.storage[tensor]
+        alloc = self.plan.roots[st.root]
+        arr = self.arena[alloc.arena_offset:
+                         alloc.arena_offset + alloc.elements].reshape(
+            alloc.padded_shape)
+        pt, pl, pb, pr = pads
+        extra = ((0, 0), (pt, pb), (pl, pr), (0, 0))
+        index = []
+        for d in range(4):
+            before, _ = alloc.margins[d]
+            off = st.offset[d]
+            lo, hi = extra[d]
+            index.append(slice(before + off - lo,
+                               before + off + st.shape[d] + hi))
+        return arr[tuple(index)]
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def _bind(self) -> None:
+        for name in self.graph.inputs:
+            self._view(name)
+        for node in self.graph.toposort():
+            op = node.op_type
+            if op in ("Identity", "Slice", "Reshape", "Flatten", "Transpose"):
+                self._bind_view_op(node)
+            elif op == "Concat":
+                self._bind_concat(node)
+            elif op == "Pad":
+                self._bind_pad(node)
+            elif op == "Conv":
+                self._bind_conv(node)
+            elif op in ("Gemm", "MatMul"):
+                self._bind_gemm(node)
+            elif op == "BatchNormalization":
+                self._bind_bn(node)
+            elif op in _UNARY_OUT or op in _BINARY_OUT or op == "Clip":
+                self._bind_elementwise(node)
+            else:
+                self._bind_generic(node)
+        for t in self.graph.outputs:
+            if t not in self._inits:
+                self._view(t)
+
+    def _bind_view_op(self, node: Node) -> None:
+        src = self._view(node.inputs[0])
+        out = node.outputs[0]
+        op = node.op_type
+        if op == "Identity":
+            self._views[out] = src
+            return
+        if op == "Slice":
+            axis = int(node.attr("axis")) % src.ndim
+            index = [slice(None)] * src.ndim
+            index[axis] = slice(int(node.attr("start")),
+                                int(node.attr("end")))
+            self._views[out] = src[tuple(index)]
+            return
+        if op == "Transpose":
+            perm = node.attr("perm", tuple(reversed(range(src.ndim))))
+            self._views[out] = np.transpose(src, perm)
+            return
+        # Reshape / Flatten: a view when numpy can express the
+        # reinterpretation without a copy; otherwise the tensor gets a
+        # private buffer and a per-run copy — exactly the copy the
+        # interpreter's ``x.reshape`` would make.
+        shape = self.shapes[out]
+        try:
+            candidate = src.reshape(shape)
+        except ValueError:
+            candidate = None
+        if candidate is not None and np.shares_memory(candidate, src):
+            self._views[out] = candidate
+            return
+        priv = np.empty(shape, dtype=np.float32)
+        self._views[out] = priv
+
+        def step(src=src, priv=priv, shape=shape) -> None:
+            np.copyto(priv, src.reshape(shape))
+        self._steps.append(step)
+
+    def _bind_concat(self, node: Node) -> None:
+        out = node.outputs[0]
+        out_st = self.plan.storage[out]
+        out_view = self._view(out)
+        axis = int(node.attr("axis")) % out_view.ndim
+        cursor = 0
+        copies = []
+        for t in node.inputs:
+            extent = self.shapes[t][axis]
+            st = self.plan.storage.get(t)
+            aliased = (
+                st is not None and out_st.is_rect and st.is_rect
+                and st.root == out_st.root
+                and st.offset == tuple(
+                    o + (cursor if d == axis else 0)
+                    for d, o in enumerate(out_st.offset)))
+            if not aliased:
+                index = [slice(None)] * out_view.ndim
+                index[axis] = slice(cursor, cursor + extent)
+                copies.append((out_view[tuple(index)], self._view(t)))
+            cursor += extent
+        if copies:
+            def step(copies=copies) -> None:
+                for dst, src in copies:
+                    np.copyto(dst, src)
+            self._steps.append(step)
+
+    def _bind_pad(self, node: Node) -> None:
+        src_name, out = node.inputs[0], node.outputs[0]
+        pads = tuple(tuple(p) for p in node.attr("pads"))
+        out_st = self.plan.storage[out]
+        st = self.plan.storage.get(src_name)
+        aliased = (
+            st is not None and st.is_rect and out_st.is_rect
+            and st.root == out_st.root
+            and st.offset == tuple(
+                o + before for o, (before, _) in zip(out_st.offset, pads)))
+        if aliased:
+            self._view(out)  # border is arena zeros on a pinned root
+            return
+        self._bind_generic(node)
+
+    # -- Convolution ----------------------------------------------------
+    def _conv_input(self, node: Node,
+                    pads: Tuple[int, int, int, int]):
+        """(get_xp, static) — padded input window and whether it's free."""
+        x_name = node.inputs[0]
+        x = self._view(x_name)
+        pt, pl, pb, pr = pads
+        if self.plan.padded_reads.get(node.name):
+            xp = self._padded_conv_view(x_name, pads)
+            return (lambda: xp), True
+        if not (pt or pl or pb or pr):
+            return (lambda: x), True
+        pad_spec = ((0, 0), (pt, pb), (pl, pr), (0, 0))
+        return (lambda: np.pad(x, pad_spec)), False
+
+    def _bind_conv(self, node: Node) -> None:
+        w_name = node.inputs[1]
+        bias_name = node.inputs[2] if len(node.inputs) > 2 else None
+        if w_name not in self._inits or (
+                bias_name is not None and bias_name not in self._inits):
+            self._bind_generic(node)
+            return
+        w = self._inits[w_name]
+        bias = self._inits[bias_name] if bias_name else None
+        strides = node.attr("strides", (1, 1))
+        pads = tuple(node.attr("pads", (0, 0, 0, 0)))
+        group = int(node.attr("group", 1))
+        n, h, wdt, cin = self.shapes[node.inputs[0]]
+        kh, kw, cin_g, cout = w.shape
+        sh, sw = strides
+        pt, pl, pb, pr = pads
+        if group < 1 or cin % group or cout % group \
+                or cin_g * group != cin:
+            self._bind_generic(node)
+            return
+        oh = (h + pt + pb - kh) // sh + 1
+        ow = (wdt + pl + pr - kw) // sw + 1
+        dst = self._view(node.outputs[0])
+        act = _activation_inplace(node)
+        get_xp, _ = self._conv_input(node, pads)
+        scratch = self._scratch
+
+        def epilogue() -> None:
+            if bias is not None:
+                np.add(dst, bias, out=dst)
+            if act is not None:
+                act(dst)
+
+        if group == cin and cin_g == 1 and cout == group:
+            taps = np.ascontiguousarray(w.reshape(kh, kw, cout))
+            scratch.need_b = max(scratch.need_b, n * oh * ow * cout)
+
+            def step() -> None:
+                xp = get_xp()
+                sb = scratch.view_b((n, oh, ow, cout))
+                dst[...] = 0.0
+                for i in range(kh):
+                    for j in range(kw):
+                        np.multiply(
+                            xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :],
+                            taps[i, j], out=sb)
+                        np.add(dst, sb, out=dst)
+                epilogue()
+            self._steps.append(step)
+            return
+
+        if group != 1:
+            from repro.runtime.numerical import _conv_grouped
+
+            def step() -> None:
+                out = _conv_grouped(get_xp(), w, n, oh, ow, kh, kw,
+                                    sh, sw, cin_g, cout, group)
+                np.copyto(dst, out)
+                epilogue()
+            self._steps.append(step)
+            return
+
+        # Regular convolution: GEMM with the result written in place
+        # when the destination is contiguous, staged otherwise.
+        npix = n * oh * ow
+        dst_contig = dst.flags.c_contiguous
+        dst2d = dst.reshape(npix, cout) if dst_contig else None
+        if not dst_contig:
+            scratch.need_b = max(scratch.need_b, npix * cout)
+
+        def gemm(a2d: np.ndarray, w2d: np.ndarray) -> None:
+            if dst2d is not None:
+                np.matmul(a2d, w2d, out=dst2d)
+            else:
+                sb = scratch.view_b((npix, cout))
+                np.matmul(a2d, w2d, out=sb)
+                np.copyto(dst, sb.reshape(n, oh, ow, cout))
+
+        if kh == 1 and kw == 1:
+            w2d = np.ascontiguousarray(w.reshape(cin, cout))
+            scratch.need_a = max(scratch.need_a, npix * cin)
+
+            def step() -> None:
+                patch = get_xp()[:, :oh * sh:sh, :ow * sw:sw, :]
+                if patch.flags.c_contiguous:
+                    a2d = patch.reshape(npix, cin)
+                else:
+                    sa = scratch.view_a((n, oh, ow, cin))
+                    np.copyto(sa, patch)
+                    a2d = sa.reshape(npix, cin)
+                gemm(a2d, w2d)
+                epilogue()
+            self._steps.append(step)
+            return
+
+        if npix * kh * kw * cin <= IM2COL_MAX_ELEMENTS:
+            w2d = np.ascontiguousarray(w.reshape(kh * kw * cin, cout))
+            scratch.need_a = max(scratch.need_a, npix * kh * kw * cin)
+
+            def step() -> None:
+                xp = get_xp()
+                cols = scratch.view_a((n, oh, ow, kh, kw, cin))
+                for i in range(kh):
+                    for j in range(kw):
+                        cols[:, :, :, i, j, :] = \
+                            xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+                gemm(cols.reshape(npix, kh * kw * cin), w2d)
+                epilogue()
+            self._steps.append(step)
+            return
+
+        def step() -> None:
+            xp = get_xp()
+            dst[...] = 0.0
+            for i in range(kh):
+                for j in range(kw):
+                    patch = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+                    np.add(dst, np.tensordot(patch, w[i, j], axes=([3], [0])),
+                           out=dst)
+            epilogue()
+        self._steps.append(step)
+
+    def _bind_gemm(self, node: Node) -> None:
+        a = self._view(node.inputs[0]) if node.inputs[0] not in self._inits \
+            else self._inits[node.inputs[0]]
+        b = self._inits[node.inputs[1]] \
+            if node.inputs[1] in self._inits else self._view(node.inputs[1])
+        bias = None
+        if node.op_type == "Gemm" and len(node.inputs) > 2:
+            bn = node.inputs[2]
+            bias = self._inits[bn] if bn in self._inits else self._view(bn)
+        dst = self._view(node.outputs[0])
+        act = _activation_inplace(node) if node.op_type == "Gemm" else None
+        if dst.flags.c_contiguous:
+            def step() -> None:
+                np.matmul(a, b, out=dst)
+                if bias is not None:
+                    np.add(dst, bias, out=dst)
+                if act is not None:
+                    act(dst)
+            self._steps.append(step)
+        else:
+            self._scratch.need_b = max(self._scratch.need_b, dst.size)
+            scratch, shape = self._scratch, dst.shape
+
+            def step() -> None:
+                sb = scratch.view_b(shape)
+                np.matmul(a, b, out=sb)
+                np.copyto(dst, sb)
+                if bias is not None:
+                    np.add(dst, bias, out=dst)
+                if act is not None:
+                    act(dst)
+            self._steps.append(step)
+
+    def _bind_bn(self, node: Node) -> None:
+        params = node.inputs[1:5]
+        if any(p not in self._inits for p in params):
+            self._bind_generic(node)
+            return
+        scale, bias, mean, var = (self._inits[p] for p in params)
+        eps = node.attr("epsilon", 1e-5)
+        # Same op sequence as the kernel — (x - mean) / sqrt(var + eps)
+        # * scale + bias — with the denominator precomputed (identical
+        # float32 value) and every step writing in place.
+        denom = np.sqrt(np.asarray(var + eps, dtype=np.float32))
+        x = self._view(node.inputs[0])
+        dst = self._view(node.outputs[0])
+
+        def step() -> None:
+            np.subtract(x, mean, out=dst)
+            np.divide(dst, denom, out=dst)
+            np.multiply(dst, scale, out=dst)
+            np.add(dst, bias, out=dst)
+        self._steps.append(step)
+
+    def _bind_elementwise(self, node: Node) -> None:
+        op = node.op_type
+        ins = [self._inits[t] if t in self._inits else self._view(t)
+               for t in node.inputs]
+        dst = self._view(node.outputs[0])
+        if op == "Clip":
+            lo, hi = node.attr("min", 0.0), node.attr("max", 6.0)
+            x = ins[0]
+
+            def step() -> None:
+                np.clip(x, lo, hi, out=dst)
+        elif op in _UNARY_OUT:
+            fn, x = _UNARY_OUT[op], ins[0]
+
+            def step() -> None:
+                fn(x, out=dst)
+        else:
+            fn, (a, b) = _BINARY_OUT[op], ins
+
+            def step() -> None:
+                fn(a, b, out=dst)
+        self._steps.append(step)
+
+    def _bind_generic(self, node: Node) -> None:
+        fn = KERNELS.get(node.op_type)
+        if fn is None:
+            raise NotImplementedError(
+                f"no numpy kernel for op {node.op_type!r}")
+        ins = [self._inits[t] if t in self._inits else self._view(t)
+               for t in node.inputs]
+        outs = [self._view(t) for t in node.outputs]
+
+        def step(node=node, fn=fn, ins=ins, outs=outs) -> None:
+            for dst, res in zip(outs, _node_results(node, fn(node, ins))):
+                np.copyto(dst, res)
+        self._steps.append(step)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        for name, view in self._input_views:
+            np.copyto(view, feeds[name])
+        for step in self._steps:
+            step()
+        out: Dict[str, np.ndarray] = {}
+        for t, view in self._output_views.items():
+            if view is None:
+                out[t] = self._inits[t]
+            else:
+                out[t] = view.copy()
+        return out
+
+
+_UNARY_OUT: Dict[str, Callable] = {
+    "Relu": lambda x, out: np.maximum(x, 0.0, out=out),
+    "Tanh": np.tanh,
+    "Sigmoid": stable_sigmoid,
+    "Silu": stable_silu,
+}
+
+_BINARY_OUT: Dict[str, Callable] = {
+    "Add": np.add,
+    "Mul": np.multiply,
+    "Sub": np.subtract,
+    "Div": np.divide,
+}
+
+
+class CompiledExecutable:
+    """A graph bound once for repeat inference.
+
+    Programs are cached per feed-shape signature (and invalidated when
+    the graph's mutation :attr:`~repro.graph.graph.Graph.version`
+    changes), so the common serve loop — same shapes every call — pays
+    only the closure list.
+
+    ``elide=False`` disables the zero-copy treatment of
+    memopt-``elided`` nodes and pre-padded conv reads; it is the
+    ablation the benchmarks use to show what the paper's memory-layout
+    optimization buys at runtime.
+    """
+
+    def __init__(self, graph: Graph, *, elide: bool = True) -> None:
+        self.graph = graph
+        self.elide = elide
+        self._version = graph.version
+        self._programs: Dict[tuple, _Program] = {}
+
+    def _program_for(self, feeds: Mapping[str, np.ndarray]) -> _Program:
+        if self.graph.version != self._version:
+            self._programs.clear()
+            self._version = self.graph.version
+        key = tuple(
+            (name, tuple(np.shape(feeds[name]))) for name in self.graph.inputs)
+        prog = self._programs.get(key)
+        if prog is None:
+            declared = all(
+                tuple(np.shape(feeds[name]))
+                == tuple(self.graph.tensors[name].shape)
+                for name in self.graph.inputs)
+            if declared:
+                shapes = {name: tuple(info.shape)
+                          for name, info in self.graph.tensors.items()}
+            else:
+                shapes = _capture_shapes(self.graph, feeds)
+            prog = _Program(self.graph, shapes, elide=self.elide)
+            self._programs[key] = prog
+        return prog
+
+    def __call__(self, feeds: Mapping[str, np.ndarray]
+                 ) -> Dict[str, np.ndarray]:
+        return self.run(feeds)
+
+    def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """One inference; byte-identical to interpreted ``execute``."""
+        feeds32 = {}
+        for name in self.graph.inputs:
+            if name not in feeds:
+                raise KeyError(f"missing feed for graph input {name!r}")
+            feeds32[name] = np.asarray(feeds[name], dtype=np.float32)
+        return self._program_for(feeds32).run(feeds32)
+
+    def buffer_plan(self, feeds: Optional[Mapping[str, np.ndarray]] = None
+                    ) -> BufferPlan:
+        """The buffer plan bound for ``feeds`` (declared shapes if None)."""
+        if feeds is None:
+            feeds = {name: np.zeros(self.graph.tensors[name].shape,
+                                    dtype=np.float32)
+                     for name in self.graph.inputs}
+        return self._program_for(
+            {n: np.asarray(f, dtype=np.float32) for n, f in feeds.items()}
+        ).plan
+
+    def stats(self) -> Dict[str, object]:
+        """Buffer-plan stats at the graph's declared shapes."""
+        return self.buffer_plan().stats()

@@ -108,6 +108,15 @@ class ExecutionEngine:
         #: cache's zero-reprofiling guarantee is asserted against this
         #: counter in the test suite.
         self.run_count = 0
+        #: Host-side compiled executables, keyed (id(graph),
+        #: graph.version, elide).  Holds closures, so it is dropped on
+        #: pickling (see :meth:`__getstate__`) and rebuilt on demand.
+        self._compiled_cache: Dict[tuple, object] = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_compiled_cache"] = {}
+        return state
 
     def to_spec(self) -> Dict[str, object]:
         """Serializable engine description, sufficient to rebuild an
@@ -139,6 +148,35 @@ class ExecutionEngine:
         search-phase code is touched.
         """
         return self.run(plan.graph)
+
+    def infer(self, graph: Graph, feeds, compiled: bool = True,
+              elide: bool = True):
+        """Run one *numerical* inference of ``graph`` on the host.
+
+        Where :meth:`run` prices a schedule on the modelled devices,
+        this actually computes the outputs.  The buffer-planned
+        :class:`~repro.runtime.compiled.CompiledExecutable` is the
+        default path; ``compiled=False`` falls back to the interpreted
+        :func:`~repro.runtime.numerical.execute` oracle.  Executables
+        are cached per (graph identity, version, elide) so repeat
+        inference pays binding cost once.
+        """
+        if not compiled:
+            from repro.runtime.numerical import execute
+            return execute(graph, feeds)
+        from repro.runtime.compiled import CompiledExecutable
+        key = (id(graph), graph.version, elide)
+        exe = self._compiled_cache.get(key)
+        if exe is None:
+            # Old entries for this graph object are stale once the
+            # version moves; drop them so the cache cannot grow
+            # unboundedly across repeated in-place transforms.
+            for k in [k for k in self._compiled_cache
+                      if k[0] == id(graph) and k[1] != graph.version]:
+                del self._compiled_cache[k]
+            exe = CompiledExecutable(graph, elide=elide)
+            self._compiled_cache[key] = exe
+        return exe.run(feeds)
 
     def run(self, graph: Graph) -> RunResult:
         """Compute the parallel schedule and energy for one inference."""

@@ -61,3 +61,26 @@ class PlanExecutor:
     def run(self) -> RunResult:
         """Schedule one inference of the plan's compiled graph."""
         return self.engine.run_plan(self.plan)
+
+    def infer(self, feeds, compiled: bool = True, elide: bool = True):
+        """Numerically execute the plan's graph on the given feeds.
+
+        Routes through the engine's compiled-executable cache, so a
+        serving loop calling this repeatedly binds the graph once and
+        then runs pure kernel dispatch (``compiled=False`` falls back
+        to the interpreted oracle).
+        """
+        return self.engine.infer(self.plan.graph, feeds,
+                                 compiled=compiled, elide=elide)
+
+    def buffer_stats(self) -> dict:
+        """Buffer-plan statistics for the plan's graph.
+
+        Prefers the stats recorded in the plan artifact at compile
+        time; recomputes from the graph when the plan predates the
+        buffer planner.
+        """
+        if self.plan.buffer_plan:
+            return dict(self.plan.buffer_plan)
+        from repro.runtime.bufferplan import plan_buffers
+        return plan_buffers(self.plan.graph).stats()

@@ -218,15 +218,35 @@ def _run_clip(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
     return np.clip(inputs[0], node.attr("min", 0.0), node.attr("max", 6.0))
 
 
+def stable_sigmoid(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Overflow-free logistic: branch on sign so ``exp`` sees ``-|x|``.
+
+    ``1 / (1 + exp(-x))`` overflows for large-negative ``x``; computing
+    with ``e = exp(-|x|) <= 1`` gives ``1 / (1 + e)`` for ``x >= 0`` —
+    bit-identical to the naive formula there — and ``e / (1 + e)`` for
+    ``x < 0``, which is the same value evaluated without overflow.
+    ``out`` may alias ``x``: the division is the only write.
+    """
+    e = np.exp(-np.abs(x))
+    num = np.where(x >= 0, 1.0, e)
+    return np.divide(num, 1.0 + e, out=out)
+
+
+def stable_silu(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Overflow-free ``x * sigmoid(x)``; ``out`` may alias ``x``."""
+    e = np.exp(-np.abs(x))
+    num = np.where(x >= 0, x, x * e)
+    return np.divide(num, 1.0 + e, out=out)
+
+
 @kernel("Sigmoid")
 def _run_sigmoid(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-inputs[0]))
+    return stable_sigmoid(inputs[0])
 
 
 @kernel("Silu")
 def _run_silu(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
-    x = inputs[0]
-    return x / (1.0 + np.exp(-x))
+    return stable_silu(inputs[0])
 
 
 @kernel("Gelu")
@@ -289,15 +309,26 @@ def _pool(node: Node, x: np.ndarray, reducer: str) -> np.ndarray:
     n, h, w, c = xp.shape
     oh = (h - kh) // sh + 1
     ow = (w - kw) // sw + 1
-    windows = np.stack([
-        xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
-        for i in range(kh) for j in range(kw)
-    ])
+    # Accumulate tap by tap into one output-shaped buffer instead of
+    # stacking all kh*kw windows: peak memory drops ~kh*kw-fold and the
+    # reduction order (sequential over taps) matches the stacked
+    # ``max``/``mean`` bit for bit.
+    out = np.array(xp[:, :oh * sh:sh, :ow * sw:sw, :], dtype=np.float32)
+    for i in range(kh):
+        for j in range(kw):
+            if i == 0 and j == 0:
+                continue
+            win = xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+            if reducer == "max":
+                np.maximum(out, win, out=out)
+            else:
+                out += win
     if reducer == "max":
-        return windows.max(axis=0)
+        return out
     # ONNX AveragePool default excludes padding from the divisor only
     # with count_include_pad=0; the models here never average over pads.
-    return windows.mean(axis=0)
+    out /= kh * kw
+    return out
 
 
 @kernel("MaxPool")

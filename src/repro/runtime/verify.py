@@ -41,12 +41,20 @@ def random_feeds(graph: Graph, seed: int = 0, scale: float = 0.1,
 def verify_equivalence(reference: Graph, transformed: Graph,
                        feeds: Optional[Dict[str, np.ndarray]] = None,
                        rtol: float = 5e-3, atol: float = 5e-3,
-                       seed: int = 0) -> float:
+                       seed: int = 0, use_compiled: bool = True) -> float:
     """Assert both graphs compute the same outputs; returns max |error|.
 
     ``transformed`` must consume the same graph inputs and produce the
     same output tensor names as ``reference`` (the invariant every
     PIMFlow pass maintains).
+
+    The reference graph always runs through the interpreted
+    :func:`~repro.runtime.numerical.execute` — the semantics oracle —
+    while the transformed graph runs through the buffer-planned
+    :class:`~repro.runtime.compiled.CompiledExecutable` (the path real
+    inference takes) unless ``use_compiled`` is False.  Because the
+    compiled path is byte-identical to the interpreter, this checks the
+    transform *and* the executor in one shot.
     """
     if set(transformed.inputs) != set(reference.inputs):
         raise EquivalenceError(
@@ -56,7 +64,11 @@ def verify_equivalence(reference: Graph, transformed: Graph,
             f"output mismatch: {reference.outputs} vs {transformed.outputs}")
     feeds = feeds or random_feeds(reference, seed=seed)
     ref = execute(reference, feeds)
-    out = execute(transformed, feeds)
+    if use_compiled:
+        from repro.runtime.compiled import CompiledExecutable
+        out = CompiledExecutable(transformed).run(feeds)
+    else:
+        out = execute(transformed, feeds)
     worst = 0.0
     for name in ref:
         a, b = ref[name], out[name]

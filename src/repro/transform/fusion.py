@@ -127,9 +127,11 @@ def apply_fused_activation(node: Node, out: np.ndarray) -> np.ndarray:
         return np.clip(out, node.attr("activation_min", 0.0),
                        node.attr("activation_max", 6.0))
     if kind == "silu":
-        return out / (1.0 + np.exp(-out))
+        from repro.runtime.numerical import stable_silu
+        return stable_silu(out)
     if kind == "sigmoid":
-        return 1.0 / (1.0 + np.exp(-out))
+        from repro.runtime.numerical import stable_sigmoid
+        return stable_sigmoid(out)
     if kind == "gelu":
         return 0.5 * out * (1.0 + np.tanh(
             0.7978845608 * (out + 0.044715 * out ** 3)))

@@ -1,0 +1,174 @@
+"""Unit tests for the arena buffer planner (``runtime/bufferplan.py``).
+
+The planner's contracts, independent of the executor that consumes it:
+lifetime-disjoint arena packing, aligned offsets, rectangle containment,
+elision counters that mirror the memory-layout optimizer's markings, and
+pinning of margin-bearing roots (whose zero borders must survive reuse).
+"""
+
+import json
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import is_pim_candidate
+from repro.models import build_model
+from repro.runtime.bufferplan import ARENA_ALIGN, plan_buffers
+from repro.transform.memopt import optimize_memory
+from repro.transform.split import apply_mddp
+
+
+def _mddp_split(graph, ratio=0.5):
+    g = graph
+    for node in graph.toposort():
+        shapes = [graph.tensors[t].shape for t in node.inputs]
+        if is_pim_candidate(node, shapes):
+            g = apply_mddp(g, node.name, ratio)
+    return optimize_memory(g)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return build_model("toy")
+
+
+@pytest.fixture(scope="module")
+def split_toy(toy):
+    return _mddp_split(toy)
+
+
+class TestArenaLayout:
+    def _assert_packing(self, plan):
+        arena_end = plan.arena_elements
+        for root in plan.roots.values():
+            assert root.arena_offset >= 0
+            assert root.arena_offset % ARENA_ALIGN == 0
+            assert root.arena_offset + root.elements <= arena_end
+
+    def _assert_no_live_overlap(self, plan):
+        roots = list(plan.roots.values())
+        for i, a in enumerate(roots):
+            for b in roots[i + 1:]:
+                # Pinned roots hold their bytes forever; otherwise two
+                # roots may share bytes only if their lifetimes are
+                # disjoint.
+                overlap_life = (a.pinned or b.pinned
+                                or (a.birth <= b.death and b.birth <= a.death))
+                if not overlap_life:
+                    continue
+                a_end = a.arena_offset + a.elements
+                b_end = b.arena_offset + b.elements
+                assert a_end <= b.arena_offset or b_end <= a.arena_offset, \
+                    f"live roots {a.name} and {b.name} overlap in the arena"
+
+    @pytest.mark.parametrize("model", ["toy", "mobilenet-v2", "shufflenet-v2"])
+    def test_packing_and_liveness(self, model):
+        plan = plan_buffers(build_model(model))
+        self._assert_packing(plan)
+        self._assert_no_live_overlap(plan)
+
+    def test_split_graph_packing(self, split_toy):
+        for elide in (True, False):
+            plan = plan_buffers(split_toy, elide=elide)
+            self._assert_packing(plan)
+            self._assert_no_live_overlap(plan)
+
+    def test_reuse_beats_naive(self):
+        plan = plan_buffers(build_model("mobilenet-v2"))
+        assert plan.arena_bytes <= plan.naive_bytes
+        # Lifetime reuse on a deep chain model must be substantial.
+        assert plan.arena_bytes < 0.6 * plan.naive_bytes
+
+
+class TestStorageRects:
+    def test_rects_contained_in_roots(self, split_toy):
+        plan = plan_buffers(split_toy)
+        for name, st in plan.storage.items():
+            root = plan.roots[st.root]
+            if not st.is_rect:
+                continue
+            assert len(st.offset) == len(root.shape)
+            for off, extent, limit in zip(st.offset, st.shape, root.shape):
+                assert off >= 0
+                assert off + extent <= limit, \
+                    f"{name} rectangle leaves its root {st.root}"
+
+    def test_root_storage_is_identity(self, toy):
+        plan = plan_buffers(toy)
+        for name, root in plan.roots.items():
+            st = plan.storage[name]
+            assert st.root == name
+            assert st.offset == (0,) * len(root.shape)
+            assert st.shape == root.shape
+
+
+class TestElision:
+    def test_split_graph_counters(self, split_toy):
+        stats = plan_buffers(split_toy).stats()
+        # MD-DP splits introduce Slice/Concat pairs the memopt pass
+        # marks elided; the planner must turn them into views.
+        assert stats["slice_views"] > 0
+        assert stats["concat_zero_copy_inputs"] > 0
+        assert stats["elided_nodes"] > 0
+        assert stats["padded_conv_reads"] > 0
+        assert stats["copies_elided"] == (
+            stats["concat_zero_copy_inputs"] + stats["pad_zero_copy"]
+            + stats["padded_conv_reads"])
+
+    def test_elide_off_disables_coallocation(self, split_toy):
+        stats = plan_buffers(split_toy, elide=False).stats()
+        assert stats["concat_zero_copy_inputs"] == 0
+        assert stats["pad_zero_copy"] == 0
+        assert stats["padded_conv_reads"] == 0
+        assert stats["inplace_reused"] == 0
+
+    def test_margin_roots_are_pinned(self, toy):
+        plan = plan_buffers(toy)
+        margined = [r for r in plan.roots.values()
+                    if any(b or a for b, a in r.margins)]
+        assert margined, "toy has padded convs; some root must carry margins"
+        assert all(r.pinned for r in margined)
+
+    def test_inplace_requires_sole_dying_use(self):
+        # y = relu(x) with x also a graph output: the input must NOT be
+        # overwritten even though Relu is in-place capable.
+        b = GraphBuilder("ip", seed=0)
+        x = b.input("x", (1, 8, 8, 4))
+        c = b.conv(x, cout=4, kernel=1, name="c1")
+        r = b.relu(c, name="r1")
+        b.output(c)
+        b.output(r)
+        g = b.build()
+        plan = plan_buffers(g)
+        assert plan.inplace_reused == 0
+        assert plan.storage[r].root != plan.storage[c].root
+
+    def test_inplace_on_dying_chain(self):
+        b = GraphBuilder("ip2", seed=0)
+        x = b.input("x", (1, 8, 8, 4))
+        c = b.conv(x, cout=4, kernel=1, name="c1")
+        r = b.relu(c, name="r1")
+        b.output(r)
+        g = b.build()
+        plan = plan_buffers(g)
+        assert plan.inplace_reused == 1
+        assert plan.storage[r].root == plan.storage[c].root
+
+
+class TestStats:
+    def test_stats_json_round_trip(self, split_toy):
+        stats = plan_buffers(split_toy).stats()
+        assert json.loads(json.dumps(stats)) == stats
+        for key in ("arena_bytes", "naive_bytes", "num_roots", "num_tensors",
+                    "slice_views", "concat_zero_copy_inputs", "pad_zero_copy",
+                    "padded_conv_reads", "elided_nodes", "inplace_reused",
+                    "copies_elided"):
+            assert key in stats
+
+    def test_batched_shapes_scale_arena(self, toy):
+        base = plan_buffers(toy)
+        shapes = {name: (8,) + tuple(info.shape[1:])
+                  if info.shape and info.shape[0] == 1 else info.shape
+                  for name, info in toy.tensors.items()}
+        batched = plan_buffers(toy, shapes=shapes)
+        assert batched.arena_bytes > base.arena_bytes
