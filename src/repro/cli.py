@@ -31,6 +31,18 @@ variable sets the default).  Parallel profiling streams progress to
 stderr and produces measurement tables byte-identical to ``--jobs 1``;
 every profiling step additionally prints a ``[profile]`` summary line
 (candidates, jobs run, cache hits, wall-clock).
+
+Pass-manager observability::
+
+    pimflow -m=passes                          # list the pass registry
+    pimflow -m=compile -n=<net> --verify-passes  # inter-pass verifier
+    pimflow -m=compile -n=<net> --dump-ir=DIR    # IR after every pass
+    pimflow -m=stat -n=<net>                   # per-pass log (+ ratios)
+    pimflow -m=stat --plan=<plan.json>         # log recorded in a plan
+
+Every compiling step prints a ``[compile]`` per-pass timing summary;
+``--verify-passes`` additionally re-validates shapes, interface and
+numeric equivalence after every pass.
 """
 
 from __future__ import annotations
@@ -86,7 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     "on processing-in-memory DRAM (reproduction)")
     parser.add_argument("-m", "--mode", required=True,
                         choices=["profile", "solve", "compile", "run", "stat",
-                                 "trace", "report", "list"],
+                                 "trace", "report", "list", "passes"],
                         help="workflow step")
     parser.add_argument("--layer", default=None,
                         help="layer name for -m=trace (default: the "
@@ -127,6 +139,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--with_weights", action="store_true",
                         help="for -m=compile: embed initializer values in "
                              "the plan (timing never needs them; large)")
+    parser.add_argument("--verify-passes", dest="verify_passes",
+                        action="store_true",
+                        help="run the inter-pass verifier after every "
+                             "compiler pass: shape re-inference, graph-"
+                             "interface preservation, clone discipline, "
+                             "and a numeric oracle spot check")
+    parser.add_argument("--dump-ir", dest="dump_ir", default=None,
+                        metavar="DIR",
+                        help="snapshot the graph IR into DIR after every "
+                             "compiler pass (<seq>_<pass>.json)")
     parser.add_argument("--compiled", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="for -m=run with --plan: execute host "
@@ -146,6 +168,8 @@ def _config(args: argparse.Namespace, mechanism: str) -> PimFlowConfig:
         pipeline_stages=args.stages,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
+        verify_passes=args.verify_passes,
+        dump_ir_dir=args.dump_ir,
     )
 
 
@@ -172,6 +196,33 @@ def _print_profile_summary(flow: PimFlow) -> None:
     for failed in s["failed_jobs"]:
         print(f"[profile] failed job {failed['job_id']}: {failed['error']} "
               f"(after {failed['attempts']} attempts)", file=sys.stderr)
+
+
+def _print_pass_summary(records) -> None:
+    """The ``[compile]`` per-phase pass-timing line."""
+    if not records:
+        return
+    total_ms = sum(r.get("wall_ms", 0.0) for r in records)
+    verified = sum(1 for r in records if r.get("verified"))
+    parts = ", ".join(f"{r['name']} {r.get('wall_ms', 0.0):.1f}ms"
+                      for r in records)
+    suffix = f", {verified} verified" if verified else ""
+    print(f"[compile] {len(records)} passes, {total_ms:.1f}ms{suffix}: "
+          f"{parts}")
+
+
+def _print_pass_table(records) -> None:
+    """The ``-m=stat`` per-pass log: time and graph deltas."""
+    if not records:
+        return
+    print("Pass pipeline (time, node/tensor/elided deltas):")
+    for r in records:
+        flags = " [verified]" if r.get("verified") else ""
+        print(f"  {r['name']:<22} {r.get('wall_ms', 0.0):8.2f} ms  "
+              f"nodes {r['nodes_before']:>4} -> {r['nodes_after']:<4} "
+              f"tensors {r['tensors_before']:>4} -> {r['tensors_after']:<4} "
+              f"elided {r['elided_before']:>3} -> {r['elided_after']:<3}"
+              f"{flags}")
 
 
 def _paths(args: argparse.Namespace) -> dict:
@@ -234,6 +285,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
           f"{len(compiled.decisions)} regions -> {paths['graph']}")
     print(f"[solve] {len(table)} samples -> {len(compiled.decisions)} "
           f"regions, {solve_wall:.2f}s")
+    _print_pass_summary(compiled.pass_records)
     return 0
 
 
@@ -263,6 +315,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
           f"{plan.predicted_time_us:.1f} us, {info['traces']} traces "
           f"-> {out}")
     _print_profile_summary(flow)
+    _print_pass_summary(plan.pass_log)
     _print_cache_stats(flow)
     return 0
 
@@ -332,10 +385,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_stat(args: argparse.Namespace) -> int:
+    if args.plan:
+        return _stat_plan(args)
     flow = _flow(args, "pimflow-md")
     graph = flow.prepare(build_model(args.net))
     compiled = flow.compile(graph)
     _print_profile_summary(flow)
+    _print_pass_table(compiled.pass_records)
     dist = mddp_ratio_distribution(compiled.decisions,
                                    candidate_layer_names(graph))
     print("Split ratio to GPU (0: total offload):")
@@ -361,6 +417,54 @@ def cmd_stat(args: argparse.Namespace) -> int:
             print(f"last profile run: {last['hits']} hits / "
                   f"{last['misses']} misses "
                   f"(hit rate {last['hit_rate'] * 100:.0f}%)")
+    return 0
+
+
+def _stat_plan(args: argparse.Namespace) -> int:
+    """``-m=stat --plan``: inspect a compiled plan artifact, including
+    the per-pass log recorded in its provenance."""
+    from repro.plan import PlanFormatError
+    from repro.plan.artifact import ExecutionPlan
+
+    try:
+        plan = ExecutionPlan.load(args.plan)
+    except FileNotFoundError:
+        print(f"plan file not found: {args.plan}", file=sys.stderr)
+        return 2
+    except (PlanFormatError, json.JSONDecodeError) as exc:
+        print(f"cannot load plan {args.plan}: {exc}", file=sys.stderr)
+        return 2
+    info = plan.summary()
+    print(f"{info['model'] or '?'} [plan:{plan.mechanism}]: "
+          f"{info['nodes']} nodes, {info['decisions']} regions, "
+          f"predicted {plan.predicted_time_us:.1f} us "
+          f"(config {info['config_fingerprint']})")
+    _print_pass_table(plan.pass_log)
+    if plan.buffer_plan:
+        bp = plan.buffer_plan
+        print(f"Buffer plan: arena {bp['arena_bytes'] / 1e6:.1f} MB "
+              f"(naive {bp['naive_bytes'] / 1e6:.1f} MB), "
+              f"{bp['copies_elided']} copies elided")
+    return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    """List the pass registry (``pimflow -m=passes``)."""
+    from repro.transform.passes import registered_passes
+
+    for info in registered_passes():
+        flags = []
+        if info.idempotent:
+            flags.append("idempotent")
+        if info.requires:
+            flags.append("requires " + ",".join(info.requires))
+        if not info.preserves_semantics:
+            flags.append("reshapes semantics")
+        tag = f" [{'; '.join(flags)}]" if flags else ""
+        summary = info.description.splitlines()[0] if info.description else ""
+        print(f"{info.name:<22}{tag}")
+        if summary:
+            print(f"    {summary}")
     return 0
 
 
@@ -435,6 +539,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in list_models():
             print(name)
         return 0
+    if args.mode == "passes":
+        return cmd_passes(args)
+    if args.mode == "stat" and args.plan:
+        return _stat_plan(args)
     if args.net is not None:
         args.net = normalize_model_name(args.net)
     if args.net not in list_models():

@@ -52,6 +52,7 @@ from repro.search.apply import apply_decisions
 from repro.search.profiler import ProfileRequest, RegionProfiler
 from repro.search.solver import Decision, solve
 from repro.search.table import MeasurementTable
+from repro.transform.passes import PREPARE_PASSES, PassContext, PassManager
 from repro.transform.patterns import find_pipeline_candidates
 
 
@@ -130,6 +131,24 @@ class PimFlowConfig:
     job_timeout_s: Optional[float] = None
     #: Failed-attempt retries per job before recording a failure.
     job_retries: int = 2
+    #: Front-end pass pipeline run by ``prepare`` (registered pass
+    #: names); empty = the standard TVM-style front end
+    #: (:data:`repro.transform.passes.PREPARE_PASSES`).  Participates in
+    #: the configuration fingerprint — a different front end means
+    #: different measured regions.
+    prepare_passes: Tuple[str, ...] = ()
+    #: Run the inter-pass verifier after every compiler pass:
+    #: ``Graph.validate()`` (full shape re-inference), graph-interface
+    #: preservation, clone-discipline (purity) checking, and — with
+    #: ``verify_numeric`` — a numeric equivalence spot check against
+    #: the numpy oracle.  The CLI flag ``--verify-passes`` sets this.
+    verify_passes: bool = False
+    #: Include the numeric oracle spot check in pass verification
+    #: (ignored unless ``verify_passes`` is on).
+    verify_numeric: bool = True
+    #: Snapshot the graph IR after every compiler pass into this
+    #: directory (``<seq>_<pass>.json``); the CLI flag ``--dump-ir``.
+    dump_ir_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.mechanism not in MECHANISMS:
@@ -153,6 +172,9 @@ class CompiledModel:
     decisions: List[Decision]
     table: MeasurementTable
     predicted_time_us: float
+    #: Per-pass instrumentation log (``PassRecord.to_dict`` form) from
+    #: the front-end and decision-application pipelines.
+    pass_records: List[Dict[str, object]] = field(default_factory=list)
 
 
 class Compiler:
@@ -190,6 +212,10 @@ class Compiler:
         #: Summary of the most recent profile phase (request counts,
         #: cache hits, jobs run, wall-clock) for CLI/telemetry use.
         self.last_profile_summary: Dict[str, object] = {}
+        #: Per-pass instrumentation log of the most recent
+        #: ``prepare``/``compile``/``build_plan`` (list of
+        #: ``PassRecord.to_dict`` dicts) for CLI/provenance use.
+        self.last_pass_records: List[Dict[str, object]] = []
 
     @property
     def jobs(self) -> int:
@@ -221,6 +247,7 @@ class Compiler:
                 pim_opts=self.pim.opts if self.pim else None,
                 extra={
                     "fuse": self.config.fuse,
+                    "prepare_passes": list(self.prepare_passes),
                     "pipeline_stages": self.config.pipeline_stages,
                     "pipeline_stage_options":
                         list(self.config.pipeline_stage_options),
@@ -230,15 +257,32 @@ class Compiler:
                 })
         return self._config_fp
 
-    def prepare(self, graph: Graph) -> Graph:
+    @property
+    def prepare_passes(self) -> Tuple[str, ...]:
+        """Resolved front-end pipeline (config override or the default)."""
+        return tuple(self.config.prepare_passes) or PREPARE_PASSES
+
+    def pass_manager(self) -> PassManager:
+        """A pass manager wired from the config's verification knobs."""
+        return PassManager(verify=self.config.verify_passes,
+                           verify_numeric=self.config.verify_numeric,
+                           dump_dir=self.config.dump_ir_dir)
+
+    def prepare(self, graph: Graph,
+                manager: Optional[PassManager] = None) -> Graph:
         """Apply the mechanism-independent inference optimizations:
         constant folding, dead-code elimination, BN folding, and
-        activation fusion."""
-        if not self.config.fuse:
-            return graph
-        from repro.transform.cleanup import cleanup
-        from repro.transform.fusion import fuse
-        return fuse(cleanup(graph))
+        activation fusion — as the registered front-end pass pipeline.
+
+        Pass a ``manager`` to accumulate instrumentation records across
+        phases (``compile`` does); standalone calls record their
+        per-pass log on :attr:`last_pass_records`.
+        """
+        mgr = manager or self.pass_manager()
+        if self.config.fuse:
+            graph = mgr.run(self.prepare_passes, graph, PassContext())
+        self.last_pass_records = mgr.record_dicts()
+        return graph
 
     # ------------------------------------------------------------------
     # Step 1: profile
@@ -330,12 +374,20 @@ class Compiler:
     # ------------------------------------------------------------------
     def compile(self, graph: Graph,
                 table: Optional[MeasurementTable] = None) -> CompiledModel:
-        """Fuse, profile (unless a table is given), solve, and transform."""
-        prepared = self.prepare(graph)
+        """Fuse, profile (unless a table is given), solve, and transform.
+
+        The front-end and decision-application pipelines run through
+        one shared :class:`~repro.transform.passes.PassManager`, so the
+        full per-pass log lands on :attr:`last_pass_records` (and in
+        the plan provenance via :meth:`build_plan`).
+        """
+        manager = self.pass_manager()
+        prepared = self.prepare(graph, manager=manager)
         if table is None:
             table = self.profile(prepared)
         predicted, decisions = self.solve(prepared, table)
-        transformed = apply_decisions(prepared, decisions)
+        transformed = apply_decisions(prepared, decisions, manager=manager)
+        self.last_pass_records = manager.record_dicts()
         transformed.validate()
         if self.pim is not None and self.config.check_placement:
             from repro.pim.placement import plan_placement
@@ -349,7 +401,8 @@ class Compiler:
             plan_placement(transformed, self.pim.config, self.pim.opts,
                            pim_layers)
         return CompiledModel(graph=transformed, decisions=decisions,
-                             table=table, predicted_time_us=predicted)
+                             table=table, predicted_time_us=predicted,
+                             pass_records=list(self.last_pass_records))
 
     # ------------------------------------------------------------------
     # Step 3b: package as a reusable artifact
@@ -382,6 +435,7 @@ class Compiler:
             decisions: List[Dict[str, object]] = []
             predicted = self.engine.run(transformed).makespan_us
             num_measurements = 0
+            pass_records = list(self.last_pass_records)
         else:
             if compiled is None:
                 compiled = self.compile(graph)
@@ -389,6 +443,7 @@ class Compiler:
             decisions = [d.to_dict() for d in compiled.decisions]
             predicted = compiled.predicted_time_us
             num_measurements = len(compiled.table)
+            pass_records = list(compiled.pass_records)
 
         traces: Dict[str, object] = {}
         if with_traces and self.pim is not None:
@@ -418,6 +473,7 @@ class Compiler:
                 "repro_version": __version__,
                 "source_graph_fingerprint": source_fp,
                 "measurements": num_measurements,
+                "passes": pass_records,
             },
             traces=traces,
         )

@@ -70,6 +70,14 @@ class ExecutionPlan:
 
         return [Decision.from_dict(d) for d in self.decisions]
 
+    @property
+    def pass_log(self) -> List[Dict[str, Any]]:
+        """The compiler's per-pass instrumentation log (wall time and
+        node/tensor/elided-count deltas per executed pass), recorded
+        into provenance by ``Compiler.build_plan``.  Empty for plans
+        compiled before the pass manager existed."""
+        return list(self.provenance.get("passes", []))
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -175,5 +183,6 @@ class ExecutionPlan:
             "modes": modes,
             "predicted_time_us": self.predicted_time_us,
             "traces": len(self.traces),
+            "passes": len(self.pass_log),
             "config_fingerprint": self.config_fingerprint[:12],
         }

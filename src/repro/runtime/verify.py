@@ -2,8 +2,9 @@
 
 The standard correctness instrument of the repository: feed both graphs
 identical random inputs and compare outputs in float32.  Used by the
-test suite, the examples, and available to users validating their own
-pass pipelines.
+test suite, the examples, the pass manager's inter-pass verifier
+(:func:`numeric_spot_check`, enabled by ``--verify-passes``), and
+available to users validating their own pass pipelines.
 """
 
 from __future__ import annotations
@@ -36,6 +37,20 @@ def random_feeds(graph: Graph, seed: int = 0, scale: float = 0.1,
             shape = (batch,) + tuple(shape[1:])
         feeds[name] = rng.standard_normal(shape) * scale
     return feeds
+
+
+def numeric_spot_check(reference: Graph, transformed: Graph, seed: int = 0,
+                       rtol: float = 5e-3, atol: float = 5e-3) -> float:
+    """One-feed numeric equivalence probe for the inter-pass verifier.
+
+    Both graphs run through the interpreted oracle — the verifier wants
+    the semantics of the *transform* in isolation, independent of the
+    buffer planner and compiled executor (those have their own
+    byte-identity suite).  Returns the max absolute error; raises
+    :class:`EquivalenceError` beyond tolerance.
+    """
+    return verify_equivalence(reference, transformed, seed=seed,
+                              rtol=rtol, atol=atol, use_compiled=False)
 
 
 def verify_equivalence(reference: Graph, transformed: Graph,

@@ -1,35 +1,36 @@
-"""Apply solver decisions to a model graph."""
+"""Apply solver decisions to a model graph.
+
+Routes through the pass manager: decision application and the
+memory-layout optimizer run as the registered ``apply_decisions`` and
+``optimize_memory`` passes (the :data:`repro.transform.passes.APPLY`
+pipeline), so every invocation is instrumented and — under
+``--verify-passes`` — structurally and numerically verified.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.graph.graph import Graph
 from repro.search.solver import Decision
-from repro.transform.memopt import optimize_memory
-from repro.transform.pipeline import pipeline_chain
-from repro.transform.split import apply_mddp
+from repro.transform.passes import APPLY, PassContext, PassManager
 
 
-def apply_decisions(graph: Graph, decisions: Sequence[Decision]) -> Graph:
+def apply_decisions(graph: Graph, decisions: Sequence[Decision],
+                    manager: Optional[PassManager] = None,
+                    ctx: Optional[PassContext] = None) -> Graph:
     """Transform ``graph`` according to the solver's decisions.
 
     Decisions cover disjoint node regions, so they are applied
     sequentially; names of untouched nodes are stable across passes.
     The memory-layout optimizer runs last so every Slice/Concat the
     transformations introduced is elision-checked.
+
+    Pass an existing ``manager`` (e.g. the compiler's) to accumulate
+    the per-pass instrumentation records alongside the front-end
+    passes; by default a throwaway un-instrumented manager is used.
     """
-    g = graph
-    for d in decisions:
-        if d.mode == "gpu":
-            g = g.clone()
-            for name in d.nodes:
-                g.node(name).device = "gpu"
-        elif d.mode == "split":
-            assert len(d.nodes) == 1, "split decisions cover exactly one node"
-            g = apply_mddp(g, d.nodes[0], d.ratio_gpu)
-        elif d.mode == "pipeline":
-            g = pipeline_chain(g, list(d.nodes), num_stages=d.stages)
-        else:
-            raise ValueError(f"unknown decision mode {d.mode!r}")
-    return optimize_memory(g)
+    manager = manager or PassManager()
+    ctx = ctx or PassContext()
+    ctx.options["decisions"] = list(decisions)
+    return manager.run(APPLY, graph, ctx)

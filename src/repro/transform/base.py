@@ -67,11 +67,17 @@ def single_consumer_chain(graph: Graph, names) -> None:
                 f"intermediate node {name!r} is a graph output; cannot pipeline")
 
 
-def rename_output(node: Node, old: str, new: str) -> None:
-    """Replace an output tensor name in-place.
+def rename_output(graph: Graph, node: Node, old: str, new: str) -> None:
+    """Replace an output tensor name of ``node`` in-place.
 
-    Callers must :meth:`~repro.graph.graph.Graph.touch` the owning
-    graph afterwards — this rewires dataflow edges behind the cached
-    toposort's back.
+    Rewiring dataflow edges invalidates the owning graph's cached
+    toposort, so this takes the graph and calls
+    :meth:`~repro.graph.graph.Graph.touch` itself — the historical
+    ``rename_output(node, ...)`` form silently left the cache stale
+    unless every caller remembered to ``touch()``.
     """
+    if old not in node.outputs:
+        raise TransformError(
+            f"node {node.name!r} does not produce tensor {old!r}")
     node.outputs = [new if t == old else t for t in node.outputs]
+    graph.touch()

@@ -3,6 +3,12 @@
 Standard compiler hygiene the TVM front end performs before the
 PIM-specific passes.  Both passes are pure (clone + rewrite) and
 semantics-preserving.
+
+The implementations are registered with the pass manager
+(:mod:`repro.transform.passes`) as ``fold_constants`` and
+``eliminate_dead_nodes``; the public functions here are thin wrappers
+routing through it, so every invocation is instrumented and can be
+verified (``--verify-passes``) or snapshotted (``--dump-ir``).
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 from repro.graph.graph import Graph
 
 
-def eliminate_dead_nodes(graph: Graph) -> Graph:
+def _eliminate_dead_nodes(graph: Graph) -> Graph:
     """Remove nodes whose outputs are never consumed.
 
     Iterates to a fixpoint so whole dead chains disappear.  Graph
@@ -30,7 +36,7 @@ def eliminate_dead_nodes(graph: Graph) -> Graph:
     return g
 
 
-def fold_constants(graph: Graph) -> Graph:
+def _fold_constants(graph: Graph) -> Graph:
     """Evaluate nodes whose inputs are all initializers.
 
     The node is removed and its output registered as a new initializer,
@@ -60,6 +66,19 @@ def fold_constants(graph: Graph) -> Graph:
     return g
 
 
+def eliminate_dead_nodes(graph: Graph) -> Graph:
+    """Dead-code elimination via the registered ``eliminate_dead_nodes`` pass."""
+    from repro.transform.passes import run_pass
+    return run_pass("eliminate_dead_nodes", graph)
+
+
+def fold_constants(graph: Graph) -> Graph:
+    """Constant folding via the registered ``fold_constants`` pass."""
+    from repro.transform.passes import run_pass
+    return run_pass("fold_constants", graph)
+
+
 def cleanup(graph: Graph) -> Graph:
     """Constant folding followed by dead-code elimination."""
-    return eliminate_dead_nodes(fold_constants(graph))
+    from repro.transform.passes import CLEANUP, run_pipeline
+    return run_pipeline(CLEANUP, graph)

@@ -15,6 +15,11 @@ PIM device cannot execute activations (Newton supports only MAC); for
 PIM-offloaded nodes the execution engine charges a GPU epilogue pass
 over the output instead (paper Fig. 4: results return to other devices
 for activation functions).
+
+The implementations are registered with the pass manager
+(:mod:`repro.transform.passes`) as ``fold_batchnorm`` and
+``fuse_activations``; the public functions here are thin wrappers
+routing through it.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.graph.node import Node
 FUSABLE_ACTIVATIONS = ("Relu", "Clip", "Silu", "Sigmoid", "Gelu")
 
 
-def fold_batchnorm(graph: Graph) -> Graph:
+def _fold_batchnorm(graph: Graph) -> Graph:
     """Fold Conv+BN pairs into the convolution's weights and bias."""
     g = graph.clone()
     changed = True
@@ -80,7 +85,7 @@ def fold_batchnorm(graph: Graph) -> Graph:
     return g
 
 
-def fuse_activations(graph: Graph) -> Graph:
+def _fuse_activations(graph: Graph) -> Graph:
     """Absorb activations into their producing Conv/Gemm node."""
     g = graph.clone()
     changed = True
@@ -111,9 +116,22 @@ def fuse_activations(graph: Graph) -> Graph:
     return g
 
 
+def fold_batchnorm(graph: Graph) -> Graph:
+    """BN folding via the registered ``fold_batchnorm`` pass."""
+    from repro.transform.passes import run_pass
+    return run_pass("fold_batchnorm", graph)
+
+
+def fuse_activations(graph: Graph) -> Graph:
+    """Activation fusion via the registered ``fuse_activations`` pass."""
+    from repro.transform.passes import run_pass
+    return run_pass("fuse_activations", graph)
+
+
 def fuse(graph: Graph) -> Graph:
     """The standard inference pipeline: fold BN, then fuse activations."""
-    return fuse_activations(fold_batchnorm(graph))
+    from repro.transform.passes import FUSE, run_pipeline
+    return run_pipeline(FUSE, graph)
 
 
 def apply_fused_activation(node: Node, out: np.ndarray) -> np.ndarray:

@@ -11,6 +11,10 @@ engine honour as zero cost.
 Without this pass, the data-copy cost of Slice/Pad/Concat makes "most
 splitting attempts futile" (paper) — the ablation benchmark
 reproduces exactly that.
+
+The implementation is registered with the pass manager
+(:mod:`repro.transform.passes`) as ``optimize_memory``; the public
+function here is a thin wrapper routing through it.
 """
 
 from __future__ import annotations
@@ -19,7 +23,23 @@ from repro.graph.graph import Graph
 from repro.lowering.layout import concat_is_contiguous, slice_is_contiguous
 
 
-def optimize_memory(graph: Graph) -> Graph:
+def _pad_is_elidable(shape, pads) -> bool:
+    """Spatial-only zero padding of a rank-4 NHWC tensor.
+
+    The pre-padded-allocation argument (Fig. 7) is specific to NHWC:
+    axes 1 and 2 are spatial only when the tensor is rank 4 with one
+    ``(before, after)`` pair per axis.  Other ranks must keep their Pad
+    nodes — the old ``i not in (1, 2)`` check silently treated e.g. the
+    last axis of a rank-2 tensor as "spatial" and elided a pad the
+    buffer planner cannot absorb.
+    """
+    if len(shape) != 4 or len(pads) != 4:
+        return False
+    return all((before, after) == (0, 0)
+               for i, (before, after) in enumerate(pads) if i not in (1, 2))
+
+
+def _optimize_memory(graph: Graph) -> Graph:
     """Return a clone with elidable Slice/Concat/Pad nodes marked."""
     g = graph.clone()
     for node in g.nodes:
@@ -32,13 +52,14 @@ def optimize_memory(graph: Graph) -> Graph:
             if concat_is_contiguous(shapes, int(node.attr("axis"))):
                 node.attrs["elided"] = True
         elif node.op_type == "Pad":
-            pads = node.attr("pads")
-            # Spatial-only zero padding of NHWC tensors is absorbed by
-            # pre-padded allocation.
-            spatial_only = all(
-                (before, after) == (0, 0)
-                for i, (before, after) in enumerate(pads) if i not in (1, 2)
-            )
-            if spatial_only:
+            shape = g.tensors[node.inputs[0]].shape
+            if _pad_is_elidable(shape, node.attr("pads", ())):
                 node.attrs["elided"] = True
     return g
+
+
+def optimize_memory(graph: Graph) -> Graph:
+    """Memory-layout optimization via the registered ``optimize_memory``
+    pass."""
+    from repro.transform.passes import run_pass
+    return run_pass("optimize_memory", graph)

@@ -101,6 +101,79 @@ class TestCommands:
         assert "Newton++" in capsys.readouterr().out
 
 
+class TestPassObservability:
+    def test_passes_mode_lists_registry(self, capsys):
+        assert main(["-m=passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fold_constants", "eliminate_dead_nodes",
+                     "fold_batchnorm", "fuse_activations", "optimize_memory",
+                     "apply_decisions", "mddp_split", "pipeline_chain"):
+            assert name in out
+        assert "idempotent" in out
+        assert "requires decisions" in out
+
+    def test_compile_prints_pass_summary(self, tmp_path, capsys):
+        assert main(["-m=compile", "-n=toy", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "[compile]" in out and "passes" in out
+        assert "fuse_activations" in out
+
+    def test_compile_verify_passes(self, tmp_path, capsys):
+        assert main(["-m=compile", "-n=toy", "--verify-passes",
+                     f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "6 verified" in out
+
+    def test_compile_dump_ir(self, tmp_path, capsys):
+        ir = tmp_path / "ir"
+        assert main(["-m=compile", "-n=toy", f"--dump-ir={ir}",
+                     f"--workdir={tmp_path / 'out'}"]) == 0
+        files = sorted(p.name for p in ir.iterdir())
+        assert files[0] == "00_fold_constants.json"
+        assert any("apply_decisions" in f for f in files)
+        json.loads((ir / files[0]).read_text())  # well-formed IR snapshots
+
+    def test_plan_records_pass_log(self, tmp_path):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", f"--plan={plan_path}",
+                     f"--workdir={tmp_path}"]) == 0
+        data = json.loads(plan_path.read_text())
+        log = data["provenance"]["passes"]
+        assert [r["name"] for r in log] == [
+            "fold_constants", "eliminate_dead_nodes", "fold_batchnorm",
+            "fuse_activations", "apply_decisions", "optimize_memory"]
+        assert all(r["wall_ms"] >= 0 for r in log)
+
+    def test_stat_shows_pass_table(self, tmp_path, capsys):
+        assert main(["-m=stat", "-n=toy", f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "Pass pipeline" in out
+        assert "optimize_memory" in out
+
+    def test_stat_plan(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", "--verify-passes",
+                     f"--plan={plan_path}", f"--workdir={tmp_path}"]) == 0
+        capsys.readouterr()
+        assert main(["-m=stat", f"--plan={plan_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "[plan:pimflow]" in out
+        assert "Pass pipeline" in out
+        assert "[verified]" in out
+        assert "Buffer plan" in out
+
+    def test_stat_plan_missing_file(self, tmp_path, capsys):
+        assert main(["-m=stat", f"--plan={tmp_path / 'nope.json'}"]) == 2
+        assert "plan file not found" in capsys.readouterr().err
+
+    def test_solve_prints_pass_summary(self, tmp_path, capsys):
+        base = ["-n=toy", f"--workdir={tmp_path}"]
+        assert main(["-m=profile", "-t=split"] + base) == 0
+        assert main(["-m=solve"] + base) == 0
+        out = capsys.readouterr().out
+        assert "[compile]" in out and "apply_decisions" in out
+
+
 def _makespan(line):
     """Pull the makespan out of a '<model> [...]: X us, ...' line."""
     return float(line.split("]:")[1].split("us")[0])

@@ -51,6 +51,59 @@ class TestConcatElision:
         assert not g.node("cat").attr("elided", False)
 
 
+class TestPadElision:
+    """Pad elision must only fire on rank-4 NHWC tensors (regression:
+    the old check treated any axis outside {1, 2} as non-spatial, so a
+    rank-2 pad on the last axis was silently elided)."""
+
+    def test_rank4_spatial_pad_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b._emit("Pad", [x],
+                         {"pads": ((0, 0), (1, 1), (1, 1), (0, 0))},
+                         name="p"))
+        g = optimize_memory(b.build())
+        assert g.node("p").attr("elided") is True
+
+    def test_rank4_channel_pad_not_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 14, 8))
+        b.output(b._emit("Pad", [x],
+                         {"pads": ((0, 0), (0, 0), (0, 0), (0, 4))},
+                         name="p"))
+        g = optimize_memory(b.build())
+        assert not g.node("p").attr("elided", False)
+
+    def test_rank2_pad_not_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 64))
+        b.output(b._emit("Pad", [x], {"pads": ((0, 0), (0, 8))}, name="p"))
+        g = optimize_memory(b.build())
+        assert not g.node("p").attr("elided", False)
+
+    def test_rank3_pad_not_elided(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 14, 8))
+        b.output(b._emit("Pad", [x],
+                         {"pads": ((0, 0), (1, 1), (0, 0))}, name="p"))
+        g = optimize_memory(b.build())
+        assert not g.node("p").attr("elided", False)
+
+    def test_rank2_padded_gemm_semantics(self, rng):
+        """End-to-end: the rank-2 pad actually runs (not skipped as a
+        no-op), so the downstream shape contract holds."""
+        b = GraphBuilder(seed=3)
+        x = b.input("x", (1, 64))
+        p = b._emit("Pad", [x], {"pads": ((0, 0), (0, 8))}, name="p")
+        b.output(b.gemm(p, 16, name="fc"))
+        g = optimize_memory(b.build())
+        feed = {"x": rng.standard_normal((1, 64))}
+        ref = execute(b.build(), feed)
+        out = execute(g, feed)
+        for k in ref:
+            np.testing.assert_allclose(ref[k], out[k], rtol=1e-3, atol=1e-3)
+
+
 class TestTransformedGraphs:
     def test_mddp_movement_fully_elided(self):
         b = GraphBuilder(seed=2)

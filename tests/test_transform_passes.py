@@ -1,0 +1,330 @@
+"""Pass-manager core: registry, instrumentation, verification, and the
+pass-level property suite (semantics preservation + idempotence) across
+every registry model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.models import build_model, list_models
+from repro.plan.fingerprint import graph_fingerprint
+from repro.runtime.numerical import execute
+from repro.runtime.verify import random_feeds
+from repro.transform import cleanup, fuse
+from repro.transform.base import TransformError, rename_output
+from repro.transform.passes import (
+    APPLY,
+    CLEANUP,
+    FUSE,
+    PREPARE,
+    PREPARE_PASSES,
+    FunctionPass,
+    PassContext,
+    PassError,
+    PassManager,
+    PassPipeline,
+    PassVerificationError,
+    create_pass,
+    pass_info,
+    register_pass,
+    registered_passes,
+    run_pass,
+    run_pipeline,
+)
+
+BUILTIN_PASSES = {
+    "fold_constants", "eliminate_dead_nodes", "fold_batchnorm",
+    "fuse_activations", "optimize_memory", "apply_decisions",
+    "mddp_split", "pipeline_chain",
+}
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = {info.name for info in registered_passes()}
+        assert BUILTIN_PASSES <= names
+
+    def test_metadata_flags(self):
+        assert pass_info("fold_constants").idempotent
+        assert pass_info("optimize_memory").idempotent
+        assert pass_info("apply_decisions").requires == ("decisions",)
+        assert pass_info("mddp_split").requires == ("node",)
+        for name in BUILTIN_PASSES:
+            assert pass_info(name).description
+
+    def test_unknown_pass(self):
+        with pytest.raises(PassError, match="unknown pass"):
+            pass_info("nope")
+        with pytest.raises(PassError, match="unknown pass"):
+            create_pass("nope")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(PassError, match="duplicate"):
+            register_pass("fold_constants")(lambda g: g.clone())
+
+    def test_create_pass_satisfies_protocol(self):
+        p = create_pass("fold_constants")
+        assert p.name == "fold_constants"
+        assert callable(p.run)
+
+    def test_default_pipelines(self):
+        assert tuple(CLEANUP) + tuple(FUSE) == tuple(PREPARE)
+        assert PREPARE_PASSES == tuple(PREPARE.passes)
+        assert tuple(APPLY) == ("apply_decisions", "optimize_memory")
+
+
+class TestFunctionPass:
+    def test_graph_only_signature(self, small_conv_graph):
+        p = FunctionPass("id", lambda g: g.clone())
+        out = p.run(small_conv_graph, PassContext())
+        assert out is not small_conv_graph
+
+    def test_graph_ctx_signature(self, small_conv_graph):
+        seen = {}
+
+        def fn(g, ctx):
+            seen["opt"] = ctx.option("k")
+            return g.clone()
+
+        FunctionPass("id", fn).run(small_conv_graph,
+                                   PassContext(options={"k": 7}))
+        assert seen["opt"] == 7
+
+
+class TestPassContext:
+    def test_require_option(self):
+        ctx = PassContext(options={"a": 1})
+        assert ctx.require_option("p", "a") == 1
+        with pytest.raises(PassError, match="requires"):
+            ctx.require_option("p", "missing")
+
+    def test_with_options_shares_diagnostics(self):
+        ctx = PassContext(options={"a": 1})
+        view = ctx.with_options({"b": 2})
+        assert view.option("a") == 1 and view.option("b") == 2
+        assert ctx.option("b") is None
+        view.log("hello")
+        assert ctx.diagnostics == ["hello"]
+
+
+class TestManagerInstrumentation:
+    def test_records_per_pass(self):
+        graph = build_model("toy")
+        mgr = PassManager()
+        mgr.run(PREPARE, graph)
+        assert [r.name for r in mgr.records] == list(PREPARE_PASSES)
+        for r in mgr.records:
+            assert r.wall_ms >= 0.0
+            assert r.nodes_before > 0 and r.nodes_after > 0
+        # fusion shrinks the toy model, so at least one record changed
+        assert any(r.changed for r in mgr.records)
+
+    def test_record_dicts_json_round_trip(self):
+        mgr = PassManager()
+        mgr.run(CLEANUP, build_model("toy"))
+        dicts = mgr.record_dicts()
+        assert json.loads(json.dumps(dicts)) == dicts
+        assert {d["name"] for d in dicts} == set(CLEANUP.passes)
+
+    def test_pipeline_equals_functional_api(self):
+        graph = build_model("toy")
+        via_pipeline = PassManager().run(PREPARE, graph)
+        via_functions = fuse(cleanup(graph))
+        assert (graph_fingerprint(via_pipeline)
+                == graph_fingerprint(via_functions))
+
+    def test_bound_pass_options(self, small_conv_graph):
+        mgr = PassManager()
+        out = mgr.run([("mddp_split", {"node": "c0", "ratio_gpu": 0.5})],
+                      small_conv_graph)
+        assert any(n.op_type == "Concat" for n in out.nodes)
+        assert mgr.records[0].nodes_after > mgr.records[0].nodes_before
+
+    def test_run_pass_helper_with_options(self, pointwise_chain_graph):
+        out = run_pass("pipeline_chain", pointwise_chain_graph,
+                       chain=("pw1", "act1", "dw1"), stages=2)
+        assert any(n.op_type == "Slice" for n in out.nodes)
+
+    def test_missing_required_option(self, small_conv_graph):
+        with pytest.raises(PassError, match="requires"):
+            run_pass("mddp_split", small_conv_graph)
+
+    def test_run_pipeline_accepts_custom_pipeline(self, small_conv_graph):
+        pipe = PassPipeline("mine", ("fold_constants",))
+        out = run_pipeline(pipe, small_conv_graph)
+        assert out is not small_conv_graph
+
+    def test_bad_spec_rejected(self, small_conv_graph):
+        with pytest.raises(PassError, match="spec"):
+            PassManager().run([42], small_conv_graph)
+
+
+class TestManagerGuards:
+    def test_pass_returning_input_rejected(self, small_conv_graph):
+        identity = FunctionPass("identity", lambda g: g)
+        with pytest.raises(PassError, match="returned its input"):
+            PassManager().run([identity], small_conv_graph)
+
+    def test_pass_returning_non_graph_rejected(self, small_conv_graph):
+        bad = FunctionPass("bad", lambda g: None)
+        with pytest.raises(PassError, match="not a Graph"):
+            PassManager().run([bad], small_conv_graph)
+
+    def test_purity_check_catches_mutation(self, small_conv_graph):
+        def mutate(g):
+            clone = g.clone()
+            g.node("c0").attrs["elided"] = True  # mutates the input!
+            return clone
+
+        mgr = PassManager(check_purity=True)
+        with pytest.raises(PassError, match="clone discipline"):
+            mgr.run([FunctionPass("mutator", mutate)], small_conv_graph)
+
+
+class TestVerifier:
+    def test_verified_flag_set(self, small_conv_graph):
+        mgr = PassManager(verify=True)
+        mgr.run(PREPARE, small_conv_graph)
+        assert all(r.verified for r in mgr.records)
+        assert any("numeric max |error|" in note
+                   for r in mgr.records for note in r.notes)
+
+    def test_catches_semantic_corruption(self, small_conv_graph):
+        def corrupt(g):
+            out = g.clone()
+            name = out.node("c0").inputs[1]  # conv weight
+            out.initializers[name] = out.initializers[name] * 3.0
+            return out
+
+        mgr = PassManager(verify=True)
+        with pytest.raises(PassVerificationError, match="semantics"):
+            mgr.run([FunctionPass("corrupt", corrupt)], small_conv_graph)
+
+    def test_catches_interface_change(self, small_conv_graph):
+        def drop_output(g):
+            out = g.clone()
+            out.outputs[:] = []
+            return out
+
+        mgr = PassManager(verify=True, verify_numeric=False)
+        with pytest.raises(PassVerificationError, match="interface"):
+            mgr.run([FunctionPass("drop", drop_output)], small_conv_graph)
+
+    def test_catches_invalid_graph(self, small_conv_graph):
+        def orphan(g):
+            out = g.clone()
+            out.node("c0").inputs[0] = "no_such_tensor"
+            out.touch()
+            return out
+
+        mgr = PassManager(verify=True, verify_numeric=False)
+        with pytest.raises(PassVerificationError, match="invalid graph"):
+            mgr.run([FunctionPass("orphan", orphan)], small_conv_graph)
+
+    def test_verify_off_by_default(self, small_conv_graph):
+        mgr = PassManager()
+        mgr.run(PREPARE, small_conv_graph)
+        assert not any(r.verified for r in mgr.records)
+
+
+class TestDumpIR:
+    def test_snapshots_after_each_pass(self, tmp_path, small_conv_graph):
+        from repro.graph.serialize import load_graph
+
+        mgr = PassManager(dump_dir=tmp_path)
+        out = mgr.run(PREPARE, small_conv_graph)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [f"{i:02d}_{name}.json"
+                         for i, name in enumerate(PREPARE_PASSES)]
+        final = load_graph(tmp_path / files[-1])
+        assert graph_fingerprint(final) == graph_fingerprint(out)
+
+
+class TestRenameOutput:
+    def test_renames_and_touches(self, small_conv_graph):
+        g = small_conv_graph.clone()
+        node = g.node("c0")
+        old = node.outputs[0]
+        version = g.version
+        rename_output(g, node, old, "renamed")
+        assert node.outputs == ["renamed"]
+        assert g.version > version
+
+    def test_unknown_output_rejected(self, small_conv_graph):
+        g = small_conv_graph.clone()
+        with pytest.raises(TransformError, match="does not produce"):
+            rename_output(g, g.node("c0"), "nope", "renamed")
+
+
+# ----------------------------------------------------------------------
+# Property suite: every standalone registered pass preserves semantics
+# and honours its idempotence claim, across all registry models.
+# ----------------------------------------------------------------------
+PROPERTY_PASSES = tuple(PREPARE_PASSES) + ("optimize_memory",)
+
+
+@pytest.mark.parametrize("model", list_models())
+def test_passes_preserve_semantics_and_idempotence(model):
+    graph = build_model(model)
+    feeds = random_feeds(graph, seed=0)
+    ref = execute(graph, feeds)
+    current = graph
+    for name in PROPERTY_PASSES:
+        info = pass_info(name)
+        assert info.preserves_semantics
+        nxt = run_pass(name, current)
+        if info.idempotent:
+            again = run_pass(name, nxt)
+            assert graph_fingerprint(again) == graph_fingerprint(nxt), (
+                f"{name} is not idempotent on {model}")
+        out = execute(nxt, feeds)
+        for k in ref:
+            np.testing.assert_allclose(
+                ref[k], out[k], rtol=5e-3, atol=5e-3,
+                err_msg=f"{name} changed semantics of {model}:{k}")
+        current = nxt
+
+
+def test_apply_decisions_duck_types_dict_decisions(small_conv_graph):
+    out = run_pass("apply_decisions", small_conv_graph, decisions=[
+        {"mode": "split", "nodes": ["c0"], "ratio_gpu": 0.5},
+        {"mode": "gpu", "nodes": ["r0"]},
+    ])
+    assert any(n.op_type == "Concat" for n in out.nodes)
+    assert out.node("r0").device == "gpu"
+
+
+def test_apply_decisions_empty_still_clones(small_conv_graph):
+    out = run_pass("apply_decisions", small_conv_graph, decisions=[])
+    assert out is not small_conv_graph
+    assert graph_fingerprint(out) == graph_fingerprint(small_conv_graph)
+
+
+def test_apply_decisions_unknown_mode(small_conv_graph):
+    with pytest.raises(ValueError, match="unknown decision mode"):
+        run_pass("apply_decisions", small_conv_graph,
+                 decisions=[{"mode": "warp", "nodes": ["c0"]}])
+
+
+def test_custom_registered_pass_gets_manager_services(tmp_path):
+    """The advertised extension path: one register_pass call buys
+    instrumentation and verification."""
+    b = GraphBuilder(seed=9)
+    x = b.input("x", (1, 8, 8, 4))
+    b.output(b.conv(x, cout=4, kernel=1, name="c"))
+    graph = b.build()
+
+    name = "test_only_identity"
+    try:
+        register_pass(name, description="clone-only test pass",
+                      idempotent=True)(lambda g: g.clone())
+        mgr = PassManager(verify=True, dump_dir=tmp_path)
+        out = mgr.run([name], graph)
+        assert graph_fingerprint(out) == graph_fingerprint(graph)
+        assert mgr.records[0].verified
+        assert (tmp_path / f"00_{name}.json").exists()
+    finally:
+        from repro.transform import passes as passes_mod
+        passes_mod._REGISTRY.pop(name, None)
