@@ -24,6 +24,12 @@ noise):
   ``PimFlow.compile`` on a fresh toolchain (cold: nothing memoized)
   and a second compile on the same toolchain (repeat: measurement memo
   and cost caches warm).
+* ``serve.<model>.batch1_rps`` / ``dynamic_rps`` / ``win`` — modelled
+  device throughput of the serving layer's A/B (per-request batch-1 vs
+  dynamic micro-batching at max-batch 8 on the GPU-baseline plan), and
+  ``serve.<model>.p99_ms`` — accepted-request wall p99 under the
+  dynamic configuration.  ``_rps``/``win`` metrics are
+  higher-is-better; :func:`compare` inverts the ratio for them.
 
 Everything is pure in-process timing of deterministic code — no disk
 cache, no worker processes — so results are comparable across runs on
@@ -44,6 +50,11 @@ SCHEMA_VERSION = 1
 DEFAULT_MODELS = ("mobilenet-v2", "shufflenet-v2", "resnet-50")
 DEFAULT_BATCHES = (1, 8)
 DEFAULT_ROUNDS = 3
+
+#: Models that also run the serving A/B.  One is enough for the smoke
+#: signal (every request is a full host inference, so the A/B costs
+#: tens of per-sample runs); mobilenet-v2 is the paper's headline net.
+SERVE_MODELS = ("mobilenet-v2",)
 
 #: A current/baseline ratio above this fails ``--check``.  Deliberately
 #: loose: CI runners are noisy and the job is a smoke test for
@@ -166,6 +177,27 @@ def bench_compile(model: str, rounds: int) -> Dict[str, float]:
     }
 
 
+def bench_serving(model: str) -> Dict[str, float]:
+    """Serving A/B: per-request batch-1 vs dynamic micro-batching.
+
+    Wraps :func:`repro.serve.loadgen.bench_serve` on the GPU-baseline
+    plan (the batching win lives in SIMT utilization recovery; PIM
+    offload is a batch-1 design point).  Load parameters are kept small
+    — this is a smoke signal, not a saturation study.
+    """
+    from repro.serve.loadgen import bench_serve
+
+    report = bench_serve(model=model, mechanism="gpu", max_batch=8,
+                         clients=8, requests_per_client=2, workers=1,
+                         max_wait_ms=50.0)
+    return {
+        f"serve.{model}.batch1_rps": report["batch1"]["device_rps"],
+        f"serve.{model}.dynamic_rps": report["dynamic"]["device_rps"],
+        f"serve.{model}.win": report["device_win"],
+        f"serve.{model}.p99_ms": report["dynamic"]["latency_p99_ms"],
+    }
+
+
 def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
                    batches: Iterable[int] = DEFAULT_BATCHES,
                    rounds: int = DEFAULT_ROUNDS,
@@ -181,6 +213,9 @@ def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
         metrics.update(bench_split(model, rounds))
         progress(f"[perf] compile {model} ...")
         metrics.update(bench_compile(model, rounds))
+        if model in SERVE_MODELS:
+            progress(f"[perf] serve A/B {model} (batch-1 vs dynamic) ...")
+            metrics.update(bench_serving(model))
     return {
         "schema": SCHEMA_VERSION,
         "config": {
@@ -208,6 +243,16 @@ def save_baseline(path: Path, results: Dict[str, object]) -> None:
     Path(path).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
+def higher_is_better(metric: str) -> bool:
+    """Throughput-style metrics regress when they *drop*.
+
+    Everything else in the harness is a time or footprint (smaller is
+    better); ``_rps`` suffixes and the serving ``win`` ratio are the
+    higher-is-better family.
+    """
+    return metric.endswith("_rps") or metric.endswith(".win")
+
+
 def compare(baseline: Dict[str, object], current: Dict[str, object],
             fail_ratio: float = DEFAULT_FAIL_RATIO,
             ) -> Tuple[List[Tuple[str, Optional[float], Optional[float],
@@ -220,6 +265,10 @@ def compare(baseline: Dict[str, object], current: Dict[str, object],
     ``"REGRESSION"`` (over ``fail_ratio``), or ``"new"``/``"missing"``
     for metrics present on only one side (never a failure — the metric
     set may legitimately grow).  ``ok`` is False iff any row regressed.
+
+    The reported ratio is always worse-is-bigger: for throughput-style
+    metrics (see :func:`higher_is_better`) it is ``baseline/current``,
+    so one ``fail_ratio`` threshold tripwires both families.
     """
     base_metrics: Dict[str, float] = dict(baseline.get("metrics", {}))
     cur_metrics: Dict[str, float] = dict(current.get("metrics", {}))
@@ -234,7 +283,10 @@ def compare(baseline: Dict[str, object], current: Dict[str, object],
         if cur is None:
             rows.append((name, base, None, None, "missing"))
             continue
-        ratio = cur / base if base > 0 else float("inf")
+        if higher_is_better(name):
+            ratio = base / cur if cur > 0 else float("inf")
+        else:
+            ratio = cur / base if base > 0 else float("inf")
         if ratio > fail_ratio:
             status = "REGRESSION"
             ok = False

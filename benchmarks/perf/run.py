@@ -67,7 +67,14 @@ def main(argv=None) -> int:
 
     width = max(len(k) for k in results["metrics"])
     for name, value in results["metrics"].items():
-        unit = "mb" if name.endswith("_mb") else "ms"
+        if name.endswith("_mb"):
+            unit = "mb"
+        elif name.endswith("_rps"):
+            unit = "rps"
+        elif name.endswith(".win"):
+            unit = "x"
+        else:
+            unit = "ms"
         print(f"{name:{width}s} {value:10.1f} {unit}")
     return 0
 

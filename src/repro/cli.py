@@ -43,6 +43,21 @@ Pass-manager observability::
 Every compiling step prints a ``[compile]`` per-pass timing summary;
 ``--verify-passes`` additionally re-validates shapes, interface and
 numeric equivalence after every pass.
+
+Serving (see ``docs/serving.md``)::
+
+    pimflow -m=serve -n=<net>[,<net>...]     # dynamic-batching server
+                                             # under synthetic load
+    pimflow -m=bench-serve -n=<net>          # batch-1 vs dynamic A/B
+
+``serve`` registers each net (compiled on first request, or loaded
+from ``--plan``), starts the worker pool, and drives the synthetic
+load generator against it (closed-loop by default; ``--rate`` switches
+to open-loop arrivals, which exposes admission control).
+``bench-serve`` serves one workload at max-batch 1 and at
+``--max-batch`` and reports the dynamic-batching throughput win on the
+modelled hardware plus wall-clock tail latencies.  ``--json`` prints
+machine-readable output for both, and for ``-m=stat``.
 """
 
 from __future__ import annotations
@@ -98,7 +113,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "on processing-in-memory DRAM (reproduction)")
     parser.add_argument("-m", "--mode", required=True,
                         choices=["profile", "solve", "compile", "run", "stat",
-                                 "trace", "report", "list", "passes"],
+                                 "trace", "report", "list", "passes",
+                                 "serve", "bench-serve"],
                         help="workflow step")
     parser.add_argument("--layer", default=None,
                         help="layer name for -m=trace (default: the "
@@ -108,8 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-t", "--type", dest="profile_type", default="split",
                         choices=["split", "pipeline"],
                         help="profiling pass for -m=profile")
-    parser.add_argument("--policy", default="PIMFlow", choices=sorted(POLICIES),
-                        help="offloading mechanism for -m=run")
+    parser.add_argument("--policy", default=None, choices=sorted(POLICIES),
+                        help="offloading mechanism for -m=run (default "
+                             "PIMFlow; -m=bench-serve defaults to the GPU "
+                             "baseline plan instead — PIM offload is a "
+                             "batch-1 design point)")
     parser.add_argument("--gpu_only", action="store_true",
                         help="run the GPU-only baseline")
     parser.add_argument("--pim_channels", type=int, default=16,
@@ -155,6 +174,39 @@ def _build_parser() -> argparse.ArgumentParser:
                              "inference through the buffer-planned compiled "
                              "executor (--no-compiled falls back to the "
                              "interpreted reference executor)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output (stat, serve, "
+                             "bench-serve)")
+    serve = parser.add_argument_group("serving (-m=serve / -m=bench-serve)")
+    serve.add_argument("--max-batch", dest="max_batch", type=int, default=8,
+                       help="micro-batch size cap (default %(default)s)")
+    serve.add_argument("--max-wait-ms", dest="max_wait_ms", type=float,
+                       default=None,
+                       help="batching linger from the batch head's arrival "
+                            "(default: 2 ms for serve, 50 ms for "
+                            "bench-serve)")
+    serve.add_argument("--serve-workers", dest="serve_workers", type=int,
+                       default=2, help="worker threads (default %(default)s)")
+    serve.add_argument("--queue-depth", dest="queue_depth", type=int,
+                       default=64,
+                       help="bounded admission queue depth; requests beyond "
+                            "it are shed with a typed Overloaded rejection "
+                            "(default %(default)s)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads (default %(default)s)")
+    serve.add_argument("--requests", type=int, default=4,
+                       help="requests per closed-loop client "
+                            "(default %(default)s)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="open-loop arrival rate in requests/s (switches "
+                            "the load generator from closed to open loop)")
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="open-loop duration in seconds "
+                            "(default %(default)s)")
+    serve.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                       default=None,
+                       help="per-request deadline; requests not started "
+                            "within it fail with DeadlineExceeded")
     return parser
 
 
@@ -390,10 +442,28 @@ def cmd_stat(args: argparse.Namespace) -> int:
     flow = _flow(args, "pimflow-md")
     graph = flow.prepare(build_model(args.net))
     compiled = flow.compile(graph)
-    _print_profile_summary(flow)
-    _print_pass_table(compiled.pass_records)
     dist = mddp_ratio_distribution(compiled.decisions,
                                    candidate_layer_names(graph))
+    if args.json:
+        # Machine-readable stats for the serve harness and CI — same
+        # data the human output formats, no screen-scraping required.
+        from repro.runtime.bufferplan import plan_buffers
+        payload = {
+            "model": args.net,
+            "predicted_time_us": compiled.predicted_time_us,
+            "decisions": len(compiled.decisions),
+            "ratio_distribution": {str(k): v for k, v in dist.items()},
+            "buffer_plan": plan_buffers(compiled.graph).stats(),
+            "passes": list(compiled.pass_records),
+            "profile": dict(flow.compiler.last_profile_summary),
+            "cache": flow.cache.stats() if flow.cache is not None else None,
+            "last_run": (flow.cache.last_run()
+                         if flow.cache is not None else None),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    _print_profile_summary(flow)
+    _print_pass_table(compiled.pass_records)
     print("Split ratio to GPU (0: total offload):")
     print("  " + "  ".join(f"{k:>3d}%" for k in dist))
     print("  " + "  ".join(f"{v * 100:3.0f}%" for v in dist.values()))
@@ -435,6 +505,16 @@ def _stat_plan(args: argparse.Namespace) -> int:
         print(f"cannot load plan {args.plan}: {exc}", file=sys.stderr)
         return 2
     info = plan.summary()
+    if args.json:
+        print(json.dumps({
+            "summary": info,
+            "predicted_time_us": plan.predicted_time_us,
+            "passes": plan.pass_log,
+            "buffer_plan": dict(plan.buffer_plan),
+            "provenance": {k: v for k, v in plan.provenance.items()
+                           if k != "passes"},
+        }, indent=2))
+        return 0
     print(f"{info['model'] or '?'} [plan:{plan.mechanism}]: "
           f"{info['nodes']} nodes, {info['decisions']} regions, "
           f"predicted {plan.predicted_time_us:.1f} us "
@@ -514,6 +594,90 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, nets: List[str]) -> int:
+    """Run the dynamic-batching server against the synthetic load
+    generator (``pimflow -m=serve``)."""
+    from repro.serve import InferenceServer, ModelRepository, ServerConfig
+    from repro.serve.loadgen import run_closed_loop, run_open_loop
+
+    mechanism = POLICIES[args.policy or "PIMFlow"]
+    repo = ModelRepository()
+    if args.plan:
+        repo.register_plan(nets[0], args.plan)
+    else:
+        for net in nets:
+            repo.register_model(net, config=_config(args, mechanism))
+    max_wait = args.max_wait_ms if args.max_wait_ms is not None else 2.0
+    server = InferenceServer(repo, ServerConfig(
+        workers=args.serve_workers, queue_depth=args.queue_depth,
+        max_batch_size=args.max_batch, max_wait_ms=max_wait,
+        default_deadline_ms=args.deadline_ms))
+    results = []
+    with server:
+        for net in nets:
+            if args.rate is not None:
+                results.append(run_open_loop(
+                    server, net, rate_rps=args.rate,
+                    duration_s=args.duration))
+            else:
+                results.append(run_closed_loop(
+                    server, net, clients=args.clients,
+                    requests_per_client=args.requests))
+        snap = server.stats()
+    if args.json:
+        print(json.dumps({"load": [r.summary() for r in results],
+                          "server": snap}, indent=2))
+        return 0
+    for r in results:
+        s = r.summary()
+        print(f"{s['model']}: {s['completed']}/{s['offered']} ok "
+              f"({s['rejected']} shed, {s['expired']} expired, "
+              f"{s['failed']} failed), wall {s['wall_rps']:.1f} rps, "
+              f"device {s['device_rps']:.0f} rps, "
+              f"p50/p99 {s['latency_p50_ms']:.1f}/"
+              f"{s['latency_p99_ms']:.1f} ms")
+    print(f"[serve] {snap['batches']} batches, mean size "
+          f"{snap['mean_batch_size']:.2f}, peak queue "
+          f"{snap['peak_queue_depth']}, device busy "
+          f"{snap['device_busy_us'] / 1e3:.1f} ms, host exec "
+          f"{snap['host_exec_ms']:.1f} ms")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """A/B batch-1 vs dynamic batching (``pimflow -m=bench-serve``)."""
+    from repro.serve.loadgen import bench_serve
+
+    # PIM offload is a batch-1 design point (paper Fig. 8): the default
+    # serving plan is the GPU baseline, where batching recovers SIMT
+    # utilization.  --policy serves the chosen mechanism's plan instead.
+    mechanism = POLICIES[args.policy] if args.policy else "gpu"
+    report = bench_serve(
+        model=args.net, mechanism=mechanism, max_batch=args.max_batch,
+        clients=args.clients, requests_per_client=args.requests,
+        workers=args.serve_workers,
+        max_wait_ms=args.max_wait_ms if args.max_wait_ms is not None else 50.0,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    b, d = report["batch1"], report["dynamic"]
+    print(f"{report['model']} [{report['mechanism']}] serve A/B, "
+          f"{report['requests']} requests, {args.clients} clients:")
+    print(f"{'':>14s} {'batch-1':>12s} {'dynamic(max-' + str(report['max_batch']) + ')':>18s}")
+    for label, key, unit in (
+            ("device rps", "device_rps", ""),
+            ("wall rps", "wall_rps", ""),
+            ("p50 ms", "latency_p50_ms", ""),
+            ("p99 ms", "latency_p99_ms", ""),
+            ("mean batch", "mean_batch_size", "")):
+        print(f"{label:>14s} {b[key]:>12.2f} {d[key]:>18.2f}")
+    print(f"dynamic batching win (modelled device throughput): "
+          f"{report['device_win']:.2f}x "
+          f"(steady-state ceiling {report['device_win_ceiling']:.2f}x)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Compile a model and print the full compilation report + schedule."""
     from repro.analysis.gantt import render_gantt
@@ -543,11 +707,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_passes(args)
     if args.mode == "stat" and args.plan:
         return _stat_plan(args)
+    # --policy defaults to PIMFlow everywhere except bench-serve, whose
+    # A/B baseline is the GPU plan (cmd_bench_serve resolves None).
+    if args.policy is None and args.mode != "bench-serve":
+        args.policy = "PIMFlow"
+    if args.mode == "serve":
+        # Serve accepts a comma-separated model list (-n=a,b) so one
+        # server can exercise model-affine batching across models.
+        nets = [normalize_model_name(n)
+                for n in (args.net or "").split(",") if n]
+        if args.plan:
+            nets = nets or ["plan"]
+        else:
+            unknown = [n for n in nets if n not in list_models()]
+            if not nets or unknown:
+                print(f"unknown net(s) {unknown or args.net!r}; use -m=list",
+                      file=sys.stderr)
+                return 2
+        return cmd_serve(args, nets)
     if args.net is not None:
         args.net = normalize_model_name(args.net)
     if args.net not in list_models():
         print(f"unknown net {args.net!r}; use -m=list", file=sys.stderr)
         return 2
+    if args.mode == "bench-serve":
+        return cmd_bench_serve(args)
     if args.mode == "profile":
         return cmd_profile(args)
     if args.mode == "solve":

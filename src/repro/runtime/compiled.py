@@ -20,6 +20,7 @@ kernel and copying the result into place.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -607,6 +608,20 @@ class CompiledExecutable:
         self.elide = elide
         self._version = graph.version
         self._programs: Dict[tuple, _Program] = {}
+        #: Serializes :meth:`run`: programs write through one shared
+        #: arena, so concurrent calls (e.g. two serve workers hitting
+        #: one cached executable) must execute one at a time.  Distinct
+        #: executables still run fully in parallel.
+        self._run_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_run_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._run_lock = threading.Lock()
 
     def _program_for(self, feeds: Mapping[str, np.ndarray]) -> _Program:
         if self.graph.version != self._version:
@@ -634,13 +649,18 @@ class CompiledExecutable:
         return self.run(feeds)
 
     def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """One inference; byte-identical to interpreted ``execute``."""
+        """One inference; byte-identical to interpreted ``execute``.
+
+        Thread-safe: calls serialize on an internal lock because every
+        program of this executable shares one arena.
+        """
         feeds32 = {}
         for name in self.graph.inputs:
             if name not in feeds:
                 raise KeyError(f"missing feed for graph input {name!r}")
             feeds32[name] = np.asarray(feeds[name], dtype=np.float32)
-        return self._program_for(feeds32).run(feeds32)
+        with self._run_lock:
+            return self._program_for(feeds32).run(feeds32)
 
     def buffer_plan(self, feeds: Optional[Mapping[str, np.ndarray]] = None
                     ) -> BufferPlan:
@@ -649,9 +669,10 @@ class CompiledExecutable:
             feeds = {name: np.zeros(self.graph.tensors[name].shape,
                                     dtype=np.float32)
                      for name in self.graph.inputs}
-        return self._program_for(
-            {n: np.asarray(f, dtype=np.float32) for n, f in feeds.items()}
-        ).plan
+        with self._run_lock:
+            return self._program_for(
+                {n: np.asarray(f, dtype=np.float32) for n, f in feeds.items()}
+            ).plan
 
     def stats(self) -> Dict[str, object]:
         """Buffer-plan stats at the graph's declared shapes."""

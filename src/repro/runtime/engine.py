@@ -23,6 +23,8 @@ over the inter-channel network).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
@@ -35,6 +37,13 @@ from repro.pim.device import PimDevice
 
 #: Fixed cost of a GPU<->PIM synchronization at a dependency edge.
 SYNC_OVERHEAD_US = 0.5
+
+#: Compiled executables an engine keeps bound at once.  Each entry
+#: holds a full arena (tens of MB for ImageNet-scale models), so the
+#: cap bounds resident memory when one engine serves many graphs; the
+#: serving layer's model repository adds its own per-model LRU above
+#: this.
+EXECUTABLE_CACHE_CAP = 8
 
 
 @dataclass(frozen=True)
@@ -94,7 +103,8 @@ class ExecutionEngine:
     def __init__(self, gpu: GpuDevice, pim: Optional[PimDevice] = None,
                  sync_overhead_us: float = SYNC_OVERHEAD_US,
                  host_io: bool = False,
-                 pcie_bytes_per_us: float = 16e3) -> None:
+                 pcie_bytes_per_us: float = 16e3,
+                 executable_cache_cap: int = EXECUTABLE_CACHE_CAP) -> None:
         self.gpu = gpu
         self.pim = pim
         self.sync_overhead_us = sync_overhead_us
@@ -108,15 +118,25 @@ class ExecutionEngine:
         #: cache's zero-reprofiling guarantee is asserted against this
         #: counter in the test suite.
         self.run_count = 0
-        #: Host-side compiled executables, keyed (id(graph),
-        #: graph.version, elide).  Holds closures, so it is dropped on
-        #: pickling (see :meth:`__getstate__`) and rebuilt on demand.
-        self._compiled_cache: Dict[tuple, object] = {}
+        #: Host-side compiled executables: a bounded LRU keyed
+        #: (id(graph), graph.version, elide), guarded by
+        #: ``_compiled_lock`` so concurrent :meth:`infer` calls from
+        #: server workers never race the map.  Holds closures, so it is
+        #: dropped on pickling (see :meth:`__getstate__`) and rebuilt
+        #: on demand.
+        self.executable_cache_cap = max(1, int(executable_cache_cap))
+        self._compiled_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._compiled_lock = threading.Lock()
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        state["_compiled_cache"] = {}
+        state["_compiled_cache"] = OrderedDict()
+        del state["_compiled_lock"]  # locks don't pickle; rebuilt below
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._compiled_lock = threading.Lock()
 
     def to_spec(self) -> Dict[str, object]:
         """Serializable engine description, sufficient to rebuild an
@@ -164,19 +184,46 @@ class ExecutionEngine:
         if not compiled:
             from repro.runtime.numerical import execute
             return execute(graph, feeds)
+        return self.executable(graph, elide=elide).run(feeds)
+
+    def executable(self, graph: Graph, elide: bool = True):
+        """The cached :class:`~repro.runtime.compiled.CompiledExecutable`
+        for ``graph``, binding one on a miss.
+
+        Thread-safe: the LRU map is lock-guarded, and the (expensive)
+        binding runs outside the lock — two workers missing on the same
+        key may both bind, but the first insert wins and both results
+        are equivalent.  The cache is capped at
+        :attr:`executable_cache_cap` entries, least-recently-used
+        evicted first.
+        """
         from repro.runtime.compiled import CompiledExecutable
         key = (id(graph), graph.version, elide)
-        exe = self._compiled_cache.get(key)
-        if exe is None:
-            # Old entries for this graph object are stale once the
-            # version moves; drop them so the cache cannot grow
-            # unboundedly across repeated in-place transforms.
-            for k in [k for k in self._compiled_cache
-                      if k[0] == id(graph) and k[1] != graph.version]:
-                del self._compiled_cache[k]
-            exe = CompiledExecutable(graph, elide=elide)
-            self._compiled_cache[key] = exe
-        return exe.run(feeds)
+        with self._compiled_lock:
+            exe = self._compiled_cache.get(key)
+            if exe is not None:
+                self._compiled_cache.move_to_end(key)
+                return exe
+        built = CompiledExecutable(graph, elide=elide)
+        with self._compiled_lock:
+            exe = self._compiled_cache.get(key)
+            if exe is None:
+                # Old entries for this graph object are stale once the
+                # version moves; drop them so repeated in-place
+                # transforms never accumulate dead executables.
+                for k in [k for k in self._compiled_cache
+                          if k[0] == id(graph) and k[1] != graph.version]:
+                    del self._compiled_cache[k]
+                self._compiled_cache[key] = exe = built
+            self._compiled_cache.move_to_end(key)
+            while len(self._compiled_cache) > self.executable_cache_cap:
+                self._compiled_cache.popitem(last=False)
+        return exe
+
+    def executable_cache_stats(self) -> Dict[str, int]:
+        with self._compiled_lock:
+            return {"entries": len(self._compiled_cache),
+                    "cap": self.executable_cache_cap}
 
     def run(self, graph: Graph) -> RunResult:
         """Compute the parallel schedule and energy for one inference."""

@@ -1,0 +1,59 @@
+"""Inference serving over compiled execution plans.
+
+The serving layer sits above the runtime: a
+:class:`~repro.serve.repository.ModelRepository` maps names to
+compiled :class:`~repro.plan.artifact.ExecutionPlan` artifacts, an
+:class:`~repro.serve.server.InferenceServer` coalesces single-sample
+requests into micro-batches over a bounded admission queue, and a
+:class:`~repro.serve.metrics.ServerMetrics` layer exposes request
+counts, batch-size histograms, queue depth, and tail latencies as one
+JSON-able snapshot.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batching import BatchingQueue
+from repro.serve.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServeError,
+    ServerClosed,
+    UnknownModel,
+)
+from repro.serve.loadgen import (
+    LoadResult,
+    bench_serve,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.pricing import BatchCostModel, batch_scaled_graph
+from repro.serve.repository import LoadedModel, ModelRepository
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    PendingResult,
+)
+from repro.serve.server import InferenceServer, ServerConfig, serve_plans
+
+__all__ = [
+    "BatchCostModel",
+    "BatchingQueue",
+    "DeadlineExceeded",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceServer",
+    "LoadResult",
+    "LoadedModel",
+    "ModelRepository",
+    "Overloaded",
+    "PendingResult",
+    "ServeError",
+    "ServerClosed",
+    "ServerConfig",
+    "ServerMetrics",
+    "UnknownModel",
+    "batch_scaled_graph",
+    "bench_serve",
+    "run_closed_loop",
+    "run_open_loop",
+    "serve_plans",
+]

@@ -1,0 +1,71 @@
+"""Typed failure modes of the serving layer.
+
+Every way a request can fail is a distinct exception type, so clients
+(and the load generators) can distinguish *shed* traffic from *broken*
+traffic programmatically instead of parsing messages.  All of them
+derive from :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+    #: Stable machine-readable code, mirrored into metrics counters.
+    code = "error"
+
+
+class Overloaded(ServeError):
+    """Admission control shed this request: the bounded queue is full.
+
+    This is backpressure, not breakage — the server rejects at the
+    door so accepted requests keep a bounded queueing delay instead of
+    every request's latency growing without limit.  Clients should
+    back off and retry.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, model: str, queue_depth: int) -> None:
+        super().__init__(
+            f"server overloaded: queue of {queue_depth} requests is full "
+            f"(model {model!r})")
+        self.model = model
+        self.queue_depth = queue_depth
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before execution started."""
+
+    code = "deadline_exceeded"
+
+    def __init__(self, model: str, deadline_ms: float, waited_ms: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_ms:.0f} ms exceeded after waiting "
+            f"{waited_ms:.0f} ms in queue (model {model!r})")
+        self.model = model
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
+
+
+class UnknownModel(ServeError):
+    """The request named a model the repository has never registered."""
+
+    code = "unknown_model"
+
+    def __init__(self, model: str, known) -> None:
+        known = sorted(known)
+        hint = f"; registered: {', '.join(known)}" if known else ""
+        super().__init__(f"unknown model {model!r}{hint}")
+        self.model = model
+        self.known = known
+
+
+class ServerClosed(ServeError):
+    """The server is draining or stopped and admits no new requests."""
+
+    code = "server_closed"
+
+    def __init__(self) -> None:
+        super().__init__("server is shut down and admits no new requests")

@@ -1,0 +1,185 @@
+"""Server observability: counters, histograms, and tail latencies.
+
+One :class:`ServerMetrics` instance is shared by every worker thread;
+all mutation happens under one lock (the guarded sections are a few
+appends and integer bumps, orders of magnitude cheaper than the
+inference they account for).  ``snapshot()`` returns a plain JSON-able
+dict so the CLI, the load harness, and CI can consume it directly.
+
+Latency percentiles come from bounded per-model reservoirs: the first
+``reservoir_size`` samples are kept verbatim, after which uniform
+reservoir sampling (Vitter's Algorithm R, deterministic seed) keeps
+the reservoir an unbiased sample of the whole stream.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional
+
+DEFAULT_RESERVOIR_SIZE = 4096
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+class _ModelStats:
+    """Per-model accumulators (guarded by the owning metrics lock)."""
+
+    __slots__ = ("completed", "latency_ms", "queue_ms", "seen",
+                 "device_us_total", "wall_ms_total", "reservoir_size", "rng")
+
+    def __init__(self, reservoir_size: int, seed: int) -> None:
+        self.completed = 0
+        self.seen = 0            # latency samples observed (reservoir input)
+        self.latency_ms: List[float] = []
+        self.queue_ms: List[float] = []
+        self.device_us_total = 0.0
+        self.wall_ms_total = 0.0
+        self.reservoir_size = reservoir_size
+        self.rng = random.Random(seed)
+
+    def observe(self, latency_ms: float, queue_ms: float,
+                device_us: float) -> None:
+        self.completed += 1
+        self.seen += 1
+        self.device_us_total += device_us
+        self.wall_ms_total += latency_ms
+        if len(self.latency_ms) < self.reservoir_size:
+            self.latency_ms.append(latency_ms)
+            self.queue_ms.append(queue_ms)
+        else:
+            slot = self.rng.randrange(self.seen)
+            if slot < self.reservoir_size:
+                self.latency_ms[slot] = latency_ms
+                self.queue_ms[slot] = queue_ms
+
+
+class ServerMetrics:
+    """Thread-safe request/batch/latency accounting for one server."""
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+        self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self.submitted = 0
+        self.rejected_overloaded = 0
+        self.rejected_unknown_model = 0
+        self.rejected_closed = 0
+        self.expired_deadline = 0
+        self.failed = 0
+        self.completed = 0
+        self.batches = 0
+        #: batch size -> number of micro-batches executed at that size.
+        self.batch_histogram: Dict[int, int] = {}
+        self.device_busy_us = 0.0
+        self.host_exec_ms = 0.0
+        self._models: Dict[str, _ModelStats] = {}
+        #: Peak queue depth observed at submission time.
+        self.peak_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by server/queue code paths)
+    # ------------------------------------------------------------------
+    def record_submitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            if queue_depth > self.peak_queue_depth:
+                self.peak_queue_depth = queue_depth
+
+    def record_rejection(self, code: str) -> None:
+        with self._lock:
+            if code == "overloaded":
+                self.rejected_overloaded += 1
+            elif code == "unknown_model":
+                self.rejected_unknown_model += 1
+            elif code == "server_closed":
+                self.rejected_closed += 1
+            else:
+                self.failed += 1
+
+    def record_expired(self, count: int = 1) -> None:
+        with self._lock:
+            self.expired_deadline += count
+
+    def record_failed(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    def record_batch(self, model: str, batch_size: int,
+                     device_batch_us: float, host_ms: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_histogram[batch_size] = (
+                self.batch_histogram.get(batch_size, 0) + 1)
+            self.device_busy_us += device_batch_us
+            self.host_exec_ms += host_ms
+
+    def record_completed(self, model: str, latency_ms: float,
+                         queue_ms: float, device_us: float) -> None:
+        with self._lock:
+            self.completed += 1
+            stats = self._models.get(model)
+            if stats is None:
+                stats = self._models[model] = _ModelStats(
+                    self._reservoir_size, seed=len(self._models))
+            stats.observe(latency_ms, queue_ms, device_us)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        return (self.rejected_overloaded + self.rejected_unknown_model
+                + self.rejected_closed)
+
+    def snapshot(self, queue_depth: Optional[int] = None) -> Dict[str, Any]:
+        """A JSON-able point-in-time view of every metric."""
+        with self._lock:
+            batch_sizes = self.batch_histogram
+            mean_batch = (sum(k * v for k, v in batch_sizes.items())
+                          / self.batches if self.batches else 0.0)
+            models: Dict[str, Any] = {}
+            for name, stats in self._models.items():
+                device_s = stats.device_us_total / 1e6
+                models[name] = {
+                    "completed": stats.completed,
+                    "latency_p50_ms": percentile(stats.latency_ms, 50),
+                    "latency_p95_ms": percentile(stats.latency_ms, 95),
+                    "latency_p99_ms": percentile(stats.latency_ms, 99),
+                    "queue_p50_ms": percentile(stats.queue_ms, 50),
+                    "queue_p99_ms": percentile(stats.queue_ms, 99),
+                    "device_us_total": stats.device_us_total,
+                    #: Modelled-hardware throughput: completed requests
+                    #: over the device time their batches occupied.
+                    "device_throughput_rps": (
+                        stats.completed / device_s if device_s else 0.0),
+                    "mean_latency_ms": (stats.wall_ms_total / stats.completed
+                                        if stats.completed else 0.0),
+                }
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "rejected_overloaded": self.rejected_overloaded,
+                "rejected_unknown_model": self.rejected_unknown_model,
+                "rejected_closed": self.rejected_closed,
+                "expired_deadline": self.expired_deadline,
+                "failed": self.failed,
+                "batches": self.batches,
+                "mean_batch_size": mean_batch,
+                "batch_histogram": {str(k): v for k, v in
+                                    sorted(batch_sizes.items())},
+                "device_busy_us": self.device_busy_us,
+                "host_exec_ms": self.host_exec_ms,
+                "peak_queue_depth": self.peak_queue_depth,
+                "queue_depth": queue_depth if queue_depth is not None else 0,
+                "models": models,
+            }

@@ -1,0 +1,114 @@
+"""Pricing micro-batches on the modelled PIM/GPU hardware.
+
+Execution plans are compiled at batch 1 (the paper's design point).
+Serving executes micro-batches, so the server needs the *modelled
+device time* of the plan's schedule at batch B — that is where dynamic
+batching wins: small per-sample kernels under-utilize the GPU's SIMT
+resources, and batching recovers utilization while launch and sync
+overheads amortize over the batch, exactly as on real hardware (the
+paper's Fig. 8 batch-sensitivity story).
+
+:func:`batch_scaled_graph` rewrites the leading (batch) dimension of
+every activation tensor of a compiled graph — initializers and the
+node structure are untouched, so the plan's placements, splits, and
+elisions price exactly as compiled, just at batch B.
+:class:`BatchCostModel` memoizes one schedule evaluation per
+(graph version, batch), so the serving hot path never re-prices a
+batch size it has seen.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.runtime.engine import ExecutionEngine, RunResult
+
+
+def batch_scaled_graph(graph: Graph, batch: int) -> Graph:
+    """A clone of ``graph`` with every activation's batch dim set to B.
+
+    Only rank>=2 non-initializer tensors whose leading dimension is 1
+    are scaled — compiled plans declare batch-1 shapes, and every
+    transform in the repertoire (H-axis MD-DP splits, pipeline stages,
+    channel groups) leaves the batch dimension alone, so this is a
+    faithful batch-B view of the same schedule.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    scaled = graph.clone()
+    if batch == 1:
+        return scaled
+    for name, info in list(scaled.tensors.items()):
+        if name in scaled.initializers:
+            continue
+        shape = tuple(info.shape)
+        if len(shape) >= 2 and shape[0] == 1:
+            scaled.tensors[name] = info.with_shape((batch,) + shape[1:])
+    scaled.touch()
+    return scaled
+
+
+class BatchCostModel:
+    """Memoized modelled cost of one plan's graph at any batch size.
+
+    Thread-safe: concurrent workers pricing the same (version, batch)
+    may race to compute it, but both compute the same deterministic
+    result and the last write wins — correctness never depends on the
+    lock covering the schedule evaluation itself.
+    """
+
+    def __init__(self, engine: ExecutionEngine, graph: Graph) -> None:
+        self.engine = engine
+        self.graph = graph
+        self._lock = threading.Lock()
+        self._memo: Dict[Tuple[int, int], RunResult] = {}
+
+    def run_result(self, batch: int) -> RunResult:
+        """The full modelled schedule of one batch-B launch."""
+        key = (self.graph.version, batch)
+        with self._lock:
+            cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self.engine.run(batch_scaled_graph(self.graph, batch))
+        with self._lock:
+            self._memo[key] = result
+        return result
+
+    def batch_makespan_us(self, batch: int) -> float:
+        """Modelled device time of one batch-B launch of the plan."""
+        return self.run_result(batch).makespan_us
+
+    def per_sample_us(self, batch: int) -> float:
+        return self.batch_makespan_us(batch) / batch
+
+    def throughput_rps(self, batch: int) -> float:
+        """Modelled steady-state requests/second at fixed batch B."""
+        makespan = self.batch_makespan_us(batch)
+        return batch / (makespan / 1e6) if makespan > 0 else 0.0
+
+    def batching_win(self, batch: int) -> float:
+        """Throughput of batch-B serving relative to batch-1 serving."""
+        base = self.throughput_rps(1)
+        return self.throughput_rps(batch) / base if base > 0 else 0.0
+
+    def profile(self, batches=(1, 2, 4, 8)) -> Dict[int, Dict[str, float]]:
+        """Makespan/throughput table over a batch-size sweep."""
+        out: Dict[int, Dict[str, float]] = {}
+        for b in batches:
+            out[b] = {
+                "makespan_us": self.batch_makespan_us(b),
+                "per_sample_us": self.per_sample_us(b),
+                "throughput_rps": self.throughput_rps(b),
+                "win_vs_batch1": self.batching_win(b),
+            }
+        return out
+
+
+def batch_makespan_us(engine: ExecutionEngine, graph: Graph,
+                      batch: int,
+                      model: Optional[BatchCostModel] = None) -> float:
+    """One-shot convenience wrapper over :class:`BatchCostModel`."""
+    return (model or BatchCostModel(engine, graph)).batch_makespan_us(batch)

@@ -1,0 +1,201 @@
+"""Multi-model registry backing the inference server.
+
+A :class:`ModelRepository` maps serving names to execution plans and
+hands workers fully-loaded entries — a
+:class:`~repro.runtime.executor.PlanExecutor` (host numerics) plus a
+:class:`~repro.serve.pricing.BatchCostModel` (modelled device time).
+Models register three ways:
+
+* an in-memory :class:`~repro.plan.artifact.ExecutionPlan`,
+* a plan artifact path (loaded lazily on first request),
+* a registry model name compiled lazily on first request through the
+  existing :class:`~repro.pimflow.Compiler` (compile-on-first-request).
+
+Loaded entries live in a bounded LRU: registrations are cheap and
+unlimited, but at most ``capacity`` models hold compiled executables
+and arenas at once — the eviction victim's plan/path/recipe stays
+registered and reloads transparently on its next request.
+
+Thread safety: the map and LRU order are guarded by one lock; the
+expensive load/compile runs outside it under a per-entry lock, so two
+workers requesting the same cold model build it once while requests
+for other models proceed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.plan.artifact import ExecutionPlan
+from repro.runtime.executor import PlanExecutor
+from repro.serve.errors import UnknownModel
+from repro.serve.pricing import BatchCostModel
+
+DEFAULT_CAPACITY = 4
+
+
+@dataclass
+class LoadedModel:
+    """One servable model: plan, host executor, and device pricing."""
+
+    name: str
+    plan: ExecutionPlan
+    executor: PlanExecutor
+    cost: BatchCostModel
+
+    @property
+    def graph(self):
+        return self.plan.graph
+
+
+@dataclass
+class _Entry:
+    """Registration record; ``loaded`` is populated on first request."""
+
+    name: str
+    source: str                       # "plan" | "path" | "compile"
+    plan: Optional[ExecutionPlan] = None
+    path: Optional[Path] = None
+    build: Optional[Callable[[], ExecutionPlan]] = None
+    loaded: Optional[LoadedModel] = None
+    #: Serialized per-entry load/compile; never held with the map lock.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    loads: int = 0                    # times materialized (1 + reloads)
+
+
+def _load(entry: _Entry) -> LoadedModel:
+    if entry.source == "plan":
+        plan = entry.plan
+    elif entry.source == "path":
+        plan = ExecutionPlan.load(entry.path)
+    else:
+        plan = entry.build()
+    executor = PlanExecutor(plan)
+    return LoadedModel(name=entry.name, plan=plan, executor=executor,
+                       cost=BatchCostModel(executor.engine, plan.graph))
+
+
+class ModelRepository:
+    """Bounded-LRU registry of servable compiled models."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+        self._lru: List[str] = []     # least recent first, loaded only
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_plan(self, name: str,
+                      plan: Union[ExecutionPlan, str, Path]) -> None:
+        """Register an existing plan (object, or path to load lazily)."""
+        if isinstance(plan, ExecutionPlan):
+            entry = _Entry(name=name, source="plan", plan=plan)
+        else:
+            entry = _Entry(name=name, source="path", path=Path(plan))
+        self._register(entry)
+
+    def register_model(self, name: str, model: Optional[str] = None,
+                       config=None) -> None:
+        """Register a registry model, compiled on its first request.
+
+        ``model`` is a :mod:`repro.models` registry name (default: the
+        serving name itself); ``config`` is the
+        :class:`~repro.pimflow.PimFlowConfig` to compile under
+        (default configuration when omitted).
+        """
+        model_name = model or name
+
+        def build() -> ExecutionPlan:
+            from repro.models import build_model, normalize_model_name
+            from repro.pimflow import Compiler
+
+            resolved = normalize_model_name(model_name)
+            compiler = Compiler(config)
+            return compiler.build_plan(build_model(resolved),
+                                       model_name=resolved)
+
+        self._register(_Entry(name=name, source="compile", build=build))
+
+    def _register(self, entry: _Entry) -> None:
+        with self._lock:
+            old = self._entries.get(entry.name)
+            if old is not None and old.name in self._lru:
+                self._lru.remove(old.name)
+            self._entries[entry.name] = entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def get(self, name: str) -> LoadedModel:
+        """The loaded model for ``name``, materializing it if needed.
+
+        Raises :class:`~repro.serve.errors.UnknownModel` for names that
+        were never registered.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None and entry.loaded is not None:
+                self._touch(name)
+                return entry.loaded
+        if entry is None:
+            raise UnknownModel(name, self.names())
+        with entry.lock:
+            # Double-check: another worker may have loaded it while we
+            # waited on the entry lock.
+            with self._lock:
+                if entry.loaded is not None:
+                    self._touch(name)
+                    return entry.loaded
+            loaded = _load(entry)
+            entry.loads += 1
+            with self._lock:
+                entry.loaded = loaded
+                self._touch(name)
+                self._evict_over_capacity()
+            return loaded
+
+    def _touch(self, name: str) -> None:
+        """Move ``name`` to most-recently-used (lock held)."""
+        if name in self._lru:
+            self._lru.remove(name)
+        self._lru.append(name)
+
+    def _evict_over_capacity(self) -> None:
+        """Drop least-recently-used loaded executables (lock held)."""
+        while len(self._lru) > self.capacity:
+            victim = self._lru.pop(0)
+            entry = self._entries.get(victim)
+            if entry is not None:
+                entry.loaded = None
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "registered": len(self._entries),
+                "loaded": len(self._lru),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+                "lru": list(self._lru),
+                "loads": {n: e.loads for n, e in self._entries.items()
+                          if e.loads},
+            }

@@ -1,0 +1,111 @@
+"""Request/response types and the client-side completion handle.
+
+A request is one *single-sample* inference: feeds for every graph
+input of one registered model.  The server owns batching — clients
+never see batch composition except through the response's
+``batch_size`` telemetry field.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.serve.errors import ServeError
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class InferenceResponse:
+    """A completed request: outputs plus per-request telemetry."""
+
+    request_id: int
+    model: str
+    #: Output name -> array, byte-identical to a direct per-request
+    #: :meth:`repro.runtime.executor.PlanExecutor.infer` call.
+    outputs: Dict[str, np.ndarray]
+    #: Size of the micro-batch this request was served in.
+    batch_size: int
+    #: Wall-clock queueing delay (submit -> execution start).
+    queue_ms: float
+    #: Wall-clock end-to-end latency (submit -> completion).
+    latency_ms: float
+    #: Modelled device time of the whole micro-batch (one batched
+    #: launch on the simulated GPU+PIM hardware), and this request's
+    #: per-sample share of it.
+    device_batch_us: float
+    device_us: float
+
+
+class PendingResult:
+    """Completion handle handed back by ``InferenceServer.submit``.
+
+    A minimal future: the worker thread fulfils it exactly once with
+    either a response or a typed :class:`~repro.serve.errors.ServeError`.
+    """
+
+    __slots__ = ("_event", "_response", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: Optional[InferenceResponse] = None
+        self._error: Optional[BaseException] = None
+
+    # -- worker side ---------------------------------------------------
+    def set_response(self, response: InferenceResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- client side ---------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> InferenceResponse:
+        """Block for the outcome; raises the typed error on failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    def error(self) -> Optional[BaseException]:
+        """The failure, if any, without raising (None while pending)."""
+        return self._error
+
+
+@dataclass
+class InferenceRequest:
+    """One admitted single-sample request, as the queue carries it."""
+
+    model: str
+    feeds: Mapping[str, np.ndarray]
+    result: PendingResult = field(default_factory=PendingResult)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Relative deadline; the request is dropped (with a typed
+    #: :class:`~repro.serve.errors.DeadlineExceeded`) if execution has
+    #: not *started* within this many ms of submission.  None = no
+    #: deadline.
+    deadline_ms: Optional[float] = None
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    def waited_ms(self, now: Optional[float] = None) -> float:
+        now = time.perf_counter() if now is None else now
+        return (now - self.submitted_at) * 1e3
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (self.deadline_ms is not None
+                and self.waited_ms(now) > self.deadline_ms)
+
+    def fail(self, error: ServeError) -> None:
+        self.result.set_error(error)

@@ -46,3 +46,23 @@ def fc_graph():
     y = b.gemm(x, 48, name="fc0")
     b.output(y)
     return b.build()
+
+
+@pytest.fixture(scope="session")
+def toy_plan():
+    """The toy model compiled once (PIMFlow mechanism) for serving tests."""
+    from repro.models import build_model
+    from repro.pimflow import Compiler, PimFlowConfig
+
+    compiler = Compiler(PimFlowConfig(mechanism="pimflow"))
+    return compiler.build_plan(build_model("toy"), model_name="toy")
+
+
+@pytest.fixture(scope="session")
+def toy_gpu_plan():
+    """The toy model compiled once on the GPU baseline (serving A/B)."""
+    from repro.models import build_model
+    from repro.pimflow import Compiler, PimFlowConfig
+
+    compiler = Compiler(PimFlowConfig(mechanism="gpu"))
+    return compiler.build_plan(build_model("toy"), model_name="toy")

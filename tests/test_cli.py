@@ -101,6 +101,64 @@ class TestCommands:
         assert "Newton++" in capsys.readouterr().out
 
 
+class TestServing:
+    def test_stat_json(self, tmp_path, capsys):
+        assert main(["-m=stat", "-n=toy", "--json",
+                     f"--workdir={tmp_path}"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model"] == "toy"
+        assert data["predicted_time_us"] > 0
+        assert data["decisions"] >= 1
+        assert data["buffer_plan"]["arena_bytes"] > 0
+
+    def test_stat_plan_json(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", f"--plan={plan_path}",
+                     f"--workdir={tmp_path}"]) == 0
+        capsys.readouterr()
+        assert main(["-m=stat", f"--plan={plan_path}", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["model"] == "toy"
+        assert data["buffer_plan"]["arena_bytes"] > 0
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        assert main(["-m=serve", "-n=toy", "--clients=2", "--requests=2",
+                     "--json", f"--workdir={tmp_path}"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        (load,) = data["load"]
+        assert load["offered"] == 4
+        assert load["completed"] == 4
+        assert data["server"]["completed"] == 4
+
+    def test_serve_from_plan(self, tmp_path, capsys):
+        plan_path = tmp_path / "toy.plan.json"
+        assert main(["-m=compile", "-n=toy", f"--plan={plan_path}",
+                     "--with_weights", f"--workdir={tmp_path}"]) == 0
+        capsys.readouterr()
+        assert main(["-m=serve", "-n=toy", f"--plan={plan_path}",
+                     "--clients=2", "--requests=1",
+                     f"--workdir={tmp_path}"]) == 0
+        out = capsys.readouterr().out
+        assert "toy: 2/2 ok" in out
+        assert "[serve]" in out
+
+    def test_serve_rejects_unknown_net_in_list(self, tmp_path, capsys):
+        assert main(["-m=serve", "-n=toy,lenet",
+                     f"--workdir={tmp_path}"]) == 2
+        assert "lenet" in capsys.readouterr().err
+
+    def test_bench_serve_smoke(self, tmp_path, capsys):
+        assert main(["-m=bench-serve", "-n=toy", "--clients=4",
+                     "--requests=1", "--max-batch=4", "--json",
+                     f"--workdir={tmp_path}"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mechanism"] == "gpu"  # A/B defaults to GPU baseline
+        assert data["byte_identical"] is True
+        assert data["batch1"]["completed"] == 4
+        assert data["dynamic"]["completed"] == 4
+        assert data["device_win_ceiling"] > 1.0
+
+
 class TestPassObservability:
     def test_passes_mode_lists_registry(self, capsys):
         assert main(["-m=passes"]) == 0

@@ -1,0 +1,123 @@
+"""Tests for the engine's bounded, thread-safe executable cache."""
+
+import pickle
+import threading
+
+import numpy as np
+
+from repro.pimflow import PimFlow, PimFlowConfig
+from repro.runtime.verify import random_feeds
+
+
+def _engine():
+    return PimFlow(PimFlowConfig(mechanism="gpu")).engine
+
+
+class TestBoundedLru:
+    def test_repeat_infer_reuses_one_entry(self, small_conv_graph):
+        engine = _engine()
+        feeds = random_feeds(small_conv_graph, seed=0)
+        a = engine.infer(small_conv_graph, feeds)
+        b = engine.infer(small_conv_graph, feeds)
+        assert engine.executable_cache_stats() == {"entries": 1, "cap": 8}
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+
+    def test_cache_capped_with_lru_eviction(self, small_conv_graph,
+                                            pointwise_chain_graph, fc_graph):
+        engine = _engine()
+        engine.executable_cache_cap = 2
+        graphs = [small_conv_graph, pointwise_chain_graph, fc_graph]
+        for g in graphs:
+            engine.executable(g)
+        assert engine.executable_cache_stats()["entries"] == 2
+        # The oldest (small_conv_graph) was evicted; the newer two hit.
+        exe_chain = engine.executable(pointwise_chain_graph)
+        exe_fc = engine.executable(fc_graph)
+        assert engine.executable(pointwise_chain_graph) is exe_chain
+        assert engine.executable(fc_graph) is exe_fc
+        assert engine.executable_cache_stats()["entries"] == 2
+
+    def test_elide_variants_cached_separately(self, small_conv_graph):
+        engine = _engine()
+        a = engine.executable(small_conv_graph, elide=True)
+        b = engine.executable(small_conv_graph, elide=False)
+        assert a is not b
+        assert engine.executable_cache_stats()["entries"] == 2
+
+    def test_graph_version_bump_invalidates(self, small_conv_graph):
+        engine = _engine()
+        stale = engine.executable(small_conv_graph)
+        small_conv_graph.touch()
+        fresh = engine.executable(small_conv_graph)
+        assert fresh is not stale
+        # The stale version's entry was purged, not left to rot.
+        assert engine.executable_cache_stats()["entries"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_infer_same_graph(self, small_conv_graph):
+        """Many threads infer through one engine: results must match the
+        single-threaded answer bit-for-bit and the cache stays at one
+        entry."""
+        engine = _engine()
+        feeds = [random_feeds(small_conv_graph, seed=s) for s in range(8)]
+        expected = [engine.infer(small_conv_graph, f) for f in feeds]
+        results = [None] * len(feeds)
+        errors = []
+
+        def worker(i):
+            try:
+                for _ in range(3):
+                    results[i] = engine.infer(small_conv_graph, feeds[i])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(feeds))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for got, want in zip(results, expected):
+            for name in want:
+                assert np.array_equal(got[name], want[name])
+        assert engine.executable_cache_stats()["entries"] == 1
+
+    def test_concurrent_miss_storm_across_graphs(self, small_conv_graph,
+                                                 pointwise_chain_graph,
+                                                 fc_graph):
+        engine = _engine()
+        engine.executable_cache_cap = 2
+        graphs = [small_conv_graph, pointwise_chain_graph, fc_graph]
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(9):
+                    g = graphs[(seed + i) % len(graphs)]
+                    engine.infer(g, random_feeds(g, seed=0))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert engine.executable_cache_stats()["entries"] <= 2
+
+
+class TestPickling:
+    def test_pickle_drops_cache_and_rebuilds_lock(self, small_conv_graph):
+        engine = _engine()
+        engine.infer(small_conv_graph, random_feeds(small_conv_graph, seed=0))
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.executable_cache_stats()["entries"] == 0
+        # The rebuilt engine still infers (lock and cache recreated).
+        out = clone.infer(small_conv_graph,
+                          random_feeds(small_conv_graph, seed=0))
+        assert out

@@ -1,0 +1,165 @@
+"""Tests for the bounded admission queue and micro-batch formation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batching import BatchingQueue
+from repro.serve.errors import Overloaded, ServerClosed
+from repro.serve.request import InferenceRequest
+
+
+def _req(model="m"):
+    return InferenceRequest(model=model, feeds={})
+
+
+class TestAdmission:
+    def test_submit_returns_depth(self):
+        q = BatchingQueue(queue_depth=4)
+        assert q.submit(_req()) == 1
+        assert q.submit(_req()) == 2
+        assert len(q) == 2
+
+    def test_full_queue_sheds_with_typed_error(self):
+        q = BatchingQueue(queue_depth=2, max_wait_ms=0)
+        q.submit(_req())
+        q.submit(_req())
+        with pytest.raises(Overloaded) as exc:
+            q.submit(_req("m"))
+        assert exc.value.code == "overloaded"
+        assert exc.value.queue_depth == 2
+        # Shedding never grows the queue.
+        assert len(q) == 2
+
+    def test_submit_after_close_raises(self):
+        q = BatchingQueue()
+        q.close()
+        with pytest.raises(ServerClosed):
+            q.submit(_req())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BatchingQueue(queue_depth=0)
+        with pytest.raises(ValueError):
+            BatchingQueue(max_batch_size=0)
+
+
+class TestBatchFormation:
+    def test_fifo_single_model(self):
+        q = BatchingQueue(max_batch_size=8, max_wait_ms=0)
+        reqs = [_req() for _ in range(3)]
+        for r in reqs:
+            q.submit(r)
+        batch = q.next_batch(timeout_s=0.1)
+        assert batch == reqs
+
+    def test_batch_capped_at_max_batch_size(self):
+        q = BatchingQueue(max_batch_size=2, max_wait_ms=0)
+        reqs = [_req() for _ in range(5)]
+        for r in reqs:
+            q.submit(r)
+        assert q.next_batch(timeout_s=0.1) == reqs[:2]
+        assert q.next_batch(timeout_s=0.1) == reqs[2:4]
+        assert q.next_batch(timeout_s=0.1) == reqs[4:]
+
+    def test_model_affine_batches_preserve_other_model_order(self):
+        """A batch only mixes one model; skipped requests keep FIFO order."""
+        q = BatchingQueue(max_batch_size=8, max_wait_ms=0)
+        a1, b1, a2, b2 = _req("a"), _req("b"), _req("a"), _req("b")
+        for r in (a1, b1, a2, b2):
+            q.submit(r)
+        assert q.next_batch(timeout_s=0.1) == [a1, a2]
+        assert q.next_batch(timeout_s=0.1) == [b1, b2]
+
+    def test_linger_fills_batch_from_late_arrivals(self):
+        """Size-or-deadline: the head waits for coalescable arrivals."""
+        q = BatchingQueue(max_batch_size=4, max_wait_ms=500.0)
+        first = _req()
+        q.submit(first)
+        late = [_req() for _ in range(3)]
+
+        def feeder():
+            for r in late:
+                time.sleep(0.01)
+                q.submit(r)
+
+        t = threading.Thread(target=feeder)
+        t.start()
+        batch = q.next_batch(timeout_s=2.0)
+        t.join()
+        assert batch == [first] + late  # filled before the linger expired
+
+    def test_linger_deadline_releases_partial_batch(self):
+        q = BatchingQueue(max_batch_size=8, max_wait_ms=20.0)
+        q.submit(_req())
+        t0 = time.perf_counter()
+        batch = q.next_batch(timeout_s=2.0)
+        waited = time.perf_counter() - t0
+        assert len(batch) == 1
+        assert waited < 1.0  # released by the 20ms linger, not the timeout
+
+    def test_batch1_mode_never_lingers(self):
+        q = BatchingQueue(max_batch_size=1, max_wait_ms=10_000.0)
+        q.submit(_req())
+        t0 = time.perf_counter()
+        batch = q.next_batch(timeout_s=2.0)
+        assert len(batch) == 1
+        assert time.perf_counter() - t0 < 1.0
+
+
+class TestConsumerLifecycle:
+    def test_timeout_on_empty_queue_returns_none(self):
+        q = BatchingQueue()
+        assert q.next_batch(timeout_s=0.05) is None
+
+    def test_close_drains_then_signals_exit(self):
+        q = BatchingQueue(max_wait_ms=0)
+        r = _req()
+        q.submit(r)
+        q.close()
+        assert q.next_batch(timeout_s=0.1) == [r]
+        assert q.next_batch(timeout_s=0.1) is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = BatchingQueue()
+        out = []
+
+        def consumer():
+            out.append(q.next_batch())  # no timeout: blocks until close
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert out == [None]
+
+    def test_competing_workers_never_duplicate_requests(self):
+        """Every request is taken by exactly one worker."""
+        total = 200
+        q = BatchingQueue(queue_depth=total, max_batch_size=4,
+                          max_wait_ms=1.0)
+        taken = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                batch = q.next_batch(timeout_s=0.5)
+                if batch is None:
+                    return
+                with lock:
+                    taken.extend(batch)
+
+        workers = [threading.Thread(target=worker) for _ in range(4)]
+        for w in workers:
+            w.start()
+        reqs = [_req("a" if i % 3 else "b") for i in range(total)]
+        for r in reqs:
+            q.submit(r)
+        q.close()
+        for w in workers:
+            w.join(timeout=10.0)
+        assert len(taken) == total
+        assert {id(r) for r in taken} == {id(r) for r in reqs}

@@ -1,0 +1,106 @@
+"""Overload behavior: bounded queue, typed shedding, bounded tail.
+
+The acceptance scenario: offered load beyond capacity against a
+bounded queue of depth Q must produce typed ``Overloaded`` rejections
+(never silent drops) while the latency of *accepted* requests stays
+bounded by what Q requests in front can cost.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (
+    InferenceServer,
+    ModelRepository,
+    Overloaded,
+    ServerConfig,
+)
+from repro.serve.loadgen import feeds_for, run_open_loop
+
+
+def _slow_server(plan, queue_depth, work_s=0.01, workers=1):
+    """A server whose per-batch host work is padded to ``work_s``."""
+    repo = ModelRepository()
+    repo.register_plan("toy", plan)
+    loaded = repo.get("toy")
+    real_infer = loaded.executor.infer
+
+    def slow_infer(feeds, **kwargs):
+        time.sleep(work_s)
+        return real_infer(feeds, **kwargs)
+
+    loaded.executor.infer = slow_infer
+    return InferenceServer(repo, ServerConfig(
+        workers=workers, queue_depth=queue_depth,
+        max_batch_size=1, max_wait_ms=0))
+
+
+class TestOverload:
+    def test_sustained_overload_sheds_typed_and_bounds_tail(self, toy_plan):
+        work_s = 0.02
+        queue_depth = 4
+        server = _slow_server(toy_plan, queue_depth, work_s=work_s)
+        with server:
+            # Offered ~5x capacity (capacity = 1/work_s = 50 rps).
+            result = run_open_loop(server, "toy", rate_rps=250,
+                                   duration_s=1.0)
+        snap = result.server_stats
+
+        # Conservation: every offered request has exactly one outcome.
+        assert result.offered == (result.completed + result.rejected
+                                  + result.expired + result.failed)
+        assert result.failed == 0
+        # Overload was real and shedding was typed.
+        assert result.rejected > 0
+        assert snap["rejected_overloaded"] == result.rejected
+        assert result.completed > 0
+        # The queue never grew past its bound.
+        assert snap["peak_queue_depth"] <= queue_depth
+
+        # Accepted-latency bound: a request admitted behind a full
+        # queue waits for at most Q in-flight units of work (plus its
+        # own).  Generous 5x slack for scheduler noise on CI.
+        bound_ms = (queue_depth + 2) * work_s * 1e3 * 5
+        assert result.p(99) < bound_ms, (
+            f"accepted p99 {result.p(99):.1f} ms exceeds bound "
+            f"{bound_ms:.1f} ms — queueing is not bounded")
+
+    def test_rejection_is_immediate_not_queued(self, toy_plan):
+        server = _slow_server(toy_plan, queue_depth=1, work_s=0.2)
+        with server:
+            # Fill the worker + the single queue slot.
+            first = server.submit("toy", feeds_for(toy_plan.graph, 0))
+            time.sleep(0.05)  # let the worker take `first`
+            second = server.submit("toy", feeds_for(toy_plan.graph, 1))
+            t0 = time.perf_counter()
+            with pytest.raises(Overloaded) as exc:
+                server.submit("toy", feeds_for(toy_plan.graph, 2))
+            reject_ms = (time.perf_counter() - t0) * 1e3
+            assert reject_ms < 50, "shedding must not block"
+            assert exc.value.queue_depth == 1
+            first.result(timeout=30.0)
+            second.result(timeout=30.0)
+        assert server.stats()["rejected_overloaded"] == 1
+
+    def test_no_silent_drops_under_burst(self, toy_plan):
+        """Every burst request resolves: a response or a typed error."""
+        server = _slow_server(toy_plan, queue_depth=2, work_s=0.01)
+        outcomes = []
+        with server:
+            handles = []
+            for i in range(32):
+                try:
+                    handles.append(server.submit(
+                        "toy", feeds_for(toy_plan.graph, i)))
+                except Overloaded:
+                    outcomes.append("rejected")
+            for h in handles:
+                try:
+                    h.result(timeout=30.0)
+                    outcomes.append("completed")
+                except Exception:
+                    outcomes.append("failed")
+        assert len(outcomes) == 32
+        assert "failed" not in outcomes
+        assert outcomes.count("completed") >= 1

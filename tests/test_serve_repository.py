@@ -1,0 +1,151 @@
+"""Tests for the multi-model repository: LRU, lazy loads, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.serve import LoadedModel, ModelRepository, UnknownModel
+
+
+class TestRegistration:
+    def test_register_plan_object(self, toy_plan):
+        repo = ModelRepository()
+        repo.register_plan("toy", toy_plan)
+        assert "toy" in repo
+        assert repo.names() == ["toy"]
+        loaded = repo.get("toy")
+        assert isinstance(loaded, LoadedModel)
+        assert loaded.plan is toy_plan
+        assert loaded.graph is toy_plan.graph
+
+    def test_register_plan_path_loads_lazily(self, toy_plan, tmp_path):
+        path = tmp_path / "plan.json"
+        toy_plan.save(path, include_weights=True)
+        repo = ModelRepository()
+        repo.register_plan("toy", path)
+        assert repo.stats()["loaded"] == 0  # nothing materialized yet
+        loaded = repo.get("toy")
+        assert loaded.plan.graph.name == toy_plan.graph.name
+        assert repo.stats()["loaded"] == 1
+
+    def test_register_model_compiles_on_first_request(self):
+        repo = ModelRepository()
+        repo.register_model("toy")
+        assert repo.stats()["loaded"] == 0
+        loaded = repo.get("toy")
+        assert loaded.plan.provenance.get("model") == "toy"
+        # Second get reuses the compiled entry.
+        assert repo.get("toy") is loaded
+        assert repo.stats()["loads"] == {"toy": 1}
+
+    def test_unknown_model_raises_typed_error(self, toy_plan):
+        repo = ModelRepository()
+        repo.register_plan("toy", toy_plan)
+        with pytest.raises(UnknownModel) as exc:
+            repo.get("missing")
+        assert exc.value.code == "unknown_model"
+        assert exc.value.known == ["toy"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRepository(capacity=0)
+
+
+class TestLru:
+    def test_eviction_over_capacity_keeps_registration(self, toy_plan):
+        repo = ModelRepository(capacity=2)
+        for name in ("a", "b", "c"):
+            repo.register_plan(name, toy_plan)
+        repo.get("a")
+        repo.get("b")
+        repo.get("c")  # evicts "a"
+        stats = repo.stats()
+        assert stats["loaded"] == 2
+        assert stats["lru"] == ["b", "c"]
+        assert stats["evictions"] == 1
+        assert "a" in repo  # still registered, reloads transparently
+        repo.get("a")       # evicts "b"
+        assert repo.stats()["lru"] == ["c", "a"]
+
+    def test_get_refreshes_recency(self, toy_plan):
+        repo = ModelRepository(capacity=2)
+        for name in ("a", "b", "c"):
+            repo.register_plan(name, toy_plan)
+        repo.get("a")
+        repo.get("b")
+        repo.get("a")  # a is now most recent
+        repo.get("c")  # evicts b, not a
+        assert repo.stats()["lru"] == ["a", "c"]
+
+    def test_eviction_victim_reloads(self, toy_plan, tmp_path):
+        path = tmp_path / "plan.json"
+        toy_plan.save(path, include_weights=True)
+        repo = ModelRepository(capacity=1)
+        repo.register_plan("a", path)
+        repo.register_plan("b", path)
+        first = repo.get("a")
+        repo.get("b")  # evicts a
+        second = repo.get("a")  # reload
+        assert second is not first
+        assert repo.stats()["loads"]["a"] == 2
+
+    def test_reregistration_replaces_loaded_entry(self, toy_plan):
+        repo = ModelRepository()
+        repo.register_plan("toy", toy_plan)
+        first = repo.get("toy")
+        repo.register_plan("toy", toy_plan)
+        assert repo.get("toy") is not first
+
+
+class TestConcurrency:
+    def test_concurrent_cold_get_loads_once(self, toy_plan, tmp_path):
+        path = tmp_path / "plan.json"
+        toy_plan.save(path, include_weights=True)
+        repo = ModelRepository()
+        repo.register_plan("toy", path)
+        barrier = threading.Barrier(8)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            loaded = repo.get("toy")
+            with lock:
+                results.append(loaded)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert len({id(r) for r in results}) == 1  # one shared load
+        assert repo.stats()["loads"]["toy"] == 1
+
+    def test_concurrent_gets_across_models_with_eviction(self, toy_plan):
+        """Hammer a capacity-2 repository from threads across 4 names;
+        every get returns a usable loaded model and stats stay sane."""
+        repo = ModelRepository(capacity=2)
+        names = ["m0", "m1", "m2", "m3"]
+        for name in names:
+            repo.register_plan(name, toy_plan)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(12):
+                    loaded = repo.get(names[(seed + i) % len(names)])
+                    assert loaded.executor is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = repo.stats()
+        assert stats["loaded"] <= 2
+        assert stats["registered"] == 4

@@ -1,0 +1,156 @@
+"""Tests for the inference server: byte-identity, metrics, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import PlanExecutor
+from repro.serve import (
+    InferenceServer,
+    ModelRepository,
+    ServerConfig,
+    UnknownModel,
+    serve_plans,
+)
+from repro.serve.loadgen import feeds_for, run_closed_loop
+
+
+def _server(plan, **kwargs):
+    repo = ModelRepository()
+    repo.register_plan("toy", plan)
+    defaults = dict(workers=2, max_batch_size=4, max_wait_ms=20.0)
+    defaults.update(kwargs)
+    return InferenceServer(repo, ServerConfig(**defaults))
+
+
+class TestByteIdentity:
+    def test_batched_serving_matches_per_request_infer(self, toy_plan):
+        """Acceptance: results are byte-identical to direct
+        ``PlanExecutor.infer``, no matter how requests were batched."""
+        n = 12
+        feeds = [feeds_for(toy_plan.graph, seed=i) for i in range(n)]
+        direct = PlanExecutor(toy_plan)
+        expected = [direct.infer(f) for f in feeds]
+
+        # Submit asynchronously so requests pile up and coalesce.
+        with _server(toy_plan, workers=1, max_wait_ms=50.0) as server:
+            handles = [server.submit("toy", f) for f in feeds]
+            got = [h.result(timeout=60.0) for h in handles]
+
+        batched = [r for r in got if r.batch_size > 1]
+        assert batched, "workload never coalesced; batching untested"
+        for resp, want in zip(got, expected):
+            assert set(resp.outputs) == set(want)
+            for name in want:
+                # Bitwise equality, not allclose: batching must not
+                # perturb numerics at all.
+                assert np.array_equal(resp.outputs[name], want[name]), (
+                    f"request {resp.request_id} output {name} differs "
+                    f"(batch_size={resp.batch_size})")
+
+    def test_response_telemetry_is_consistent(self, toy_plan):
+        with _server(toy_plan) as server:
+            resp = server.infer("toy", feeds_for(toy_plan.graph, 0))
+        assert resp.model == "toy"
+        assert resp.batch_size >= 1
+        assert resp.latency_ms >= resp.queue_ms >= 0.0
+        assert resp.device_batch_us > 0
+        assert resp.device_us == pytest.approx(
+            resp.device_batch_us / resp.batch_size)
+
+
+class TestMetrics:
+    def test_snapshot_accounting_balances(self, toy_plan):
+        with _server(toy_plan) as server:
+            result = run_closed_loop(server, "toy", clients=3,
+                                     requests_per_client=4)
+            snap = server.stats()
+        assert result.completed == result.offered == 12
+        assert snap["submitted"] == 12
+        assert snap["completed"] == 12
+        # Every submitted request is accounted for exactly once.
+        assert (snap["completed"] + snap["rejected"]
+                + snap["expired_deadline"] + snap["failed"]) == 12
+        sizes = {int(k): v for k, v in snap["batch_histogram"].items()}
+        assert sum(k * v for k, v in sizes.items()) == 12
+        assert sum(sizes.values()) == snap["batches"]
+        assert max(sizes) <= 4  # never beyond max_batch_size
+        assert snap["mean_batch_size"] == pytest.approx(12 / snap["batches"])
+        model = snap["models"]["toy"]
+        assert model["completed"] == 12
+        assert model["latency_p99_ms"] >= model["latency_p50_ms"] > 0
+        assert model["device_throughput_rps"] > 0
+        assert snap["repository"]["loaded"] == 1
+        assert snap["config"]["max_batch_size"] == 4
+
+    def test_unknown_model_is_typed_and_counted(self, toy_plan):
+        with _server(toy_plan) as server:
+            with pytest.raises(UnknownModel) as exc:
+                server.infer("nope", {})
+            assert "toy" in exc.value.known
+            assert server.stats()["rejected_unknown_model"] == 1
+
+
+class TestDeadlines:
+    def test_expired_request_gets_typed_error(self, toy_plan):
+        from repro.serve import DeadlineExceeded
+
+        repo = ModelRepository()
+        repo.register_plan("toy", toy_plan)
+        server = InferenceServer(repo, ServerConfig(
+            workers=1, max_batch_size=1, max_wait_ms=0))
+        # Submit before starting workers so the deadline lapses queued.
+        handle = server.submit("toy", feeds_for(toy_plan.graph, 0),
+                               deadline_ms=0.0)
+        import time
+        time.sleep(0.01)
+        with server:
+            with pytest.raises(DeadlineExceeded) as exc:
+                handle.result(timeout=10.0)
+        assert exc.value.code == "deadline_exceeded"
+        assert server.stats()["expired_deadline"] == 1
+
+
+class TestLifecycle:
+    def test_stop_without_drain_fails_queued_requests(self, toy_plan):
+        from repro.serve import ServerClosed
+
+        repo = ModelRepository()
+        repo.register_plan("toy", toy_plan)
+        server = InferenceServer(repo)  # never started: nothing drains
+        handle = server.submit("toy", feeds_for(toy_plan.graph, 0))
+        server.stop(drain=False)
+        with pytest.raises(ServerClosed):
+            handle.result(timeout=1.0)
+
+    def test_submit_after_stop_raises(self, toy_plan):
+        from repro.serve import ServerClosed
+
+        server = _server(toy_plan)
+        with server:
+            pass
+        with pytest.raises(ServerClosed):
+            server.submit("toy", feeds_for(toy_plan.graph, 0))
+
+    def test_serve_plans_helper(self, toy_plan):
+        server = serve_plans({"a": toy_plan, "b": toy_plan})
+        assert sorted(server.repository.names()) == ["a", "b"]
+        with server:
+            resp = server.infer("b", feeds_for(toy_plan.graph, 1))
+        assert resp.model == "b"
+
+    def test_two_models_one_server(self, toy_plan, toy_gpu_plan):
+        """Model-affine batching across interleaved multi-model load."""
+        server = serve_plans({"pim": toy_plan, "gpu": toy_gpu_plan},
+                             ServerConfig(workers=2, max_batch_size=4,
+                                          max_wait_ms=10.0))
+        with server:
+            handles = []
+            for i in range(8):
+                model = "pim" if i % 2 else "gpu"
+                handles.append((model, server.submit(
+                    model, feeds_for(toy_plan.graph, i))))
+            for model, h in handles:
+                assert h.result(timeout=30.0).model == model
+        snap = server.stats()
+        assert snap["completed"] == 8
+        assert set(snap["models"]) == {"pim", "gpu"}
