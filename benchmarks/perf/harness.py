@@ -24,12 +24,25 @@ noise):
   ``PimFlow.compile`` on a fresh toolchain (cold: nothing memoized)
   and a second compile on the same toolchain (repeat: measurement memo
   and cost caches warm).
+* ``numerical.<model>.compiled_batch8_ms`` / ``parallel_ms`` —
+  compiled repeat inference at batch 8, serial vs the operator-parallel
+  scheduler at 4 workers (same executable API, ``workers=4``).  The
+  parallel schedule is byte-identical to serial; the delta is pure
+  host-threading yield, so on a single-core runner the two track each
+  other and on multi-core the branchy models (shufflenet) pull ahead.
 * ``serve.<model>.batch1_rps`` / ``dynamic_rps`` / ``win`` — modelled
   device throughput of the serving layer's A/B (per-request batch-1 vs
   dynamic micro-batching at max-batch 8 on the GPU-baseline plan), and
   ``serve.<model>.p99_ms`` — accepted-request wall p99 under the
   dynamic configuration.  ``_rps``/``win`` metrics are
   higher-is-better; :func:`compare` inverts the ratio for them.
+* ``serve.<model>.host_rps`` / ``host_locked_rps`` / ``host_win`` —
+  *measured wall-clock* host throughput of a 4-worker server driven
+  closed-loop at max-batch 1: with the bounded execution-state pool
+  (4 states, workers truly concurrent) vs artificially capped at one
+  state (every worker serialized on a single arena — the pre-pool
+  behaviour).  Unlike the modelled ``win`` this is real host time; the
+  gap scales with physical cores.
 
 Everything is pure in-process timing of deterministic code — no disk
 cache, no worker processes — so results are comparable across runs on
@@ -102,6 +115,18 @@ def bench_numerical(model: str, batches: Iterable[int],
             # Footprint includes binding: the arena is the live set.
             metrics[f"numerical.{model}.compiled_peak_mb"] = _peak_mb(
                 lambda: CompiledExecutable(graph).run(feeds))
+        elif batch >= 4:
+            # Operator-parallel scheduler A/B at the batch size where
+            # batch sharding engages.  Both paths are byte-identical to
+            # the interpreted oracle; the delta is host threading.
+            exe_serial = CompiledExecutable(graph, workers=1)
+            exe_serial.run(feeds)
+            metrics[f"numerical.{model}.compiled_batch{batch}_ms"] = \
+                _best_of(lambda: exe_serial.run(feeds), rounds)
+            exe_par = CompiledExecutable(graph, workers=4)
+            exe_par.run(feeds)
+            metrics[f"numerical.{model}.parallel_ms"] = _best_of(
+                lambda: exe_par.run(feeds), rounds)
     return metrics
 
 
@@ -198,6 +223,45 @@ def bench_serving(model: str) -> Dict[str, float]:
     }
 
 
+def bench_host_concurrency(model: str) -> Dict[str, float]:
+    """Measured host throughput: pooled states vs a single shared one.
+
+    Drives a 4-worker server closed-loop at max-batch 1 (every request
+    is one host inference; batching contributes nothing) twice over the
+    same compiled plan: ``host_states=4`` lets the workers run on
+    distinct pooled execution states, ``host_states=1`` recreates the
+    old single-arena serialization.  Both report *wall-clock* requests
+    per second — this is the measured (not modelled) number, so the
+    ratio ``host_win`` is bounded by physical cores: ~1x on a 1-core CI
+    runner, approaching the worker count on real multi-core hosts.
+    """
+    from repro.models import build_model, normalize_model_name
+    from repro.pimflow import Compiler, PimFlowConfig
+    from repro.serve import InferenceServer, ModelRepository, ServerConfig
+    from repro.serve.loadgen import run_closed_loop
+
+    resolved = normalize_model_name(model)
+    plan = Compiler(PimFlowConfig(mechanism="gpu")).build_plan(
+        build_model(resolved), model_name=resolved)
+    rps: Dict[str, float] = {}
+    for states, key in ((1, "host_locked_rps"), (4, "host_rps")):
+        repo = ModelRepository()
+        repo.register_plan(model, plan)
+        server = InferenceServer(repo, ServerConfig(
+            workers=4, max_batch_size=1, max_wait_ms=0.0,
+            queue_depth=64, host_states=states))
+        with server:
+            result = run_closed_loop(server, model, clients=4,
+                                     requests_per_client=4)
+        rps[key] = result.wall_rps
+    locked = rps["host_locked_rps"]
+    return {
+        f"serve.{model}.host_rps": rps["host_rps"],
+        f"serve.{model}.host_locked_rps": locked,
+        f"serve.{model}.host_win": rps["host_rps"] / locked if locked else 0.0,
+    }
+
+
 def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
                    batches: Iterable[int] = DEFAULT_BATCHES,
                    rounds: int = DEFAULT_ROUNDS,
@@ -216,6 +280,9 @@ def run_benchmarks(models: Iterable[str] = DEFAULT_MODELS,
         if model in SERVE_MODELS:
             progress(f"[perf] serve A/B {model} (batch-1 vs dynamic) ...")
             metrics.update(bench_serving(model))
+            progress(f"[perf] host concurrency {model} "
+                     f"(pooled vs locked states) ...")
+            metrics.update(bench_host_concurrency(model))
     return {
         "schema": SCHEMA_VERSION,
         "config": {
@@ -247,10 +314,11 @@ def higher_is_better(metric: str) -> bool:
     """Throughput-style metrics regress when they *drop*.
 
     Everything else in the harness is a time or footprint (smaller is
-    better); ``_rps`` suffixes and the serving ``win`` ratio are the
-    higher-is-better family.
+    better); ``_rps`` suffixes and the serving win ratios (``.win``,
+    ``host_win``) are the higher-is-better family.
     """
-    return metric.endswith("_rps") or metric.endswith(".win")
+    return (metric.endswith("_rps") or metric.endswith(".win")
+            or metric.endswith("_win"))
 
 
 def compare(baseline: Dict[str, object], current: Dict[str, object],

@@ -71,7 +71,7 @@ def main(argv=None) -> int:
             unit = "mb"
         elif name.endswith("_rps"):
             unit = "rps"
-        elif name.endswith(".win"):
+        elif name.endswith(".win") or name.endswith("_win"):
             unit = "x"
         else:
             unit = "ms"

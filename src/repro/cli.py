@@ -174,6 +174,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "inference through the buffer-planned compiled "
                              "executor (--no-compiled falls back to the "
                              "interpreted reference executor)")
+    parser.add_argument("--host-workers", dest="host_workers",
+                        type=_jobs_arg, default=None,
+                        help="operator-parallel threads inside each host "
+                             "inference: 1 = serial (default), N = dispatch "
+                             "up to N ready steps at once, 0 = one per CPU "
+                             "core; the REPRO_HOST_WORKERS environment "
+                             "variable sets the default")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable JSON output (stat, serve, "
                              "bench-serve)")
@@ -207,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="per-request deadline; requests not started "
                             "within it fail with DeadlineExceeded")
+    serve.add_argument("--threads", dest="host_threads", type=_jobs_arg,
+                       default=None,
+                       help="serving alias for --host-workers: "
+                            "operator-parallel threads inside each host "
+                            "inference executed by a server worker")
+    serve.add_argument("--host-states", dest="host_states", type=int,
+                       default=None,
+                       help="pooled execution states per compiled program "
+                            "(bounds concurrent arenas; default 4)")
     return parser
 
 
@@ -393,14 +409,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         # compiled executor (or the interpreter with --no-compiled).
         # Printed before the schedule line: scripts parse the final
         # line for the makespan.
+        from repro.runtime.hostpool import resolve_host_workers
         from repro.runtime.verify import random_feeds
         feeds = random_feeds(plan.graph, seed=0)
+        workers = resolve_host_workers(args.host_workers)
         mode = "compiled" if args.compiled else "interpreted"
+        if args.compiled and workers > 1:
+            mode += f", {workers} workers"
         start = time.perf_counter()
-        executor.infer(feeds, compiled=args.compiled)
+        executor.infer(feeds, compiled=args.compiled,
+                       workers=args.host_workers)
         first_ms = (time.perf_counter() - start) * 1e3
         start = time.perf_counter()
-        executor.infer(feeds, compiled=args.compiled)
+        executor.infer(feeds, compiled=args.compiled,
+                       workers=args.host_workers)
         repeat_ms = (time.perf_counter() - start) * 1e3
         stats = executor.buffer_stats()
         print(f"host exec [{mode}]: first {first_ms:.1f} ms, "
@@ -608,10 +630,13 @@ def cmd_serve(args: argparse.Namespace, nets: List[str]) -> int:
         for net in nets:
             repo.register_model(net, config=_config(args, mechanism))
     max_wait = args.max_wait_ms if args.max_wait_ms is not None else 2.0
+    host_workers = args.host_threads if args.host_threads is not None \
+        else args.host_workers
     server = InferenceServer(repo, ServerConfig(
         workers=args.serve_workers, queue_depth=args.queue_depth,
         max_batch_size=args.max_batch, max_wait_ms=max_wait,
-        default_deadline_ms=args.deadline_ms))
+        default_deadline_ms=args.deadline_ms,
+        host_workers=host_workers, host_states=args.host_states))
     results = []
     with server:
         for net in nets:
@@ -652,11 +677,14 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     # serving plan is the GPU baseline, where batching recovers SIMT
     # utilization.  --policy serves the chosen mechanism's plan instead.
     mechanism = POLICIES[args.policy] if args.policy else "gpu"
+    host_workers = args.host_threads if args.host_threads is not None \
+        else args.host_workers
     report = bench_serve(
         model=args.net, mechanism=mechanism, max_batch=args.max_batch,
         clients=args.clients, requests_per_client=args.requests,
         workers=args.serve_workers,
         max_wait_ms=args.max_wait_ms if args.max_wait_ms is not None else 50.0,
+        host_workers=host_workers, host_states=args.host_states,
         progress=lambda msg: print(msg, file=sys.stderr))
     if args.json:
         print(json.dumps(report, indent=2))

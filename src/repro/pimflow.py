@@ -126,6 +126,15 @@ class PimFlowConfig:
     #: knob deliberately does not participate in the configuration
     #: fingerprint.
     jobs: Optional[int] = None
+    #: Host inference workers: the operator-parallel dispatch width
+    #: inside each compiled run (1 = serial, the historical behaviour;
+    #: 0 = one per CPU core).  None defers to the
+    #: ``REPRO_HOST_WORKERS`` environment variable (default 1).  The
+    #: parallel schedule is byte-identical to serial — hazard edges
+    #: derived from the buffer plan keep every conflicting access in
+    #: program order — so, like ``jobs``, this knob does not
+    #: participate in the configuration fingerprint.
+    host_workers: Optional[int] = None
     #: Per-job wall-clock limit in parallel mode; a job exceeding it is
     #: retried and eventually recorded as failed.  None = no limit.
     job_timeout_s: Optional[float] = None
@@ -155,6 +164,12 @@ class PimFlowConfig:
             raise ValueError(
                 f"unknown mechanism {self.mechanism!r}; "
                 f"choose from {sorted(MECHANISMS)}")
+
+    def resolved_host_workers(self) -> int:
+        """Effective host inference worker count (see
+        :func:`repro.runtime.hostpool.resolve_host_workers`)."""
+        from repro.runtime.hostpool import resolve_host_workers
+        return resolve_host_workers(self.host_workers)
 
     @property
     def spec(self) -> MechanismSpec:

@@ -4,9 +4,15 @@ compiled artifacts."""
 
 from repro.runtime.numerical import execute, execute_node
 from repro.runtime.bufferplan import BufferPlan, plan_buffers
-from repro.runtime.compiled import CompiledExecutable
+from repro.runtime.compiled import CompiledExecutable, ExecutionState
 from repro.runtime.engine import ExecutionEngine, ScheduleEvent, RunResult
 from repro.runtime.executor import PlanExecutor, engine_from_spec
+from repro.runtime.hostpool import (
+    StatePool,
+    StatePoolTimeout,
+    host_executor,
+    resolve_host_workers,
+)
 from repro.runtime.verify import EquivalenceError, random_feeds, verify_equivalence
 
 __all__ = [
@@ -15,11 +21,16 @@ __all__ = [
     "BufferPlan",
     "plan_buffers",
     "CompiledExecutable",
+    "ExecutionState",
     "ExecutionEngine",
     "ScheduleEvent",
     "RunResult",
     "PlanExecutor",
     "engine_from_spec",
+    "StatePool",
+    "StatePoolTimeout",
+    "host_executor",
+    "resolve_host_workers",
     "EquivalenceError",
     "random_feeds",
     "verify_equivalence",

@@ -1,26 +1,54 @@
-"""Compile-once executor over a planned arena.
+"""Compile-once executor over a planned arena, concurrency-ready.
 
-:class:`CompiledExecutable` binds a graph once — buffer plan, numpy
-views, parsed attributes, kernel dispatch — and then serves repeat
-inference as a flat list of zero-argument closures.  Per run there is
-no toposort, no dict lookup, no attribute parsing, no refcounting, and
-(for planned tensors) no allocation: every tensor's bytes live at a
-fixed offset of one shared arena, elided Slice/Concat/Pad nodes from
-:mod:`repro.transform.memopt` cost nothing, and convolutions read
+The module splits repeat inference into two halves:
+
+* :class:`_ProgramSpec` — the immutable **program**: buffer plan, run
+  shapes, read-only float32 weights, prepared kernel operands
+  (contiguous weight reshapes, BatchNorm denominators), and the step
+  dependency graph.  One spec is shared by every concurrent run.
+* :class:`ExecutionState` — the cheap per-run half: one arena, one
+  scratch holder, and the node closures bound against *this* state's
+  arena views.  States are pooled (:class:`~repro.runtime.hostpool.
+  StatePool`), so N server workers execute truly concurrently with no
+  global run lock — the serialization the old single-arena design
+  imposed is gone from the steady state.
+
+Per run there is no toposort, no dict lookup, no attribute parsing,
+and (for planned tensors) no allocation: every tensor's bytes live at
+a fixed offset of the state's arena, elided Slice/Concat/Pad nodes
+from :mod:`repro.transform.memopt` cost nothing, and convolutions read
 pre-padded arena views instead of calling ``np.pad`` per invocation.
 
+**Operator-parallel scheduling.**  With ``workers > 1`` a state also
+carries a dependency-counted step graph and dispatches ready steps
+onto the shared host thread pool.  Correctness needs more than
+dataflow edges: the arena packs lifetime-disjoint buffers into the
+same bytes, so the graph also carries WAR/WAW hazard edges computed
+from the buffer plan (exact rectangle intersection within a root,
+arena-extent intersection across roots).  Every pair of conflicting
+accesses keeps its serial order, which is what makes the parallel
+schedule *byte-identical* to serial execution.  Batch-shardable steps
+(depthwise convolutions, BatchNormalization, fused/standalone
+elementwise ops — all pure per-element ufunc pipelines) are split into
+per-batch-slice sub-steps at batch >= 4 so a single wide node can
+occupy several workers; GEMM-backed steps are never sharded, because
+BLAS kernel selection depends on the operand shapes and splitting the
+M dimension could change the floating-point reduction it runs.
+
 Semantics contract: outputs are **byte-identical** to the interpreted
-:func:`repro.runtime.numerical.execute` oracle.  Every specialized
-closure therefore re-expresses the interpreter's exact floating-point
-op sequence (same ufuncs, same operand order, same GEMM operands) with
-the destination redirected into the arena; anything without a proven
-bit-identical specialization falls back to calling the registered
-kernel and copying the result into place.
+:func:`repro.runtime.numerical.execute` oracle, serial or parallel.
+Every specialized closure re-expresses the interpreter's exact
+floating-point op sequence (same ufuncs, same operand order, same GEMM
+operands) with the destination redirected into the arena; anything
+without a proven bit-identical specialization falls back to calling
+the registered kernel and copying the result into place.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
+from queue import Empty, SimpleQueue
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -28,6 +56,12 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.runtime.bufferplan import BufferPlan, plan_buffers
+from repro.runtime.hostpool import (
+    DEFAULT_MAX_STATES,
+    StatePool,
+    host_executor,
+    resolve_host_workers,
+)
 from repro.runtime.numerical import (
     IM2COL_MAX_ELEMENTS,
     KERNELS,
@@ -37,39 +71,48 @@ from repro.runtime.numerical import (
     stable_silu,
 )
 
+#: Batch size below which batch-shardable steps stay whole: slicing a
+#: tiny batch buys no parallelism and costs closure overhead.
+SHARD_MIN_BATCH = 4
+
 
 class _Scratch:
-    """Two shared scratch pools, sized during bind, allocated after.
+    """Per-thread scratch pools, sized during bind, allocated lazily.
 
-    Closures capture this holder and index it at call time; execution
-    is single-threaded one node at a time, so one pool of each kind
+    Closures capture this holder and request shaped views at call time
     (``a``: im2col columns / contiguous input staging, ``b``: conv
-    output staging / depthwise tap products) serves the whole graph.
+    output staging / depthwise tap products).  Buffers are
+    thread-local: under the operator-parallel scheduler several steps
+    (or batch shards of one step) run concurrently on pool threads and
+    each must stage into private memory.  Sizes are frozen once
+    binding completes; each thread then allocates its buffers once, on
+    first use.
     """
 
-    __slots__ = ("need_a", "need_b", "a", "b")
+    __slots__ = ("need_a", "need_b", "_tls")
 
     def __init__(self) -> None:
         self.need_a = 0
         self.need_b = 0
-        self.a: Optional[np.ndarray] = None
-        self.b: Optional[np.ndarray] = None
-
-    def allocate(self) -> None:
-        self.a = np.empty(self.need_a, dtype=np.float32)
-        self.b = np.empty(self.need_b, dtype=np.float32)
+        self._tls = threading.local()
 
     def view_a(self, shape: Tuple[int, ...]) -> np.ndarray:
+        buf = getattr(self._tls, "a", None)
+        if buf is None or buf.size < self.need_a:
+            buf = self._tls.a = np.empty(self.need_a, dtype=np.float32)
         n = 1
         for d in shape:
             n *= d
-        return self.a[:n].reshape(shape)
+        return buf[:n].reshape(shape)
 
     def view_b(self, shape: Tuple[int, ...]) -> np.ndarray:
+        buf = getattr(self._tls, "b", None)
+        if buf is None or buf.size < self.need_b:
+            buf = self._tls.b = np.empty(self.need_b, dtype=np.float32)
         n = 1
         for d in shape:
             n *= d
-        return self.b[:n].reshape(shape)
+        return buf[:n].reshape(shape)
 
 
 def _capture_shapes(graph: Graph,
@@ -142,28 +185,194 @@ def _activation_inplace(node: Node) -> Optional[Callable[[np.ndarray], None]]:
     raise ValueError(f"unknown fused activation {kind!r}")
 
 
-class _Program:
-    """One graph bound for one set of feed shapes."""
+def _shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """``shards`` contiguous, non-empty [start, stop) slices of 0..n."""
+    if shards <= 1:
+        return [(0, n)]
+    base, extra = divmod(n, shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for s in range(shards):
+        size = base + (1 if s < extra else 0)
+        if size:
+            ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# Step access regions and the hazard-edged dependency graph
+# ----------------------------------------------------------------------
+# A region is (kind, key, box): kind "arena" keys a buffer-plan root
+# (key None = unknown storage, conservatively conflicting with every
+# arena region), kind "priv" keys a state-private buffer by tensor
+# name.  box is a per-dimension (start, stop) rectangle inside the
+# keyed buffer, or None for the whole buffer.
+_Region = Tuple[str, Optional[str], Optional[Tuple[Tuple[int, int], ...]]]
+
+
+def _boxes_overlap(a, b) -> bool:
+    if a is None or b is None:
+        return True
+    if len(a) != len(b):
+        return True  # rank mismatch: be conservative
+    return all(s1 < e2 and s2 < e1 for (s1, e1), (s2, e2) in zip(a, b))
+
+
+def _build_step_graph(accesses, plan: BufferPlan):
+    """Dependency counts + dependents for the operator-parallel run.
+
+    For steps i < j (their serial/topological order), an edge i -> j is
+    added whenever the two touch overlapping memory and at least one
+    writes — RAW, WAR, and WAW all collapse to "conflicting accesses
+    keep serial order", which is exactly the condition under which any
+    dependency-respecting parallel order is byte-identical to serial.
+    Same-root accesses compare exact rectangles (so concat siblings
+    co-allocated into one root stay parallel); different roots conflict
+    iff the first-fit packer overlapped their arena extents (lifetime
+    reuse), in which case all their accesses serialize.
+    """
+    per_key: Dict[Tuple[str, Optional[str]], List[tuple]] = {}
+    for idx, (reads, writes) in enumerate(accesses):
+        for kind, key, box in reads:
+            per_key.setdefault((kind, key), []).append((idx, box, False))
+        for kind, key, box in writes:
+            per_key.setdefault((kind, key), []).append((idx, box, True))
+
+    edges = set()
+    for entries in per_key.values():
+        for x in range(len(entries)):
+            i, bi, wi = entries[x]
+            for y in range(x + 1, len(entries)):
+                j, bj, wj = entries[y]
+                if i == j or not (wi or wj):
+                    continue
+                if _boxes_overlap(bi, bj):
+                    edges.add((i, j) if i < j else (j, i))
+
+    # Cross-root hazards: arena extents that the packer overlapped.
+    spans: List[Tuple[Tuple[int, int], Tuple[str, Optional[str]]]] = []
+    for kind_key in per_key:
+        kind, key = kind_key
+        if kind != "arena":
+            continue
+        if key is None:
+            spans.append(((0, max(1, plan.arena_elements)), kind_key))
+            continue
+        alloc = plan.roots.get(key)
+        if alloc is not None and alloc.arena_offset >= 0:
+            spans.append(((alloc.arena_offset,
+                           alloc.arena_offset + alloc.elements), kind_key))
+    spans.sort(key=lambda item: item[0])
+    for a in range(len(spans)):
+        (s1, e1), ka = spans[a]
+        for b in range(a + 1, len(spans)):
+            (s2, e2), kb = spans[b]
+            if s2 >= e1:
+                break
+            for i, _, wi in per_key[ka]:
+                for j, _, wj in per_key[kb]:
+                    if i == j or not (wi or wj):
+                        continue
+                    edges.add((i, j) if i < j else (j, i))
+
+    dep_counts = [0] * len(accesses)
+    dependents: List[List[int]] = [[] for _ in accesses]
+    for i, j in sorted(edges):
+        dependents[i].append(j)
+        dep_counts[j] += 1
+    return dep_counts, dependents
+
+
+class _ProgramSpec:
+    """The immutable compiled program for one set of feed shapes.
+
+    Holds everything concurrent states share read-only: the graph, the
+    resolved run shapes, the buffer plan, float32 weights, prepared
+    kernel operands, and (once the first parallel state binds) the
+    hazard-edged step dependency graph.  Specs never touch an arena —
+    that is the state's job.
+    """
 
     def __init__(self, graph: Graph, shapes: Dict[str, tuple],
                  *, elide: bool) -> None:
         self.graph = graph
-        self.plan: BufferPlan = plan_buffers(graph, shapes, elide=elide)
         self.shapes = shapes
-        self._inits = graph_initializers_f32(graph)
+        self.elide = elide
+        self.plan: BufferPlan = plan_buffers(graph, shapes, elide=elide)
+        self.inits = graph_initializers_f32(graph)
+        self._lock = threading.Lock()
+        self._prepared: Dict[tuple, np.ndarray] = {}
+        self._step_graphs: Dict[int, tuple] = {}
+
+    def prepared(self, key: tuple,
+                 build: Callable[[], np.ndarray]) -> np.ndarray:
+        """Memoized read-only operand (contiguous weight reshape, BN
+        denominator, ...) shared across all states of this program."""
+        with self._lock:
+            arr = self._prepared.get(key)
+        if arr is None:
+            built = build()
+            with self._lock:
+                arr = self._prepared.setdefault(key, built)
+        return arr
+
+    def step_graph(self, shards: int, accesses):
+        """The (dep_counts, dependents) pair for ``accesses``.
+
+        Binding is deterministic given the shard count, so every state
+        bound at the same ``shards`` records an identical access list;
+        the graph is computed once per shard count and shared.
+        """
+        with self._lock:
+            graph = self._step_graphs.get(shards)
+            if graph is None:
+                graph = _build_step_graph(accesses, self.plan)
+                self._step_graphs[shards] = graph
+            return graph
+
+
+class ExecutionState:
+    """One graph bound to one private arena for one run at a time.
+
+    The cheap, per-run half of the program/state split: acquiring a
+    state from the pool and running it touches no shared mutable
+    memory, so concurrent states proceed with zero lock contention.
+    ``shards > 1`` splits batch-shardable steps into per-slice
+    sub-steps; ``parallel=True`` additionally materializes the step
+    dependency graph so :meth:`run` can dispatch ready steps onto the
+    shared host executor.
+    """
+
+    def __init__(self, spec: _ProgramSpec, *, shards: int = 1,
+                 parallel: bool = False) -> None:
+        self.spec = spec
+        self.shards = max(1, int(shards))
+        graph = spec.graph
         self._scratch = _Scratch()
         self._steps: List[Callable[[], None]] = []
+        self._accesses: List[Tuple[List[_Region], List[_Region]]] = []
+        #: Tensors whose bytes live in a state-private buffer instead
+        #: of the arena, mapped to the buffer's owning tensor name.
+        #: View ops over a private buffer propagate the owner, so
+        #: hazard regions keep pointing at the memory actually read —
+        #: not at the (unused) planned arena slot.
+        self._priv: Dict[str, str] = {}
         # Arena zeroed exactly once: pinned roots keep margins and
         # elided-Pad borders zero across runs, everything else is fully
         # rewritten every run.
-        self.arena = np.zeros(self.plan.arena_elements, dtype=np.float32)
+        self.arena = np.zeros(spec.plan.arena_elements, dtype=np.float32)
         self._views: Dict[str, np.ndarray] = {}
         self._root_arrays: Dict[str, np.ndarray] = {}
         self._bind()
-        self._scratch.allocate()
         self._input_views = [(name, self._views[name])
                              for name in graph.inputs]
         self._output_views = {t: self._views.get(t) for t in graph.outputs}
+        self._dep_counts: Optional[List[int]] = None
+        self._dependents: Optional[List[List[int]]] = None
+        if parallel:
+            self._dep_counts, self._dependents = spec.step_graph(
+                self.shards, self._accesses)
 
     # ------------------------------------------------------------------
     # View resolution
@@ -171,7 +380,7 @@ class _Program:
     def _root_interior(self, root: str) -> np.ndarray:
         if root in self._root_arrays:
             return self._root_arrays[root]
-        alloc = self.plan.roots[root]
+        alloc = self.spec.plan.roots[root]
         start = alloc.arena_offset
         arr = self.arena[start:start + alloc.elements].reshape(
             alloc.padded_shape)
@@ -181,9 +390,9 @@ class _Program:
         return interior
 
     def _rect_view(self, tensor: str) -> np.ndarray:
-        st = self.plan.storage[tensor]
-        if st.root in self._inits:
-            base = self._inits[st.root]
+        st = self.spec.plan.storage[tensor]
+        if st.root in self.spec.inits:
+            base = self.spec.inits[st.root]
         else:
             base = self._root_interior(st.root)
         if st.root == tensor:
@@ -194,10 +403,10 @@ class _Program:
     def _view(self, tensor: str) -> np.ndarray:
         v = self._views.get(tensor)
         if v is None:
-            if tensor in self._inits:
+            if tensor in self.spec.inits:
                 # Weights are never laid into the arena; they are
                 # shared read-only across runs and graphs.
-                v = self._inits[tensor]
+                v = self.spec.inits[tensor]
             else:
                 v = self._rect_view(tensor)
             self._views[tensor] = v
@@ -206,8 +415,8 @@ class _Program:
     def _padded_conv_view(self, tensor: str,
                           pads: Tuple[int, int, int, int]) -> np.ndarray:
         """The pre-padded read window for a served convolution input."""
-        st = self.plan.storage[tensor]
-        alloc = self.plan.roots[st.root]
+        st = self.spec.plan.storage[tensor]
+        alloc = self.spec.plan.roots[st.root]
         arr = self.arena[alloc.arena_offset:
                          alloc.arena_offset + alloc.elements].reshape(
             alloc.padded_shape)
@@ -223,12 +432,71 @@ class _Program:
         return arr[tuple(index)]
 
     # ------------------------------------------------------------------
+    # Access-region bookkeeping
+    # ------------------------------------------------------------------
+    def _region(self, tensor: str,
+                batch: Optional[Tuple[int, int]] = None) -> Optional[_Region]:
+        """Memory region an access of ``tensor`` touches (None for
+        read-only weights).  ``batch`` narrows dimension 0 to one
+        shard's [start, stop) slice."""
+        spec = self.spec
+        owner = self._priv.get(tensor)
+        if owner is not None:
+            box = None
+            if owner == tensor and batch is not None:
+                # Aliases of the buffer (slices/transposes of it) stay
+                # whole-buffer conservative; only the owner itself maps
+                # batch slices onto dimension 0.
+                shape = spec.shapes[tensor]
+                box = ((batch[0], batch[1]),) + tuple(
+                    (0, d) for d in shape[1:])
+            return ("priv", owner, box)
+        if tensor in spec.inits:
+            return None
+        st = spec.plan.storage.get(tensor)
+        if st is None:
+            return ("arena", None, None)
+        if st.root in spec.inits:
+            return None
+        if not st.is_rect:
+            return ("arena", st.root, None)
+        box = tuple((o, o + d) for o, d in zip(st.offset, st.shape))
+        if batch is not None:
+            o0 = st.offset[0]
+            box = ((o0 + batch[0], o0 + batch[1]),) + box[1:]
+        return ("arena", st.root, box)
+
+    def _subregion(self, tensor: str, axis: int, start: int,
+                   extent: int) -> Optional[_Region]:
+        reg = self._region(tensor)
+        if reg is None or reg[2] is None:
+            return reg
+        kind, key, box = reg
+        lo = box[axis][0] + start
+        return (kind, key,
+                box[:axis] + ((lo, lo + extent),) + box[axis + 1:])
+
+    def _add_step(self, fn: Callable[[], None],
+                  reads: List[Optional[_Region]],
+                  writes: List[Optional[_Region]]) -> None:
+        self._steps.append(fn)
+        self._accesses.append((
+            [r for r in reads if r is not None],
+            [w for w in writes if w is not None]))
+
+    def _shard_count(self, n: int) -> int:
+        if self.shards <= 1 or n < SHARD_MIN_BATCH:
+            return 1
+        return min(self.shards, n)
+
+    # ------------------------------------------------------------------
     # Binding
     # ------------------------------------------------------------------
     def _bind(self) -> None:
-        for name in self.graph.inputs:
+        graph = self.spec.graph
+        for name in graph.inputs:
             self._view(name)
-        for node in self.graph.toposort():
+        for node in graph.toposort():
             op = node.op_type
             if op in ("Identity", "Slice", "Reshape", "Flatten", "Transpose"):
                 self._bind_view_op(node)
@@ -246,16 +514,19 @@ class _Program:
                 self._bind_elementwise(node)
             else:
                 self._bind_generic(node)
-        for t in self.graph.outputs:
-            if t not in self._inits:
+        for t in graph.outputs:
+            if t not in self.spec.inits:
                 self._view(t)
 
     def _bind_view_op(self, node: Node) -> None:
         src = self._view(node.inputs[0])
         out = node.outputs[0]
         op = node.op_type
+        src_owner = self._priv.get(node.inputs[0])
         if op == "Identity":
             self._views[out] = src
+            if src_owner is not None:
+                self._priv[out] = src_owner
             return
         if op == "Slice":
             axis = int(node.attr("axis")) % src.ndim
@@ -263,40 +534,50 @@ class _Program:
             index[axis] = slice(int(node.attr("start")),
                                 int(node.attr("end")))
             self._views[out] = src[tuple(index)]
+            if src_owner is not None:
+                self._priv[out] = src_owner
             return
         if op == "Transpose":
             perm = node.attr("perm", tuple(reversed(range(src.ndim))))
             self._views[out] = np.transpose(src, perm)
+            if src_owner is not None:
+                self._priv[out] = src_owner
             return
         # Reshape / Flatten: a view when numpy can express the
         # reinterpretation without a copy; otherwise the tensor gets a
         # private buffer and a per-run copy — exactly the copy the
         # interpreter's ``x.reshape`` would make.
-        shape = self.shapes[out]
+        shape = self.spec.shapes[out]
         try:
             candidate = src.reshape(shape)
         except ValueError:
             candidate = None
         if candidate is not None and np.shares_memory(candidate, src):
             self._views[out] = candidate
+            if src_owner is not None:
+                self._priv[out] = src_owner
             return
         priv = np.empty(shape, dtype=np.float32)
         self._views[out] = priv
+        self._priv[out] = out
 
         def step(src=src, priv=priv, shape=shape) -> None:
             np.copyto(priv, src.reshape(shape))
-        self._steps.append(step)
+        self._add_step(step, [self._region(node.inputs[0])],
+                       [self._region(out)])
 
     def _bind_concat(self, node: Node) -> None:
         out = node.outputs[0]
-        out_st = self.plan.storage[out]
+        out_st = self.spec.plan.storage[out]
         out_view = self._view(out)
         axis = int(node.attr("axis")) % out_view.ndim
         cursor = 0
         copies = []
+        reads: List[Optional[_Region]] = []
+        writes: List[Optional[_Region]] = []
         for t in node.inputs:
-            extent = self.shapes[t][axis]
-            st = self.plan.storage.get(t)
+            extent = self.spec.shapes[t][axis]
+            st = self.spec.plan.storage.get(t)
             aliased = (
                 st is not None and out_st.is_rect and st.is_rect
                 and st.root == out_st.root
@@ -307,18 +588,20 @@ class _Program:
                 index = [slice(None)] * out_view.ndim
                 index[axis] = slice(cursor, cursor + extent)
                 copies.append((out_view[tuple(index)], self._view(t)))
+                reads.append(self._region(t))
+                writes.append(self._subregion(out, axis, cursor, extent))
             cursor += extent
         if copies:
             def step(copies=copies) -> None:
                 for dst, src in copies:
                     np.copyto(dst, src)
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
 
     def _bind_pad(self, node: Node) -> None:
         src_name, out = node.inputs[0], node.outputs[0]
         pads = tuple(tuple(p) for p in node.attr("pads"))
-        out_st = self.plan.storage[out]
-        st = self.plan.storage.get(src_name)
+        out_st = self.spec.plan.storage[out]
+        st = self.spec.plan.storage.get(src_name)
         aliased = (
             st is not None and st.is_rect and out_st.is_rect
             and st.root == out_st.root
@@ -336,7 +619,7 @@ class _Program:
         x_name = node.inputs[0]
         x = self._view(x_name)
         pt, pl, pb, pr = pads
-        if self.plan.padded_reads.get(node.name):
+        if self.spec.plan.padded_reads.get(node.name):
             xp = self._padded_conv_view(x_name, pads)
             return (lambda: xp), True
         if not (pt or pl or pb or pr):
@@ -345,18 +628,20 @@ class _Program:
         return (lambda: np.pad(x, pad_spec)), False
 
     def _bind_conv(self, node: Node) -> None:
+        spec = self.spec
         w_name = node.inputs[1]
         bias_name = node.inputs[2] if len(node.inputs) > 2 else None
-        if w_name not in self._inits or (
-                bias_name is not None and bias_name not in self._inits):
+        if w_name not in spec.inits or (
+                bias_name is not None and bias_name not in spec.inits):
             self._bind_generic(node)
             return
-        w = self._inits[w_name]
-        bias = self._inits[bias_name] if bias_name else None
+        w = spec.inits[w_name]
+        bias = spec.inits[bias_name] if bias_name else None
         strides = node.attr("strides", (1, 1))
         pads = tuple(node.attr("pads", (0, 0, 0, 0)))
         group = int(node.attr("group", 1))
-        n, h, wdt, cin = self.shapes[node.inputs[0]]
+        x_name, out_name = node.inputs[0], node.outputs[0]
+        n, h, wdt, cin = spec.shapes[x_name]
         kh, kw, cin_g, cout = w.shape
         sh, sw = strides
         pt, pl, pb, pr = pads
@@ -366,10 +651,12 @@ class _Program:
             return
         oh = (h + pt + pb - kh) // sh + 1
         ow = (wdt + pl + pr - kw) // sw + 1
-        dst = self._view(node.outputs[0])
+        dst = self._view(out_name)
         act = _activation_inplace(node)
-        get_xp, _ = self._conv_input(node, pads)
+        get_xp, static = self._conv_input(node, pads)
         scratch = self._scratch
+        reads = [self._region(x_name)]
+        writes = [self._region(out_name)]
 
         def epilogue() -> None:
             if bias is not None:
@@ -378,8 +665,38 @@ class _Program:
                 act(dst)
 
         if group == cin and cin_g == 1 and cout == group:
-            taps = np.ascontiguousarray(w.reshape(kh, kw, cout))
+            taps = spec.prepared(
+                (node.name, "taps"),
+                lambda: np.ascontiguousarray(w.reshape(kh, kw, cout)))
             scratch.need_b = max(scratch.need_b, n * oh * ow * cout)
+            shards = self._shard_count(n) if static else 1
+            if shards > 1:
+                # Pure ufunc pipeline (multiply + add per tap): sharding
+                # the batch dimension is byte-identical by construction.
+                xp_full = get_xp()
+                for n0, n1 in _shard_ranges(n, shards):
+                    xp_s = xp_full[n0:n1]
+                    dst_s = dst[n0:n1]
+
+                    def step(xp_s=xp_s, dst_s=dst_s, ns=n1 - n0) -> None:
+                        sb = scratch.view_b((ns, oh, ow, cout))
+                        dst_s[...] = 0.0
+                        for i in range(kh):
+                            for j in range(kw):
+                                np.multiply(
+                                    xp_s[:, i:i + oh * sh:sh,
+                                         j:j + ow * sw:sw, :],
+                                    taps[i, j], out=sb)
+                                np.add(dst_s, sb, out=dst_s)
+                        if bias is not None:
+                            np.add(dst_s, bias, out=dst_s)
+                        if act is not None:
+                            act(dst_s)
+                    self._add_step(
+                        step,
+                        [self._region(x_name, batch=(n0, n1))],
+                        [self._region(out_name, batch=(n0, n1))])
+                return
 
             def step() -> None:
                 xp = get_xp()
@@ -392,7 +709,7 @@ class _Program:
                             taps[i, j], out=sb)
                         np.add(dst, sb, out=dst)
                 epilogue()
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
             return
 
         if group != 1:
@@ -403,11 +720,13 @@ class _Program:
                                     sh, sw, cin_g, cout, group)
                 np.copyto(dst, out)
                 epilogue()
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
             return
 
         # Regular convolution: GEMM with the result written in place
-        # when the destination is contiguous, staged otherwise.
+        # when the destination is contiguous, staged otherwise.  Never
+        # batch-sharded: BLAS kernel choice depends on M, and a split M
+        # is not guaranteed to reproduce the serial reduction bits.
         npix = n * oh * ow
         dst_contig = dst.flags.c_contiguous
         dst2d = dst.reshape(npix, cout) if dst_contig else None
@@ -423,7 +742,9 @@ class _Program:
                 np.copyto(dst, sb.reshape(n, oh, ow, cout))
 
         if kh == 1 and kw == 1:
-            w2d = np.ascontiguousarray(w.reshape(cin, cout))
+            w2d = spec.prepared(
+                (node.name, "w2d"),
+                lambda: np.ascontiguousarray(w.reshape(cin, cout)))
             scratch.need_a = max(scratch.need_a, npix * cin)
 
             def step() -> None:
@@ -436,11 +757,13 @@ class _Program:
                     a2d = sa.reshape(npix, cin)
                 gemm(a2d, w2d)
                 epilogue()
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
             return
 
         if npix * kh * kw * cin <= IM2COL_MAX_ELEMENTS:
-            w2d = np.ascontiguousarray(w.reshape(kh * kw * cin, cout))
+            w2d = spec.prepared(
+                (node.name, "w2d"),
+                lambda: np.ascontiguousarray(w.reshape(kh * kw * cin, cout)))
             scratch.need_a = max(scratch.need_a, npix * kh * kw * cin)
 
             def step() -> None:
@@ -452,7 +775,7 @@ class _Program:
                             xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
                 gemm(cols.reshape(npix, kh * kw * cin), w2d)
                 epilogue()
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
             return
 
         def step() -> None:
@@ -464,19 +787,24 @@ class _Program:
                     np.add(dst, np.tensordot(patch, w[i, j], axes=([3], [0])),
                            out=dst)
             epilogue()
-        self._steps.append(step)
+        self._add_step(step, reads, writes)
 
     def _bind_gemm(self, node: Node) -> None:
-        a = self._view(node.inputs[0]) if node.inputs[0] not in self._inits \
-            else self._inits[node.inputs[0]]
-        b = self._inits[node.inputs[1]] \
-            if node.inputs[1] in self._inits else self._view(node.inputs[1])
+        spec = self.spec
+        a = self._view(node.inputs[0]) if node.inputs[0] not in spec.inits \
+            else spec.inits[node.inputs[0]]
+        b = spec.inits[node.inputs[1]] \
+            if node.inputs[1] in spec.inits else self._view(node.inputs[1])
         bias = None
+        bias_name = None
         if node.op_type == "Gemm" and len(node.inputs) > 2:
-            bn = node.inputs[2]
-            bias = self._inits[bn] if bn in self._inits else self._view(bn)
+            bias_name = node.inputs[2]
+            bias = spec.inits[bias_name] if bias_name in spec.inits \
+                else self._view(bias_name)
         dst = self._view(node.outputs[0])
         act = _activation_inplace(node) if node.op_type == "Gemm" else None
+        reads = [self._region(t) for t in node.inputs]
+        writes = [self._region(node.outputs[0])]
         if dst.flags.c_contiguous:
             def step() -> None:
                 np.matmul(a, b, out=dst)
@@ -484,7 +812,7 @@ class _Program:
                     np.add(dst, bias, out=dst)
                 if act is not None:
                     act(dst)
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
         else:
             self._scratch.need_b = max(self._scratch.need_b, dst.size)
             scratch, shape = self._scratch, dst.shape
@@ -497,81 +825,359 @@ class _Program:
                     np.add(dst, bias, out=dst)
                 if act is not None:
                     act(dst)
-            self._steps.append(step)
+            self._add_step(step, reads, writes)
 
     def _bind_bn(self, node: Node) -> None:
+        spec = self.spec
         params = node.inputs[1:5]
-        if any(p not in self._inits for p in params):
+        if any(p not in spec.inits for p in params):
             self._bind_generic(node)
             return
-        scale, bias, mean, var = (self._inits[p] for p in params)
+        scale, bias, mean, var = (spec.inits[p] for p in params)
         eps = node.attr("epsilon", 1e-5)
         # Same op sequence as the kernel — (x - mean) / sqrt(var + eps)
         # * scale + bias — with the denominator precomputed (identical
         # float32 value) and every step writing in place.
-        denom = np.sqrt(np.asarray(var + eps, dtype=np.float32))
-        x = self._view(node.inputs[0])
-        dst = self._view(node.outputs[0])
+        denom = spec.prepared(
+            (node.name, "bn_denom"),
+            lambda: np.sqrt(np.asarray(var + eps, dtype=np.float32)))
+        x_name, out_name = node.inputs[0], node.outputs[0]
+        x = self._view(x_name)
+        dst = self._view(out_name)
 
-        def step() -> None:
-            np.subtract(x, mean, out=dst)
-            np.divide(dst, denom, out=dst)
-            np.multiply(dst, scale, out=dst)
-            np.add(dst, bias, out=dst)
-        self._steps.append(step)
+        def emit(xv: np.ndarray, dv: np.ndarray,
+                 batch: Optional[Tuple[int, int]]) -> None:
+            def step(xv=xv, dv=dv) -> None:
+                np.subtract(xv, mean, out=dv)
+                np.divide(dv, denom, out=dv)
+                np.multiply(dv, scale, out=dv)
+                np.add(dv, bias, out=dv)
+            self._add_step(step, [self._region(x_name, batch=batch)],
+                           [self._region(out_name, batch=batch)])
+
+        shards = 1
+        if x.shape == dst.shape and dst.ndim >= 2:
+            shards = self._shard_count(dst.shape[0])
+        if shards <= 1:
+            emit(x, dst, None)
+        else:
+            for n0, n1 in _shard_ranges(dst.shape[0], shards):
+                emit(x[n0:n1], dst[n0:n1], (n0, n1))
 
     def _bind_elementwise(self, node: Node) -> None:
+        spec = self.spec
         op = node.op_type
-        ins = [self._inits[t] if t in self._inits else self._view(t)
+        ins = [spec.inits[t] if t in spec.inits else self._view(t)
                for t in node.inputs]
-        dst = self._view(node.outputs[0])
-        if op == "Clip":
-            lo, hi = node.attr("min", 0.0), node.attr("max", 6.0)
-            x = ins[0]
+        out_name = node.outputs[0]
+        dst = self._view(out_name)
+        n = dst.shape[0] if dst.ndim >= 2 else 0
+        shards = self._shard_count(n) if dst.ndim >= 2 else 1
+        ranges: List[Optional[Tuple[int, int]]]
+        ranges = list(_shard_ranges(n, shards)) if shards > 1 else [None]
+        for rng in ranges:
+            if rng is None:
+                ivs = list(ins)
+                in_batches: List[Optional[Tuple[int, int]]] = \
+                    [None] * len(ins)
+                dv = dst
+            else:
+                n0, n1 = rng
+                ivs, in_batches = [], []
+                for arr in ins:
+                    # Slice operands that carry the batch dimension;
+                    # broadcast operands (per-channel biases, scalars)
+                    # pass through whole — ufuncs broadcast per
+                    # element, so the shard is byte-identical.
+                    if arr.ndim == dst.ndim and arr.shape[0] == n:
+                        ivs.append(arr[n0:n1])
+                        in_batches.append(rng)
+                    else:
+                        ivs.append(arr)
+                        in_batches.append(None)
+                dv = dst[n0:n1]
+            if op == "Clip":
+                lo, hi = node.attr("min", 0.0), node.attr("max", 6.0)
+                xv = ivs[0]
 
-            def step() -> None:
-                np.clip(x, lo, hi, out=dst)
-        elif op in _UNARY_OUT:
-            fn, x = _UNARY_OUT[op], ins[0]
+                def step(xv=xv, dv=dv, lo=lo, hi=hi) -> None:
+                    np.clip(xv, lo, hi, out=dv)
+            elif op in _UNARY_OUT:
+                fn, xv = _UNARY_OUT[op], ivs[0]
 
-            def step() -> None:
-                fn(x, out=dst)
-        else:
-            fn, (a, b) = _BINARY_OUT[op], ins
+                def step(fn=fn, xv=xv, dv=dv) -> None:
+                    fn(xv, out=dv)
+            else:
+                fn, (av, bv) = _BINARY_OUT[op], ivs
 
-            def step() -> None:
-                fn(a, b, out=dst)
-        self._steps.append(step)
+                def step(fn=fn, av=av, bv=bv, dv=dv) -> None:
+                    fn(av, bv, out=dv)
+            self._add_step(
+                step,
+                [self._region(t, batch=b)
+                 for t, b in zip(node.inputs, in_batches)],
+                [self._region(out_name, batch=rng)])
 
     def _bind_generic(self, node: Node) -> None:
         fn = KERNELS.get(node.op_type)
         if fn is None:
             raise NotImplementedError(
                 f"no numpy kernel for op {node.op_type!r}")
-        ins = [self._inits[t] if t in self._inits else self._view(t)
+        spec = self.spec
+        ins = [spec.inits[t] if t in spec.inits else self._view(t)
                for t in node.inputs]
         outs = [self._view(t) for t in node.outputs]
 
         def step(node=node, fn=fn, ins=ins, outs=outs) -> None:
             for dst, res in zip(outs, _node_results(node, fn(node, ins))):
                 np.copyto(dst, res)
-        self._steps.append(step)
+        self._add_step(step, [self._region(t) for t in node.inputs],
+                       [self._region(t) for t in node.outputs])
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    def run(self, feeds: Mapping[str, np.ndarray],
+            max_inflight: int = 1) -> Dict[str, np.ndarray]:
         for name, view in self._input_views:
             np.copyto(view, feeds[name])
-        for step in self._steps:
-            step()
+        if max_inflight > 1 and self._dep_counts is not None \
+                and len(self._steps) > 1:
+            self._run_parallel(max_inflight)
+        else:
+            for step in self._steps:
+                step()
         out: Dict[str, np.ndarray] = {}
         for t, view in self._output_views.items():
             if view is None:
-                out[t] = self._inits[t]
+                out[t] = self.spec.inits[t]
             else:
                 out[t] = view.copy()
         return out
+
+    def _run_parallel(self, max_inflight: int) -> None:
+        """Dependency-counted dispatch onto the shared host executor.
+
+        One step always runs inline on the calling thread (the serial
+        fallback when the ready set is 1-wide costs nothing); the rest
+        of the ready set — up to ``max_inflight - 1`` — is submitted to
+        the pool, whose workers spend their time in GIL-releasing
+        NumPy/BLAS kernels.
+        """
+        steps = self._steps
+        counts = list(self._dep_counts)
+        dependents = self._dependents
+        ready = deque(i for i, c in enumerate(counts) if c == 0)
+        remaining = len(steps)
+        done: SimpleQueue = SimpleQueue()
+        inflight = 0
+        error: Optional[BaseException] = None
+        pool = host_executor()
+
+        def work(i: int) -> None:
+            try:
+                steps[i]()
+                done.put((i, None))
+            except BaseException as exc:  # surfaced on the caller
+                done.put((i, exc))
+
+        def finish(i: int) -> None:
+            nonlocal remaining
+            remaining -= 1
+            for j in dependents[i]:
+                counts[j] -= 1
+                if counts[j] == 0:
+                    ready.append(j)
+
+        while remaining and error is None:
+            while len(ready) > 1 and inflight < max_inflight - 1:
+                pool.submit(work, ready.popleft())
+                inflight += 1
+            if ready:
+                i = ready.popleft()
+                try:
+                    steps[i]()
+                except BaseException as exc:
+                    error = exc
+                    break
+                finish(i)
+                while True:  # collect whatever finished meanwhile
+                    try:
+                        j, exc = done.get_nowait()
+                    except Empty:
+                        break
+                    inflight -= 1
+                    if exc is not None:
+                        error = error or exc
+                    else:
+                        finish(j)
+            else:
+                if not inflight:  # pragma: no cover - DAG by construction
+                    raise RuntimeError(
+                        "operator scheduler stalled: cyclic step graph")
+                j, exc = done.get()
+                inflight -= 1
+                if exc is not None:
+                    error = exc
+                else:
+                    finish(j)
+        while inflight:  # drain before surfacing any error
+            _, exc = done.get()
+            inflight -= 1
+            if exc is not None and error is None:
+                error = exc
+        if error is not None:
+            raise error
+
+
+class CompiledExecutable:
+    """A graph bound once for repeat, concurrency-safe inference.
+
+    Programs are cached per feed-shape signature (and invalidated when
+    the graph's mutation :attr:`~repro.graph.graph.Graph.version`
+    changes).  Each program owns a bounded :class:`StatePool` of
+    :class:`ExecutionState` instances; :meth:`run` checks one out,
+    executes on its private arena, and returns it — concurrent callers
+    proceed on distinct states with no shared lock on the hot path
+    (the old global ``_run_lock`` is gone).
+
+    ``workers > 1`` turns on the operator-parallel scheduler inside
+    each run; ``max_states`` caps how many arenas may exist at once
+    (acquires beyond it wait for a release).  ``elide=False`` disables
+    the zero-copy treatment of memopt-``elided`` nodes and pre-padded
+    conv reads; it is the ablation the benchmarks use to show what the
+    paper's memory-layout optimization buys at runtime.
+    """
+
+    def __init__(self, graph: Graph, *, elide: bool = True,
+                 workers: Optional[int] = None,
+                 max_states: Optional[int] = None) -> None:
+        self.graph = graph
+        self.elide = elide
+        self.workers = resolve_host_workers(workers)
+        self.max_states = int(max_states) if max_states is not None \
+            else DEFAULT_MAX_STATES
+        if self.max_states < 1:
+            raise ValueError(
+                f"max_states must be >= 1, got {self.max_states}")
+        self._version = graph.version
+        #: Guards the program map only — never held while running.
+        self._bind_lock = threading.Lock()
+        self._pools: Dict[tuple, Tuple[_ProgramSpec, StatePool]] = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pools"] = {}  # closures and arenas never travel
+        del state["_bind_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._bind_lock = threading.Lock()
+        self._pools = {}
+
+    def _pool_for(self, feeds: Mapping[str, np.ndarray]
+                  ) -> Tuple[_ProgramSpec, StatePool]:
+        with self._bind_lock:
+            if self.graph.version != self._version:
+                self._pools.clear()
+                self._version = self.graph.version
+            key = tuple(
+                (name, tuple(np.shape(feeds[name])))
+                for name in self.graph.inputs)
+            entry = self._pools.get(key)
+            if entry is None:
+                declared = all(
+                    tuple(np.shape(feeds[name]))
+                    == tuple(self.graph.tensors[name].shape)
+                    for name in self.graph.inputs)
+                if declared:
+                    shapes = {name: tuple(info.shape)
+                              for name, info in self.graph.tensors.items()}
+                else:
+                    shapes = _capture_shapes(self.graph, feeds)
+                spec = _ProgramSpec(self.graph, shapes, elide=self.elide)
+                shards = self.workers
+                parallel = self.workers > 1
+
+                def factory(spec=spec, shards=shards, parallel=parallel):
+                    return ExecutionState(spec, shards=shards,
+                                          parallel=parallel)
+                entry = (spec, StatePool(factory, self.max_states))
+                self._pools[key] = entry
+        return entry
+
+    def __call__(self, feeds: Mapping[str, np.ndarray]
+                 ) -> Dict[str, np.ndarray]:
+        return self.run(feeds)
+
+    def run(self, feeds: Mapping[str, np.ndarray], *,
+            workers: Optional[int] = None,
+            state_timeout_s: Optional[float] = None
+            ) -> Dict[str, np.ndarray]:
+        """One inference; byte-identical to interpreted ``execute``.
+
+        Thread-safe without serializing: each call executes on a
+        pooled private state.  ``workers`` may lower (never raise) the
+        dispatch width this call uses; ``state_timeout_s`` bounds the
+        wait for a free state when the pool is exhausted
+        (:class:`~repro.runtime.hostpool.StatePoolTimeout`).
+        """
+        feeds32 = {}
+        for name in self.graph.inputs:
+            if name not in feeds:
+                raise KeyError(f"missing feed for graph input {name!r}")
+            feeds32[name] = np.asarray(feeds[name], dtype=np.float32)
+        _, pool = self._pool_for(feeds32)
+        state = pool.acquire(timeout_s=state_timeout_s)
+        try:
+            width = self.workers if workers is None \
+                else max(1, min(int(workers), self.workers))
+            return state.run(feeds32, max_inflight=width)
+        finally:
+            pool.release(state)
+
+    def buffer_plan(self, feeds: Optional[Mapping[str, np.ndarray]] = None
+                    ) -> BufferPlan:
+        """The buffer plan bound for ``feeds`` (declared shapes if None).
+
+        Resolves the program spec only — no execution state (arena) is
+        bound.
+        """
+        if feeds is None:
+            feeds = {name: np.zeros(self.graph.tensors[name].shape,
+                                    dtype=np.float32)
+                     for name in self.graph.inputs}
+        spec, _ = self._pool_for(
+            {n: np.asarray(f, dtype=np.float32) for n, f in feeds.items()})
+        return spec.plan
+
+    def stats(self) -> Dict[str, object]:
+        """Buffer-plan stats at the graph's declared shapes."""
+        return self.buffer_plan().stats()
+
+    def pool_stats(self) -> Dict[str, object]:
+        """Aggregate state-pool gauges across all bound programs."""
+        with self._bind_lock:
+            pools = [pool for _, pool in self._pools.values()]
+        agg: Dict[str, object] = {
+            "programs": len(pools),
+            "workers": self.workers,
+            "max_states": self.max_states,
+            "states_bound": 0,
+            "in_use": 0,
+            "peak_in_use": 0,
+            "acquires": 0,
+            "waits": 0,
+        }
+        for pool in pools:
+            s = pool.stats()
+            agg["states_bound"] += s["states_bound"]
+            agg["in_use"] += s["in_use"]
+            agg["peak_in_use"] = max(agg["peak_in_use"], s["peak_in_use"])
+            agg["acquires"] += s["acquires"]
+            agg["waits"] += s["waits"]
+        return agg
 
 
 _UNARY_OUT: Dict[str, Callable] = {
@@ -587,93 +1193,3 @@ _BINARY_OUT: Dict[str, Callable] = {
     "Sub": np.subtract,
     "Div": np.divide,
 }
-
-
-class CompiledExecutable:
-    """A graph bound once for repeat inference.
-
-    Programs are cached per feed-shape signature (and invalidated when
-    the graph's mutation :attr:`~repro.graph.graph.Graph.version`
-    changes), so the common serve loop — same shapes every call — pays
-    only the closure list.
-
-    ``elide=False`` disables the zero-copy treatment of
-    memopt-``elided`` nodes and pre-padded conv reads; it is the
-    ablation the benchmarks use to show what the paper's memory-layout
-    optimization buys at runtime.
-    """
-
-    def __init__(self, graph: Graph, *, elide: bool = True) -> None:
-        self.graph = graph
-        self.elide = elide
-        self._version = graph.version
-        self._programs: Dict[tuple, _Program] = {}
-        #: Serializes :meth:`run`: programs write through one shared
-        #: arena, so concurrent calls (e.g. two serve workers hitting
-        #: one cached executable) must execute one at a time.  Distinct
-        #: executables still run fully in parallel.
-        self._run_lock = threading.Lock()
-
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        del state["_run_lock"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._run_lock = threading.Lock()
-
-    def _program_for(self, feeds: Mapping[str, np.ndarray]) -> _Program:
-        if self.graph.version != self._version:
-            self._programs.clear()
-            self._version = self.graph.version
-        key = tuple(
-            (name, tuple(np.shape(feeds[name]))) for name in self.graph.inputs)
-        prog = self._programs.get(key)
-        if prog is None:
-            declared = all(
-                tuple(np.shape(feeds[name]))
-                == tuple(self.graph.tensors[name].shape)
-                for name in self.graph.inputs)
-            if declared:
-                shapes = {name: tuple(info.shape)
-                          for name, info in self.graph.tensors.items()}
-            else:
-                shapes = _capture_shapes(self.graph, feeds)
-            prog = _Program(self.graph, shapes, elide=self.elide)
-            self._programs[key] = prog
-        return prog
-
-    def __call__(self, feeds: Mapping[str, np.ndarray]
-                 ) -> Dict[str, np.ndarray]:
-        return self.run(feeds)
-
-    def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """One inference; byte-identical to interpreted ``execute``.
-
-        Thread-safe: calls serialize on an internal lock because every
-        program of this executable shares one arena.
-        """
-        feeds32 = {}
-        for name in self.graph.inputs:
-            if name not in feeds:
-                raise KeyError(f"missing feed for graph input {name!r}")
-            feeds32[name] = np.asarray(feeds[name], dtype=np.float32)
-        with self._run_lock:
-            return self._program_for(feeds32).run(feeds32)
-
-    def buffer_plan(self, feeds: Optional[Mapping[str, np.ndarray]] = None
-                    ) -> BufferPlan:
-        """The buffer plan bound for ``feeds`` (declared shapes if None)."""
-        if feeds is None:
-            feeds = {name: np.zeros(self.graph.tensors[name].shape,
-                                    dtype=np.float32)
-                     for name in self.graph.inputs}
-        with self._run_lock:
-            return self._program_for(
-                {n: np.asarray(f, dtype=np.float32) for n, f in feeds.items()}
-            ).plan
-
-    def stats(self) -> Dict[str, object]:
-        """Buffer-plan stats at the graph's declared shapes."""
-        return self.buffer_plan().stats()

@@ -170,7 +170,8 @@ class ExecutionEngine:
         return self.run(plan.graph)
 
     def infer(self, graph: Graph, feeds, compiled: bool = True,
-              elide: bool = True):
+              elide: bool = True, workers: Optional[int] = None,
+              max_states: Optional[int] = None):
         """Run one *numerical* inference of ``graph`` on the host.
 
         Where :meth:`run` prices a schedule on the modelled devices,
@@ -178,15 +179,24 @@ class ExecutionEngine:
         :class:`~repro.runtime.compiled.CompiledExecutable` is the
         default path; ``compiled=False`` falls back to the interpreted
         :func:`~repro.runtime.numerical.execute` oracle.  Executables
-        are cached per (graph identity, version, elide) so repeat
-        inference pays binding cost once.
+        are cached per (graph identity, version, elide, workers,
+        max_states) so repeat inference pays binding cost once.
+
+        ``workers`` sets the operator-parallel dispatch width inside
+        the run (None defers to ``REPRO_HOST_WORKERS``, default
+        serial); ``max_states`` caps the executable's pool of
+        concurrent execution states.  Calls are thread-safe without
+        serializing — concurrent callers run on distinct pooled states.
         """
         if not compiled:
             from repro.runtime.numerical import execute
             return execute(graph, feeds)
-        return self.executable(graph, elide=elide).run(feeds)
+        return self.executable(graph, elide=elide, workers=workers,
+                               max_states=max_states).run(feeds)
 
-    def executable(self, graph: Graph, elide: bool = True):
+    def executable(self, graph: Graph, elide: bool = True,
+                   workers: Optional[int] = None,
+                   max_states: Optional[int] = None):
         """The cached :class:`~repro.runtime.compiled.CompiledExecutable`
         for ``graph``, binding one on a miss.
 
@@ -198,13 +208,16 @@ class ExecutionEngine:
         evicted first.
         """
         from repro.runtime.compiled import CompiledExecutable
-        key = (id(graph), graph.version, elide)
+        from repro.runtime.hostpool import resolve_host_workers
+        workers = resolve_host_workers(workers)
+        key = (id(graph), graph.version, elide, workers, max_states)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is not None:
                 self._compiled_cache.move_to_end(key)
                 return exe
-        built = CompiledExecutable(graph, elide=elide)
+        built = CompiledExecutable(graph, elide=elide, workers=workers,
+                                   max_states=max_states)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is None:
@@ -224,6 +237,29 @@ class ExecutionEngine:
         with self._compiled_lock:
             return {"entries": len(self._compiled_cache),
                     "cap": self.executable_cache_cap}
+
+    def host_stats(self) -> Dict[str, object]:
+        """Aggregate state-pool gauges across all cached executables.
+
+        The serving layer surfaces this as its host-concurrency view:
+        how many execution states are bound, the high-water mark of
+        simultaneous in-flight runs, and how often an acquire had to
+        wait for a state (contention).
+        """
+        with self._compiled_lock:
+            exes = list(self._compiled_cache.values())
+        agg: Dict[str, object] = {
+            "executables": len(exes), "programs": 0, "states_bound": 0,
+            "in_use": 0, "peak_in_use": 0, "acquires": 0, "waits": 0}
+        for exe in exes:
+            s = exe.pool_stats()
+            agg["programs"] += s["programs"]
+            agg["states_bound"] += s["states_bound"]
+            agg["in_use"] += s["in_use"]
+            agg["peak_in_use"] = max(agg["peak_in_use"], s["peak_in_use"])
+            agg["acquires"] += s["acquires"]
+            agg["waits"] += s["waits"]
+        return agg
 
     def run(self, graph: Graph) -> RunResult:
         """Compute the parallel schedule and energy for one inference."""

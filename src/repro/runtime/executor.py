@@ -62,16 +62,26 @@ class PlanExecutor:
         """Schedule one inference of the plan's compiled graph."""
         return self.engine.run_plan(self.plan)
 
-    def infer(self, feeds, compiled: bool = True, elide: bool = True):
+    def infer(self, feeds, compiled: bool = True, elide: bool = True,
+              workers: Optional[int] = None,
+              max_states: Optional[int] = None):
         """Numerically execute the plan's graph on the given feeds.
 
         Routes through the engine's compiled-executable cache, so a
         serving loop calling this repeatedly binds the graph once and
         then runs pure kernel dispatch (``compiled=False`` falls back
-        to the interpreted oracle).
+        to the interpreted oracle).  ``workers`` enables the
+        operator-parallel scheduler inside the run; ``max_states`` caps
+        the pool of concurrent execution states.  Concurrent calls are
+        safe and do not serialize.
         """
         return self.engine.infer(self.plan.graph, feeds,
-                                 compiled=compiled, elide=elide)
+                                 compiled=compiled, elide=elide,
+                                 workers=workers, max_states=max_states)
+
+    def host_stats(self) -> dict:
+        """State-pool and concurrency gauges for this plan's engine."""
+        return self.engine.host_stats()
 
     def buffer_stats(self) -> dict:
         """Buffer-plan statistics for the plan's graph.

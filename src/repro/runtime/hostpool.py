@@ -1,0 +1,159 @@
+"""Host-side concurrency primitives for the compiled runtime.
+
+Three small pieces shared by :mod:`repro.runtime.compiled`, the
+execution engine, and the serving layer:
+
+* :func:`resolve_host_workers` — the one place the ``REPRO_HOST_WORKERS``
+  environment default is interpreted (mirroring ``REPRO_JOBS`` for the
+  profiling job engine).
+* :class:`StatePool` — a bounded pool of per-run execution states.  The
+  compiled executable keeps one pool per bound program; N server workers
+  then run truly concurrently, each on its own arena, instead of
+  serializing on a single shared one.
+* :func:`host_executor` — the process-wide ``ThreadPoolExecutor`` the
+  operator-parallel scheduler dispatches ready nodes onto.  One shared
+  pool bounds total host threads no matter how many executables or
+  serving models are live; its workers spend their time inside
+  GIL-releasing NumPy/BLAS kernels, which is why threads (not
+  processes) are the right vehicle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+#: Bound states per compiled program when the caller does not say
+#: otherwise.  Each state owns a full arena (tens of MB for
+#: ImageNet-scale models), but states bind lazily — a serial caller
+#: never pays for more than one.
+DEFAULT_MAX_STATES = 4
+
+T = TypeVar("T")
+
+
+def resolve_host_workers(workers: Optional[int] = None) -> int:
+    """Effective intra-inference worker count.
+
+    Explicit ``workers`` wins; otherwise the ``REPRO_HOST_WORKERS``
+    environment variable (default 1 = serial, the historical
+    behaviour); 0 means one worker per CPU core.
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_HOST_WORKERS", "") or 1)
+        except ValueError:
+            workers = 1
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_lock = threading.Lock()
+
+
+def host_executor() -> ThreadPoolExecutor:
+    """The process-wide scheduler thread pool (created on first use).
+
+    Sized to the machine, not to any one caller: per-run ``workers``
+    only bounds how many steps one inference keeps in flight, while
+    this pool caps the total threads the whole process can burn.
+    """
+    global _executor
+    with _executor_lock:
+        if _executor is None:
+            _executor = ThreadPoolExecutor(
+                max_workers=max(4, min(32, os.cpu_count() or 1)),
+                thread_name_prefix="repro-host")
+        return _executor
+
+
+class StatePoolTimeout(RuntimeError):
+    """Raised when ``StatePool.acquire`` times out with the pool
+    exhausted — every bound state checked out and the cap reached."""
+
+
+class StatePool(Generic[T]):
+    """Bounded pool of lazily-built reusable objects.
+
+    ``acquire`` hands out a free state, binds a new one while under
+    ``cap``, and otherwise blocks until a concurrent run releases one
+    (or ``timeout_s`` expires).  The factory runs outside the pool
+    lock, so two cold acquires bind concurrently instead of
+    serializing on each other's (expensive) arena allocation.
+    """
+
+    def __init__(self, factory: Callable[[], T], cap: int) -> None:
+        if cap < 1:
+            raise ValueError(f"state pool cap must be >= 1, got {cap}")
+        self._factory = factory
+        self.cap = cap
+        self._cond = threading.Condition()
+        self._free: List[T] = []
+        self.created = 0
+        self.in_use = 0
+        self.peak_in_use = 0
+        self.acquires = 0
+        #: Times an acquire had to wait for a release (contention gauge).
+        self.waits = 0
+
+    def acquire(self, timeout_s: Optional[float] = None) -> T:
+        deadline = None if timeout_s is None else (
+            time.monotonic() + timeout_s)
+        state: Optional[T] = None
+        build = False
+        with self._cond:
+            while True:
+                if self._free:
+                    state = self._free.pop()
+                    break
+                if self.created < self.cap:
+                    self.created += 1
+                    build = True
+                    break
+                self.waits += 1
+                remaining = None if deadline is None else (
+                    deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    raise StatePoolTimeout(
+                        f"no free execution state after {timeout_s}s "
+                        f"({self.cap} bound, all in use)")
+                if not self._cond.wait(remaining):
+                    raise StatePoolTimeout(
+                        f"no free execution state after {timeout_s}s "
+                        f"({self.cap} bound, all in use)")
+        if build:
+            try:
+                state = self._factory()
+            except BaseException:
+                with self._cond:
+                    self.created -= 1
+                    self._cond.notify()
+                raise
+        with self._cond:
+            self.acquires += 1
+            self.in_use += 1
+            if self.in_use > self.peak_in_use:
+                self.peak_in_use = self.in_use
+        return state
+
+    def release(self, state: T) -> None:
+        with self._cond:
+            self.in_use -= 1
+            self._free.append(state)
+            self._cond.notify()
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "cap": self.cap,
+                "states_bound": self.created,
+                "in_use": self.in_use,
+                "peak_in_use": self.peak_in_use,
+                "acquires": self.acquires,
+                "waits": self.waits,
+            }

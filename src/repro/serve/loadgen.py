@@ -110,8 +110,16 @@ def run_closed_loop(server: InferenceServer, model: str,
                     feeds_fn: Optional[Callable[[int], Dict[str, np.ndarray]]]
                     = None,
                     deadline_ms: Optional[float] = None,
-                    keep_responses: bool = False) -> LoadResult:
-    """Drive ``clients`` synchronous request loops to completion."""
+                    keep_responses: bool = False,
+                    client_timeout_s: Optional[float] = 120.0) -> LoadResult:
+    """Drive ``clients`` synchronous request loops to completion.
+
+    ``client_timeout_s`` bounds the whole run: client threads are
+    joined against one shared deadline, and any still alive past it
+    (e.g. wedged on a server that stopped completing requests) raise a
+    ``RuntimeError`` naming the stuck clients instead of hanging the
+    bench run forever.  ``None`` disables the bound.
+    """
     graph = server.repository.get(model).graph
     if feeds_fn is None:
         feeds_fn = lambda i: feeds_for(graph, i)  # noqa: E731
@@ -138,12 +146,24 @@ def run_closed_loop(server: InferenceServer, model: str,
                 _collect(result, lock, None, exc)
 
     t0 = time.perf_counter()
-    threads = [threading.Thread(target=client, args=(c,), daemon=True)
+    threads = [threading.Thread(target=client, args=(c,), daemon=True,
+                                name=f"loadgen-client-{c}")
                for c in range(clients)]
     for t in threads:
         t.start()
+    deadline = None if client_timeout_s is None else t0 + client_timeout_s
+    stuck: List[str] = []
     for t in threads:
-        t.join()
+        remaining = None if deadline is None else max(
+            0.0, deadline - time.perf_counter())
+        t.join(remaining)
+        if t.is_alive():
+            stuck.append(t.name)
+    if stuck:
+        raise RuntimeError(
+            f"closed-loop load generation stuck: {len(stuck)}/{clients} "
+            f"client(s) still running after {client_timeout_s}s "
+            f"({', '.join(stuck)}); server stats: {server.stats()}")
     result.wall_s = time.perf_counter() - t0
     result.server_stats = server.stats()
     return result
@@ -202,11 +222,14 @@ def run_open_loop(server: InferenceServer, model: str,
 # ----------------------------------------------------------------------
 def _serve_once(repo: ModelRepository, model: str, max_batch: int,
                 clients: int, requests_per_client: int,
-                workers: int, max_wait_ms: float) -> LoadResult:
+                workers: int, max_wait_ms: float,
+                host_workers: Optional[int] = None,
+                host_states: Optional[int] = None) -> LoadResult:
     server = InferenceServer(repo, ServerConfig(
         workers=workers, max_batch_size=max_batch,
         max_wait_ms=max_wait_ms,
-        queue_depth=max(64, clients * 2)))
+        queue_depth=max(64, clients * 2),
+        host_workers=host_workers, host_states=host_states))
     with server:
         return run_closed_loop(server, model, clients=clients,
                                requests_per_client=requests_per_client)
@@ -218,6 +241,8 @@ def bench_serve(model: str = "mobilenet-v2", mechanism: str = "gpu",
                 max_wait_ms: float = 50.0,
                 plan=None,
                 progress: Optional[Callable[[str], None]] = None,
+                host_workers: Optional[int] = None,
+                host_states: Optional[int] = None,
                 ) -> Dict[str, Any]:
     """Closed-loop A/B: batch-1 serving vs dynamic batching.
 
@@ -247,11 +272,13 @@ def bench_serve(model: str = "mobilenet-v2", mechanism: str = "gpu",
 
     say(f"[bench-serve] serving {model}: batch-1 baseline ...")
     base = _serve_once(repo, model, 1, clients, requests_per_client,
-                       workers, max_wait_ms)
+                       workers, max_wait_ms,
+                       host_workers=host_workers, host_states=host_states)
     say(f"[bench-serve] serving {model}: dynamic batching "
         f"(max-batch {max_batch}) ...")
     dyn = _serve_once(repo, model, max_batch, clients, requests_per_client,
-                      workers, max_wait_ms)
+                      workers, max_wait_ms,
+                      host_workers=host_workers, host_states=host_states)
 
     cost = repo.get(model).cost
     win = (dyn.device_rps / base.device_rps if base.device_rps else 0.0)

@@ -84,6 +84,11 @@ class ServerMetrics:
         self._models: Dict[str, _ModelStats] = {}
         #: Peak queue depth observed at submission time.
         self.peak_queue_depth = 0
+        #: Server workers currently executing host numerics, and the
+        #: high-water mark — >1 peak proves batches truly overlapped on
+        #: the host (the single-arena lock made the peak exactly 1).
+        self.host_inflight = 0
+        self.host_inflight_peak = 0
 
     # ------------------------------------------------------------------
     # Recording (called by server/queue code paths)
@@ -112,6 +117,16 @@ class ServerMetrics:
     def record_failed(self, count: int = 1) -> None:
         with self._lock:
             self.failed += count
+
+    def record_host_begin(self) -> None:
+        with self._lock:
+            self.host_inflight += 1
+            if self.host_inflight > self.host_inflight_peak:
+                self.host_inflight_peak = self.host_inflight
+
+    def record_host_end(self) -> None:
+        with self._lock:
+            self.host_inflight -= 1
 
     def record_batch(self, model: str, batch_size: int,
                      device_batch_us: float, host_ms: float) -> None:
@@ -180,6 +195,8 @@ class ServerMetrics:
                 "device_busy_us": self.device_busy_us,
                 "host_exec_ms": self.host_exec_ms,
                 "peak_queue_depth": self.peak_queue_depth,
+                "host_inflight": self.host_inflight,
+                "host_inflight_peak": self.host_inflight_peak,
                 "queue_depth": queue_depth if queue_depth is not None else 0,
                 "models": models,
             }

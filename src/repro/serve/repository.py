@@ -199,3 +199,25 @@ class ModelRepository:
                 "loads": {n: e.loads for n, e in self._entries.items()
                           if e.loads},
             }
+
+    def host_stats(self) -> Dict[str, object]:
+        """State-pool gauges aggregated over the loaded models.
+
+        Sums execution-state counts and acquire/wait counters across
+        every resident executor — the server's view of how concurrent
+        host inference actually was.
+        """
+        with self._lock:
+            loaded = [e.loaded for e in self._entries.values()
+                      if e.loaded is not None]
+        agg: Dict[str, object] = {
+            "models": len(loaded), "states_bound": 0, "in_use": 0,
+            "peak_in_use": 0, "acquires": 0, "waits": 0}
+        for model in loaded:
+            s = model.executor.host_stats()
+            agg["states_bound"] += s["states_bound"]
+            agg["in_use"] += s["in_use"]
+            agg["peak_in_use"] = max(agg["peak_in_use"], s["peak_in_use"])
+            agg["acquires"] += s["acquires"]
+            agg["waits"] += s["waits"]
+        return agg

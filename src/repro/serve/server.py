@@ -67,10 +67,22 @@ class ServerConfig:
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS
     #: Default per-request deadline; None = requests never expire.
     default_deadline_ms: Optional[float] = None
+    #: Operator-parallel dispatch width inside each host inference
+    #: (None defers to ``REPRO_HOST_WORKERS``; 1 = serial).  The CLI
+    #: flag ``--threads`` sets this.
+    host_workers: Optional[int] = None
+    #: Cap on pooled execution states per compiled program; this is
+    #: what lets ``workers`` server threads run host numerics truly
+    #: concurrently instead of serializing on one arena.  None = the
+    #: runtime default (:data:`repro.runtime.hostpool.DEFAULT_MAX_STATES`).
+    host_states: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.host_states is not None and self.host_states < 1:
+            raise ValueError(
+                f"host_states must be >= 1, got {self.host_states}")
 
 
 class InferenceServer:
@@ -171,11 +183,14 @@ class InferenceServer:
         """JSON-able snapshot: server metrics + repository state."""
         snap = self.metrics.snapshot(queue_depth=len(self.queue))
         snap["repository"] = self.repository.stats()
+        snap["host"] = self.repository.host_stats()
         snap["config"] = {
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,
             "max_batch_size": self.config.max_batch_size,
             "max_wait_ms": self.config.max_wait_ms,
+            "host_workers": self.config.host_workers,
+            "host_states": self.config.host_states,
         }
         return snap
 
@@ -224,11 +239,20 @@ class InferenceServer:
 
         start = time.perf_counter()
         outputs: List[Dict[str, np.ndarray]] = []
-        for req in batch:
-            # Per-sample through the shared compiled executable: the
-            # same call a direct client would make, hence byte-identical
-            # results no matter how requests were batched.
-            outputs.append(loaded.executor.infer(req.feeds))
+        self.metrics.record_host_begin()
+        try:
+            for req in batch:
+                # Per-sample through the shared compiled executable: the
+                # same call a direct client would make, hence
+                # byte-identical results no matter how requests were
+                # batched.  Each call runs on its own pooled execution
+                # state, so workers executing different batches proceed
+                # concurrently.
+                outputs.append(loaded.executor.infer(
+                    req.feeds, workers=self.config.host_workers,
+                    max_states=self.config.host_states))
+        finally:
+            self.metrics.record_host_end()
         host_ms = (time.perf_counter() - start) * 1e3
 
         self.metrics.record_batch(model_name, size, device_batch_us, host_ms)

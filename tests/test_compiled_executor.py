@@ -212,7 +212,7 @@ class TestStackWiring:
             out = exe.run(feeds)
             for name in ref:
                 assert ref[name].tobytes() == out[name].tobytes()
-        assert len(exe._programs) == 2  # one program per input-shape set
+        assert len(exe._pools) == 2  # one program per input-shape set
 
     def test_graph_version_invalidates_programs(self):
         graph = build_model("toy")
