@@ -527,12 +527,14 @@ def _stat_plan(args: argparse.Namespace) -> int:
         print(f"cannot load plan {args.plan}: {exc}", file=sys.stderr)
         return 2
     info = plan.summary()
+    profile = _plan_step_profile(plan)
     if args.json:
         print(json.dumps({
             "summary": info,
             "predicted_time_us": plan.predicted_time_us,
             "passes": plan.pass_log,
             "buffer_plan": dict(plan.buffer_plan),
+            "step_profile": profile,
             "provenance": {k: v for k, v in plan.provenance.items()
                            if k != "passes"},
         }, indent=2))
@@ -547,7 +549,34 @@ def _stat_plan(args: argparse.Namespace) -> int:
         print(f"Buffer plan: arena {bp['arena_bytes'] / 1e6:.1f} MB "
               f"(naive {bp['naive_bytes'] / 1e6:.1f} MB), "
               f"{bp['copies_elided']} copies elided")
+    if profile:
+        total = sum(v["ms"] for v in profile.values()) or 1.0
+        print("Host step profile (one compiled inference, best of 2):")
+        print(f"  {'kind':<12}{'steps':>6}{'ms':>9}{'share':>8}")
+        for kind, row in sorted(profile.items(),
+                                key=lambda kv: -kv[1]["ms"]):
+            print(f"  {kind:<12}{row['steps']:>6}{row['ms']:>9.3f}"
+                  f"{row['ms'] / total * 100:>7.1f}%")
     return 0
+
+
+def _plan_step_profile(plan) -> dict:
+    """Per-op-kind wall-clock breakdown of one compiled inference.
+
+    Binds the plan's graph into a fresh compiled executable and times
+    every step, bucketed by kernel class (gemm, dwconv, fused,
+    elementwise, copy, other).  Returns ``{}`` when the graph cannot be
+    bound (e.g. an op with no numpy kernel).
+    """
+    from repro.runtime.compiled import CompiledExecutable
+    from repro.runtime.verify import random_feeds
+
+    try:
+        exe = CompiledExecutable(plan.graph)
+        feeds = random_feeds(plan.graph, seed=0)
+        return exe.step_profile(feeds, rounds=2)
+    except Exception:  # pragma: no cover - diagnostic best-effort
+        return {}
 
 
 def cmd_passes(args: argparse.Namespace) -> int:

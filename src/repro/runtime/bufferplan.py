@@ -46,6 +46,10 @@ VIEW_OPS = ("Identity", "Slice", "Reshape", "Flatten", "Transpose")
 #: so every root starts cache-line aligned.
 ARENA_ALIGN = 16
 
+#: Refuse in-place links that would put conv pre-pad margins on a
+#: GEMM destination (see ``gemm_written`` in :func:`plan_buffers`).
+GEMM_DST_GUARD = True
+
 #: Ops whose single output may share its input's buffer when that input
 #: dies at the node: either the op maps elements independently (in-place
 #: ufunc with ``out=`` aliasing the input is well-defined) or the
@@ -55,6 +59,10 @@ ARENA_ALIGN = 16
 INPLACE_OPS = frozenset({
     "Relu", "Clip", "Sigmoid", "Silu", "Tanh", "Gelu", "Erf", "Softmax",
     "BatchNormalization", "Add", "Mul", "Sub", "Div",
+    # Fused elementwise groups stage every tile in scratch and flush
+    # outputs at tile end, so overwriting a dying same-shape input is
+    # as safe as for a single in-place ufunc.
+    "FusedElementwise",
 })
 
 
@@ -245,20 +253,46 @@ def plan_buffers(graph: Graph,
             if node.op_type in ("Concat", "Pad") and node.attr("elided"):
                 elide_claimed.update(node.inputs)
 
+    # Tensors written by a matmul-shaped kernel, and tensors a padded
+    # Conv reads: if an elementwise output that feeds a padded Conv
+    # in-place-aliases a GEMM destination, the margin growth (phase 3)
+    # lands on the GEMM's root, its destination view turns into a
+    # non-contiguous interior rectangle, and the conv must stage its
+    # whole output through scratch and copy it back — two extra passes
+    # over the activation that cost more than the saved allocation.
+    gemm_written = {node.outputs[0] for node in order
+                    if node.op_type in ("Conv", "Gemm", "MatMul")
+                    } if GEMM_DST_GUARD else set()
+    padded_conv_reads = {node.inputs[0] for node in order
+                         if node.op_type == "Conv"
+                         and any(node.attr("pads", (0, 0, 0, 0)))}
+
     def inplace_src(node) -> Optional[str]:
         """The input whose buffer ``node`` may overwrite, if any."""
         out = node.outputs[0]
         if len(node.outputs) != 1 or out in elide_claimed \
                 or not alias_eligible(out):
             return None
-        candidates = node.inputs[:1] if node.op_type not in (
-            "Add", "Mul", "Sub", "Div") else node.inputs[:2]
+        if node.op_type == "FusedElementwise":
+            # Any same-shape dying input qualifies: the fused sweep
+            # reads each tile of every operand before flushing that
+            # tile's output.
+            candidates = node.inputs
+        elif node.op_type in ("Add", "Mul", "Sub", "Div"):
+            candidates = node.inputs[:2]
+        else:
+            candidates = node.inputs[:1]
         for src in candidates:
             if (src not in inits
                     and use_count.get(src) == 1
                     and forest.is_root(src)
                     and src not in graph.outputs
                     and shape_of.get(src) == shape_of[out]
+                    # Keep GEMM destinations margin-free (see
+                    # ``gemm_written`` above): a padded-conv feeder may
+                    # not overwrite one.
+                    and not (out in padded_conv_reads
+                             and src in gemm_written)
                     # BLAS-free overlap safety: no other operand may
                     # share the buffer being overwritten.
                     and all(o == src or forest.find(o)[0] != src
@@ -416,7 +450,18 @@ def plan_buffers(graph: Graph,
     # ------------------------------------------------------------------
     placed: List[RootAlloc] = []
     top = 0
-    for root in sorted(plan.roots.values(), key=lambda r: (r.birth, r.death)):
+    # Pinned roots conflict with every other root no matter when they
+    # live, so placing them first stacks them contiguously at the
+    # bottom of the arena.  Interleaving them with unpinned roots (pure
+    # birth order) leaves lifetime-shaped holes under each pinned
+    # block that nothing can ever reuse.  Unpinned roots then go
+    # largest-first: big buffers claim the low offsets and small ones
+    # fill the lifetime gaps between them, instead of small early
+    # tensors squatting just above the pinned block and pushing every
+    # later large buffer higher.
+    for root in sorted(plan.roots.values(),
+                       key=lambda r: (not r.pinned, -r.elements,
+                                      r.birth, r.death)):
         size = -(-root.elements // ARENA_ALIGN) * ARENA_ALIGN
         conflicts = sorted(
             (a for a in placed

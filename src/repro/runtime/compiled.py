@@ -35,18 +35,35 @@ occupy several workers; GEMM-backed steps are never sharded, because
 BLAS kernel selection depends on the operand shapes and splitting the
 M dimension could change the floating-point reduction it runs.
 
+**Elementwise fusion.**  By default the executable applies the
+``fuse_elementwise`` pass to its graph before binding
+(``fuse=False`` is the ablation): maximal chains/DAGs of pure
+elementwise ops become single ``FusedElementwise`` steps that evaluate
+the whole sub-expression in one blocked sweep over the output.
+Intermediates live in reusable cache-sized scratch tiles
+(:data:`TILE_ELEMENTS` each), never in the arena, so the buffer
+planner allocates nothing for fused interiors and both latency and
+arena peak drop.  Convolutions likewise skip materializing im2col:
+:func:`~repro.runtime.numerical.conv_window_view` builds a read-only
+``as_strided`` patch view that feeds the GEMM directly when the 2-D
+reshape is expressible as a view, and otherwise collapses to a single
+vectorized gather into scratch.
+
 Semantics contract: outputs are **byte-identical** to the interpreted
-:func:`repro.runtime.numerical.execute` oracle, serial or parallel.
-Every specialized closure re-expresses the interpreter's exact
-floating-point op sequence (same ufuncs, same operand order, same GEMM
-operands) with the destination redirected into the arena; anything
-without a proven bit-identical specialization falls back to calling
-the registered kernel and copying the result into place.
+:func:`repro.runtime.numerical.execute` oracle, serial or parallel,
+fused or unfused.  Every specialized closure re-expresses the
+interpreter's exact floating-point op sequence (same ufuncs, same
+operand order, same GEMM operands) with the destination redirected
+into the arena; anything without a proven bit-identical specialization
+falls back to calling the registered kernel and copying the result
+into place.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import deque
 from queue import Empty, SimpleQueue
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -66,7 +83,10 @@ from repro.runtime.numerical import (
     IM2COL_MAX_ELEMENTS,
     KERNELS,
     _node_results,
+    compile_elementwise,
+    conv_window_view,
     graph_initializers_f32,
+    reshape_as_view,
     stable_sigmoid,
     stable_silu,
 )
@@ -74,6 +94,23 @@ from repro.runtime.numerical import (
 #: Batch size below which batch-shardable steps stay whole: slicing a
 #: tiny batch buys no parallelism and costs closure overhead.
 SHARD_MIN_BATCH = 4
+
+#: Float32 elements per fused-expression scratch tile (256 KB): small
+#: enough that a handful of live tiles sit in L2 while the fused sweep
+#: streams over the output, large enough that per-tile Python dispatch
+#: is noise.  Per-element ufuncs are tiling-invariant, so the tile size
+#: never affects the bytes produced.
+TILE_ELEMENTS = 64 * 1024
+
+#: Operand positions of a fused elementwise kernel that may exactly
+#: alias its ``out=`` buffer: the kernel never re-reads the operand
+#: after its first write of ``out``.  Binary ufuncs tolerate either
+#: operand; everything else (single-input maps, and notably
+#: BatchNormalization, whose param operands are read *after* ``out``
+#: is first written) only the data input.
+_FUSED_ALIAS_SAFE = {
+    "Add": (0, 1), "Mul": (0, 1), "Sub": (0, 1), "Div": (0, 1),
+}
 
 
 class _Scratch:
@@ -89,17 +126,31 @@ class _Scratch:
     first use.
     """
 
-    __slots__ = ("need_a", "need_b", "_tls")
+    __slots__ = ("need_a", "need_b", "need_slot", "num_slots", "_tls")
 
     def __init__(self) -> None:
         self.need_a = 0
         self.need_b = 0
+        #: Fused-expression tile slots: one ``need_slot``-element slot
+        #: per expression entry, allocated as a single block so a whole
+        #: fused group's intermediates stay hot in cache.
+        self.need_slot = 0
+        self.num_slots = 0
         self._tls = threading.local()
 
-    def view_a(self, shape: Tuple[int, ...]) -> np.ndarray:
+    def _pool_a(self) -> np.ndarray:
+        # The ``a`` pool doubles as the fused-slot block: a thread runs
+        # one step at a time, and no single step stages im2col columns
+        # *and* fused-tile intermediates, so the two uses never overlap
+        # within a thread.
+        need = max(self.need_a, self.need_slot * self.num_slots)
         buf = getattr(self._tls, "a", None)
-        if buf is None or buf.size < self.need_a:
-            buf = self._tls.a = np.empty(self.need_a, dtype=np.float32)
+        if buf is None or buf.size < need:
+            buf = self._tls.a = np.empty(need, dtype=np.float32)
+        return buf
+
+    def view_a(self, shape: Tuple[int, ...]) -> np.ndarray:
+        buf = self._pool_a()
         n = 1
         for d in shape:
             n *= d
@@ -113,6 +164,14 @@ class _Scratch:
         for d in shape:
             n *= d
         return buf[:n].reshape(shape)
+
+    def view_slot(self, slot: int, shape: Tuple[int, ...]) -> np.ndarray:
+        buf = self._pool_a()
+        n = 1
+        for d in shape:
+            n *= d
+        start = slot * self.need_slot
+        return buf[start:start + n].reshape(shape)
 
 
 def _capture_shapes(graph: Graph,
@@ -183,6 +242,54 @@ def _activation_inplace(node: Node) -> Optional[Callable[[np.ndarray], None]]:
                 0.7978845608 * (out + 0.044715 * out ** 3))))
         return act
     raise ValueError(f"unknown fused activation {kind!r}")
+
+
+def _tile_plan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(axis, chunk) tiling a fused sweep to ~:data:`TILE_ELEMENTS`.
+
+    Picks the outermost axis whose inner block fits a tile, then as
+    many indices of it per chunk as fit; degenerates to one whole-array
+    tile for small tensors and to single innermost-axis rows for
+    tensors with an oversized last dimension.
+    """
+    if not shape:
+        return 0, 1
+    total = 1
+    for d in shape:
+        total *= d
+    # A tile slices one axis and keeps every other axis whole, so its
+    # element count is (total / shape[axis]) * chunk.  Slice the
+    # outermost axis long enough to bring that under budget.
+    for axis, d in enumerate(shape):
+        if d * TILE_ELEMENTS >= total:
+            chunk = max(1, TILE_ELEMENTS * d // total)
+            return axis, min(chunk, d)
+    # No single axis is long enough: slice the longest one row-by-row.
+    axis = max(range(len(shape)), key=lambda i: shape[i])
+    return axis, 1
+
+
+def _graph_width(dep_counts: List[int],
+                 dependents: List[List[int]]) -> int:
+    """Max antichain size of the BFS layering of the step graph.
+
+    A cheap proxy for how much operator parallelism the hazard graph
+    actually exposes: chain-shaped programs measure 1, and dispatching
+    them through the parallel scheduler is pure overhead.
+    """
+    counts = list(dep_counts)
+    level = [i for i, c in enumerate(counts) if c == 0]
+    width = 1 if level else 0
+    while level:
+        width = max(width, len(level))
+        nxt: List[int] = []
+        for i in level:
+            for j in dependents[i]:
+                counts[j] -= 1
+                if counts[j] == 0:
+                    nxt.append(j)
+        level = nxt
+    return width
 
 
 def _shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -304,6 +411,14 @@ class _ProgramSpec:
         self._lock = threading.Lock()
         self._prepared: Dict[tuple, np.ndarray] = {}
         self._step_graphs: Dict[int, tuple] = {}
+        #: Step count per kind ("gemm", "dwconv", "elementwise",
+        #: "fused", "copy", "other"), recorded by the first state to
+        #: bind; binding is deterministic, so every state agrees.
+        self.step_kind_counts: Optional[Dict[str, int]] = None
+        #: Node name -> toposort position, matching the order the
+        #: buffer plan's root lifetimes are expressed in.
+        self.node_pos: Dict[str, int] = {
+            n.name: i for i, n in enumerate(graph.toposort())}
 
     def prepared(self, key: tuple,
                  build: Callable[[], np.ndarray]) -> np.ndarray:
@@ -317,8 +432,17 @@ class _ProgramSpec:
                 arr = self._prepared.setdefault(key, built)
         return arr
 
+    def packed_weight(self, arr: np.ndarray,
+                      shape: Tuple[int, ...]) -> np.ndarray:
+        """Contiguous ``arr.reshape(shape)``, cached per (array, shape,
+        dtype) so nodes sharing one initializer — and repeat binds of
+        the same node — share a single re-layout."""
+        key = ("packed", id(arr), arr.shape, tuple(shape), arr.dtype.str)
+        return self.prepared(
+            key, lambda: np.ascontiguousarray(arr.reshape(shape)))
+
     def step_graph(self, shards: int, accesses):
-        """The (dep_counts, dependents) pair for ``accesses``.
+        """The (dep_counts, dependents, width) triple for ``accesses``.
 
         Binding is deterministic given the shard count, so every state
         bound at the same ``shards`` records an identical access list;
@@ -326,10 +450,18 @@ class _ProgramSpec:
         """
         with self._lock:
             graph = self._step_graphs.get(shards)
-            if graph is None:
-                graph = _build_step_graph(accesses, self.plan)
-                self._step_graphs[shards] = graph
-            return graph
+        if graph is None:
+            counts, deps = _build_step_graph(accesses, self.plan)
+            graph = (counts, deps, _graph_width(counts, deps))
+            with self._lock:
+                graph = self._step_graphs.setdefault(shards, graph)
+        return graph
+
+    def max_width(self) -> int:
+        """Widest hazard graph computed so far (1 if none were)."""
+        with self._lock:
+            widths = [g[2] for g in self._step_graphs.values()]
+        return max(widths, default=1)
 
 
 class ExecutionState:
@@ -351,6 +483,7 @@ class ExecutionState:
         graph = spec.graph
         self._scratch = _Scratch()
         self._steps: List[Callable[[], None]] = []
+        self._step_kinds: List[str] = []
         self._accesses: List[Tuple[List[_Region], List[_Region]]] = []
         #: Tensors whose bytes live in a state-private buffer instead
         #: of the arena, mapped to the buffer's owning tensor name.
@@ -368,11 +501,21 @@ class ExecutionState:
         self._input_views = [(name, self._views[name])
                              for name in graph.inputs]
         self._output_views = {t: self._views.get(t) for t in graph.outputs}
+        if spec.step_kind_counts is None:
+            counts: Dict[str, int] = {}
+            for kind in self._step_kinds:
+                counts[kind] = counts.get(kind, 0) + 1
+            spec.step_kind_counts = counts
         self._dep_counts: Optional[List[int]] = None
         self._dependents: Optional[List[List[int]]] = None
+        #: Max antichain width of the hazard graph; 1 until a parallel
+        #: state computes it.  Chain-shaped programs keep width 1 and
+        #: take the serial fast path in :meth:`run` no matter how many
+        #: workers the caller configured.
+        self.width = 1
         if parallel:
-            self._dep_counts, self._dependents = spec.step_graph(
-                self.shards, self._accesses)
+            self._dep_counts, self._dependents, self.width = \
+                spec.step_graph(self.shards, self._accesses)
 
     # ------------------------------------------------------------------
     # View resolution
@@ -478,8 +621,10 @@ class ExecutionState:
 
     def _add_step(self, fn: Callable[[], None],
                   reads: List[Optional[_Region]],
-                  writes: List[Optional[_Region]]) -> None:
+                  writes: List[Optional[_Region]],
+                  kind: str = "other") -> None:
         self._steps.append(fn)
+        self._step_kinds.append(kind)
         self._accesses.append((
             [r for r in reads if r is not None],
             [w for w in writes if w is not None]))
@@ -510,6 +655,8 @@ class ExecutionState:
                 self._bind_gemm(node)
             elif op == "BatchNormalization":
                 self._bind_bn(node)
+            elif op == "FusedElementwise":
+                self._bind_fused(node)
             elif op in _UNARY_OUT or op in _BINARY_OUT or op == "Clip":
                 self._bind_elementwise(node)
             else:
@@ -564,7 +711,7 @@ class ExecutionState:
         def step(src=src, priv=priv, shape=shape) -> None:
             np.copyto(priv, src.reshape(shape))
         self._add_step(step, [self._region(node.inputs[0])],
-                       [self._region(out)])
+                       [self._region(out)], kind="copy")
 
     def _bind_concat(self, node: Node) -> None:
         out = node.outputs[0]
@@ -595,7 +742,7 @@ class ExecutionState:
             def step(copies=copies) -> None:
                 for dst, src in copies:
                     np.copyto(dst, src)
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="copy")
 
     def _bind_pad(self, node: Node) -> None:
         src_name, out = node.inputs[0], node.outputs[0]
@@ -665,9 +812,7 @@ class ExecutionState:
                 act(dst)
 
         if group == cin and cin_g == 1 and cout == group:
-            taps = spec.prepared(
-                (node.name, "taps"),
-                lambda: np.ascontiguousarray(w.reshape(kh, kw, cout)))
+            taps = spec.packed_weight(w, (kh, kw, cout))
             scratch.need_b = max(scratch.need_b, n * oh * ow * cout)
             shards = self._shard_count(n) if static else 1
             if shards > 1:
@@ -695,7 +840,8 @@ class ExecutionState:
                     self._add_step(
                         step,
                         [self._region(x_name, batch=(n0, n1))],
-                        [self._region(out_name, batch=(n0, n1))])
+                        [self._region(out_name, batch=(n0, n1))],
+                        kind="dwconv")
                 return
 
             def step() -> None:
@@ -709,7 +855,7 @@ class ExecutionState:
                             taps[i, j], out=sb)
                         np.add(dst, sb, out=dst)
                 epilogue()
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="dwconv")
             return
 
         if group != 1:
@@ -720,7 +866,7 @@ class ExecutionState:
                                     sh, sw, cin_g, cout, group)
                 np.copyto(dst, out)
                 epilogue()
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="gemm")
             return
 
         # Regular convolution: GEMM with the result written in place
@@ -742,9 +888,7 @@ class ExecutionState:
                 np.copyto(dst, sb.reshape(n, oh, ow, cout))
 
         if kh == 1 and kw == 1:
-            w2d = spec.prepared(
-                (node.name, "w2d"),
-                lambda: np.ascontiguousarray(w.reshape(cin, cout)))
+            w2d = spec.packed_weight(w, (cin, cout))
             scratch.need_a = max(scratch.need_a, npix * cin)
 
             def step() -> None:
@@ -757,25 +901,48 @@ class ExecutionState:
                     a2d = sa.reshape(npix, cin)
                 gemm(a2d, w2d)
                 epilogue()
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="gemm")
             return
 
         if npix * kh * kw * cin <= IM2COL_MAX_ELEMENTS:
-            w2d = spec.prepared(
-                (node.name, "w2d"),
-                lambda: np.ascontiguousarray(w.reshape(kh * kw * cin, cout)))
-            scratch.need_a = max(scratch.need_a, npix * kh * kw * cin)
+            # Zero-materialization im2col: a read-only as_strided view
+            # of every patch.  With a static input window (pre-padded
+            # arena view or pad-free input) the view is built once at
+            # bind time; if the (npix, K) flattening is expressible as
+            # a view, the GEMM reads the input storage directly and no
+            # column matrix ever exists.  Otherwise one vectorized
+            # gather into scratch replaces the old per-tap copy loop —
+            # the GEMM operand holds identical bytes in every path, so
+            # the result is too.
+            K = kh * kw * cin
+            w2d = spec.packed_weight(w, (K, cout))
+            if static:
+                win = conv_window_view(get_xp(), oh, ow, kh, kw, sh, sw)
+                a2d = reshape_as_view(win, (npix, K))
+                if a2d is not None:
+                    def step(a2d=a2d) -> None:
+                        gemm(a2d, w2d)
+                        epilogue()
+                    self._add_step(step, reads, writes, kind="gemm")
+                    return
+                scratch.need_a = max(scratch.need_a, npix * K)
+
+                def step(win=win) -> None:
+                    cols = scratch.view_a((n, oh, ow, kh, kw, cin))
+                    np.copyto(cols, win)
+                    gemm(cols.reshape(npix, K), w2d)
+                    epilogue()
+                self._add_step(step, reads, writes, kind="gemm")
+                return
+            scratch.need_a = max(scratch.need_a, npix * K)
 
             def step() -> None:
-                xp = get_xp()
                 cols = scratch.view_a((n, oh, ow, kh, kw, cin))
-                for i in range(kh):
-                    for j in range(kw):
-                        cols[:, :, :, i, j, :] = \
-                            xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
-                gemm(cols.reshape(npix, kh * kw * cin), w2d)
+                np.copyto(cols,
+                          conv_window_view(get_xp(), oh, ow, kh, kw, sh, sw))
+                gemm(cols.reshape(npix, K), w2d)
                 epilogue()
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="gemm")
             return
 
         def step() -> None:
@@ -787,7 +954,7 @@ class ExecutionState:
                     np.add(dst, np.tensordot(patch, w[i, j], axes=([3], [0])),
                            out=dst)
             epilogue()
-        self._add_step(step, reads, writes)
+        self._add_step(step, reads, writes, kind="gemm")
 
     def _bind_gemm(self, node: Node) -> None:
         spec = self.spec
@@ -812,7 +979,7 @@ class ExecutionState:
                     np.add(dst, bias, out=dst)
                 if act is not None:
                     act(dst)
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="gemm")
         else:
             self._scratch.need_b = max(self._scratch.need_b, dst.size)
             scratch, shape = self._scratch, dst.shape
@@ -825,7 +992,7 @@ class ExecutionState:
                     np.add(dst, bias, out=dst)
                 if act is not None:
                     act(dst)
-            self._add_step(step, reads, writes)
+            self._add_step(step, reads, writes, kind="gemm")
 
     def _bind_bn(self, node: Node) -> None:
         spec = self.spec
@@ -853,7 +1020,8 @@ class ExecutionState:
                 np.multiply(dv, scale, out=dv)
                 np.add(dv, bias, out=dv)
             self._add_step(step, [self._region(x_name, batch=batch)],
-                           [self._region(out_name, batch=batch)])
+                           [self._region(out_name, batch=batch)],
+                           kind="elementwise")
 
         shards = 1
         if x.shape == dst.shape and dst.ndim >= 2:
@@ -916,7 +1084,337 @@ class ExecutionState:
                 step,
                 [self._region(t, batch=b)
                  for t, b in zip(node.inputs, in_batches)],
-                [self._region(out_name, batch=rng)])
+                [self._region(out_name, batch=rng)],
+                kind="elementwise")
+
+    def _bind_fused(self, node: Node) -> None:
+        """One step per FusedElementwise group.
+
+        Bind-time alias analysis places every entry's result: output
+        entries write their destination views directly when the write
+        cannot clobber memory a later entry still reads; chain
+        extension then walks backward through single-consumer
+        interiors, keeping the whole chain in place on one buffer —
+        the direct destination, or (when that is a strided
+        margined-interior view) a dying input whose planned lifetime
+        ends here, so only the final entry pays the strided write.
+        Fully-placed groups run as one whole-array sweep over a
+        pre-resolved kernel sequence; groups with leftover interiors
+        evaluate per ~64K-element tile with staged entries in private
+        scratch slots, flushing staged outputs at tile end (the
+        flushed tile only overwrites the identical rectangle of an
+        input the expression has already consumed this tile, which is
+        what keeps the step safe under the planner's in-place
+        aliasing).  Interior tensors never touch the arena.
+        Per-element ufuncs are tiling-invariant, so every placement is
+        byte-identical to whole-array evaluation.
+        """
+        spec = self.spec
+        expr = node.attr("expr") or []
+        out_ids = list(node.attr("out_ids") or [])
+        S = spec.shapes.get(node.outputs[0])
+        if (not expr or len(out_ids) != len(node.outputs) or not S
+                or any(tuple(spec.shapes.get(t, ())) != tuple(S)
+                       for t in node.outputs)):
+            self._bind_generic(node)
+            return
+        S = tuple(S)
+        ins = [spec.inits[t] if t in spec.inits else self._view(t)
+               for t in node.inputs]
+        dsts = [self._view(t) for t in node.outputs]
+        if any(d.shape != S for d in dsts):
+            self._bind_generic(node)
+            return
+        entries: List[tuple] = []
+        for idx, entry in enumerate(expr):
+            op = entry["op"]
+            attrs = dict(entry.get("attrs") or {})
+            refs = [(r[0], int(r[1])) for r in entry["inputs"]]
+            if op == "BatchNormalization" and len(refs) == 5:
+                kind4, j4 = refs[4]
+                if kind4 == "in" and node.inputs[j4] in spec.inits:
+                    # Precompute sqrt(var + eps) once — identical
+                    # float32 values to the per-call evaluation — and
+                    # splice it in as the fifth operand so the tiled
+                    # sweep slices it like every other input.
+                    var = spec.inits[node.inputs[j4]]
+                    eps = attrs.get("epsilon", 1e-5)
+                    denom = spec.prepared(
+                        (node.name, "fused_denom", idx),
+                        lambda var=var, eps=eps: np.sqrt(
+                            np.asarray(var + eps, dtype=np.float32)))
+                    refs[4] = ("in", len(ins))
+                    ins.append(denom)
+                    attrs["_denom_input"] = True
+            entries.append((op, attrs, refs))
+        kerns = [compile_elementwise(op, attrs) for op, attrs, _ in entries]
+        scratch = self._scratch
+        out_ids_t = tuple(out_ids)
+
+        # Operand indices whose arena buffer dies at this node (the
+        # plan's root lifetime ends here, so no later step reads it)
+        # and is referenced by exactly one entry: the tiled sweep may
+        # reuse such a buffer as in-place scratch for chain interiors.
+        in_ref_count: Dict[int, int] = {}
+        for _eop, _eat, erefs in entries:
+            for kind, r in erefs:
+                if kind == "in":
+                    in_ref_count[r] = in_ref_count.get(r, 0) + 1
+        graph_outs = set(spec.graph.outputs)
+        node_pos = spec.node_pos.get(node.name)
+        dying_ops = set()
+        for i, t in enumerate(node.inputs):
+            if (t in spec.inits or t in graph_outs
+                    or in_ref_count.get(i) != 1):
+                continue
+            st = spec.plan.storage.get(t)
+            alloc = st and spec.plan.roots.get(st.root)
+            if alloc is not None and alloc.death == node_pos:
+                dying_ops.add(i)
+
+        def _exact_alias(a: np.ndarray, b: np.ndarray) -> bool:
+            return (a.shape == b.shape and a.strides == b.strides
+                    and a.__array_interface__["data"][0]
+                    == b.__array_interface__["data"][0])
+
+        def emit(ivs: List[np.ndarray], dvs: List[np.ndarray],
+                 shape: Tuple[int, ...], reads, writes) -> None:
+            axis, chunk = _tile_plan(shape)
+            ndim = len(shape)
+            n_t = shape[axis]
+            # Operand axis carrying the tiled dimension under
+            # right-aligned broadcasting; None = the operand broadcasts
+            # along it and passes through whole.
+            ext_axes: List[Optional[int]] = []
+            for iv in ivs:
+                k = axis - (ndim - iv.ndim)
+                ext_axes.append(
+                    k if 0 <= k < iv.ndim and iv.shape[k] == n_t else None)
+            head, tail = shape[:axis], shape[axis + 1:]
+
+            # Alias analysis: an output entry may evaluate straight
+            # into its destination view (no staging copy) iff nothing
+            # evaluated at-or-after it reads memory the write clobbers.
+            # The planner's in-place aliasing gives dst the exact view
+            # of one dead input; a ufunc whose out= exactly aliases one
+            # of its own inputs is well-defined, and an exact alias is
+            # tile-sliced identically, so tile k of the input is always
+            # consumed in the same iteration that overwrites it.
+            dv_of = dict(zip(out_ids_t, dvs))
+            dvs_overlap = any(
+                np.shares_memory(a, b)
+                for i, a in enumerate(dvs) for b in dvs[i + 1:])
+
+            def safe_from(j: int, dv: np.ndarray) -> bool:
+                for p in range(j, len(entries)):
+                    for kind, r in entries[p][2]:
+                        if kind != "in":
+                            continue
+                        iv = ivs[r]
+                        if not np.shares_memory(iv, dv):
+                            continue
+                        if p == j and _exact_alias(iv, dv):
+                            continue
+                        return False
+                return True
+
+            direct: Dict[int, np.ndarray] = {}
+            for j, dv in dv_of.items():
+                if dvs_overlap:
+                    break
+                if safe_from(j, dv):
+                    direct[j] = dv
+
+            # Chain extension: an interior entry whose value is consumed
+            # exactly once — through an alias-tolerant operand of an
+            # entry already writing ``dv`` — may evaluate into that same
+            # destination tile.  The whole chain then runs in place on
+            # one hot buffer instead of round-tripping a scratch slot,
+            # which is where the fused sweep's bandwidth win lives on
+            # cache-resident activations.  The bytes are unchanged: the
+            # consumer reads the identical values from ``dv`` that it
+            # would have read from the slot.
+            tuse: Dict[int, int] = {}
+            for _eop, _eat, erefs in entries:
+                for kind, r in erefs:
+                    if kind == "t":
+                        tuse[r] = tuse.get(r, 0) + 1
+            out_set = set(out_ids_t)
+
+            # Dying inputs usable as in-place chain scratch in THIS
+            # emit call: full-shape, writable, contiguous, and not
+            # overlapping any other operand view.
+            avail = {
+                i for i in dying_ops
+                if i < len(ivs)
+                and ivs[i].shape == shape
+                and ivs[i].flags.writeable
+                and ivs[i].flags.c_contiguous
+                and not any(np.shares_memory(ivs[i], ivs[k])
+                            for k in range(len(ivs)) if k != i)}
+            scratch_ops: set = set()
+
+            dst_for = dict(direct)
+            for jo in direct:
+                c = jo
+                while True:
+                    op_c = entries[c][0]
+                    safe_pos = _FUSED_ALIAS_SAFE.get(op_c, (0,))
+                    nxt = None
+                    for k, (kind, r) in enumerate(entries[c][2]):
+                        if (kind == "t" and k in safe_pos
+                                and tuse.get(r) == 1
+                                and r not in out_set
+                                and r not in dst_for):
+                            nxt = r
+                            break
+                    if nxt is None:
+                        break
+                    # Pick the chain's buffer.  Default: keep running
+                    # in the consumer's target.  But when that target
+                    # is a strided margined-interior view and this
+                    # entry's own data input is a dying contiguous
+                    # arena buffer, run the chain interior in place on
+                    # that input instead — only the final entry then
+                    # pays the strided write, exactly like the unfused
+                    # schedule, and intermediates stay in one hot
+                    # contiguous buffer.
+                    tgt = dst_for[c]
+                    if not tgt.flags.c_contiguous:
+                        for k, (kind, r2) in enumerate(entries[nxt][2]):
+                            if (kind == "in" and r2 in avail
+                                    and k in _FUSED_ALIAS_SAFE.get(
+                                        entries[nxt][0], (0,))
+                                    and safe_from(nxt, ivs[r2])):
+                                tgt = ivs[r2]
+                                avail.discard(r2)
+                                scratch_ops.add(r2)
+                                break
+                    if tgt is dst_for[c] and not safe_from(nxt, tgt):
+                        break
+                    dst_for[nxt] = tgt
+                    c = nxt
+            staged = [j for j in range(len(entries)) if j not in dst_for]
+            slot_of = {j: i for i, j in enumerate(staged)}
+            if not staged:
+                # Every entry writes its final buffer in place, so
+                # there is no scratch slot to keep cache-hot; tiling
+                # would only add slicing overhead.  Sweep the whole
+                # array in one tile — bit-identical either way.
+                chunk = n_t
+            if staged:
+                inner = 1
+                for d in shape[axis + 1:]:
+                    inner *= d
+                outer = 1
+                for d in shape[:axis]:
+                    outer *= d
+                scratch.need_slot = max(scratch.need_slot,
+                                        outer * chunk * inner)
+                scratch.num_slots = max(scratch.num_slots, len(staged))
+
+            # Precompute every tile's input/destination views once at
+            # bind time; the run-time loop only resolves scratch slots
+            # (thread-local) and calls pre-compiled kernels.  The
+            # per-entry table (kernel closure, operand refs, slot) is
+            # static across tiles, so a tile stores just one view per
+            # *operand* — entries sharing an input share its slice —
+            # plus the direct-write and flush targets.
+            static_ents = tuple(
+                (kerns[j],
+                 tuple((0, r) if kind == "t" else (1, r)
+                       for kind, r in refs),
+                 slot_of.get(j))
+                for j, (op, attrs, refs) in enumerate(entries))
+            tiles = []
+            full_shape = None
+            for lo in range(0, n_t, chunk):
+                hi = min(n_t, lo + chunk)
+                if hi - lo == chunk and full_shape is not None:
+                    tshape = full_shape
+                else:
+                    tshape = head + (hi - lo,) + tail
+                    if hi - lo == chunk:
+                        full_shape = tshape
+                dtile = (slice(None),) * axis + (slice(lo, hi),)
+                tviews = tuple(
+                    iv if k is None else
+                    iv[(slice(None),) * k + (slice(lo, hi),)]
+                    for iv, k in zip(ivs, ext_axes))
+                dtgts = tuple(dst_for[j][dtile] if j in dst_for else None
+                              for j in range(len(entries)))
+                flushes = tuple((dv[dtile], j) for j, dv in dv_of.items()
+                                if j not in direct)
+                tiles.append((tviews, dtgts, flushes, tshape))
+
+            if not staged:
+                # Fully extended group: one whole-array tile, every
+                # value a static view, nothing flushed.  The entire
+                # sweep is a fixed sequence of kernel calls resolvable
+                # now — the run-time step does no indexing at all.
+                tviews, dtgts, _fl, _ts = tiles[0]
+                calls = tuple(
+                    (kerns[j],
+                     [tviews[p] if kind == "in" else dtgts[p]
+                      for kind, p in refs],
+                     dtgts[j])
+                    for j, (op, attrs, refs) in enumerate(entries))
+
+                def step(calls=calls) -> None:
+                    for kern, tins, tgt in calls:
+                        kern(tins, tgt)
+
+                self._add_step(step, reads,
+                               list(writes) + [reads[i]
+                                               for i in sorted(scratch_ops)
+                                               if i < len(reads)],
+                               kind="fused")
+                return
+
+            def step(tiles=tuple(tiles), ents=static_ents) -> None:
+                vals: List[Optional[np.ndarray]] = [None] * len(ents)
+                for tviews, dtgts, flushes, tshape in tiles:
+                    for j, (kern, refs, slot) in enumerate(ents):
+                        tins = [tviews[p] if c else vals[p]
+                                for c, p in refs]
+                        tgt = dtgts[j]
+                        if tgt is None:
+                            tgt = scratch.view_slot(slot, tshape)
+                        kern(tins, tgt)
+                        vals[j] = tgt
+                    for fv, j in flushes:
+                        np.copyto(fv, vals[j])
+            if scratch_ops:
+                # Chain interiors clobber dying input buffers; the
+                # hazard graph must see those as writes so parallel
+                # dispatch cannot overlap another reader.
+                writes = list(writes) + [reads[i]
+                                         for i in sorted(scratch_ops)
+                                         if i < len(reads)]
+            self._add_step(step, reads, writes, kind="fused")
+
+        shards = self._shard_count(S[0]) if len(S) >= 2 else 1
+        if shards > 1:
+            for n0, n1 in _shard_ranges(S[0], shards):
+                sub_ivs: List[np.ndarray] = []
+                in_batches: List[Optional[Tuple[int, int]]] = []
+                for iv in ins:
+                    if iv.ndim == len(S) and iv.shape[0] == S[0]:
+                        sub_ivs.append(iv[n0:n1])
+                        in_batches.append((n0, n1))
+                    else:
+                        sub_ivs.append(iv)
+                        in_batches.append(None)
+                emit(sub_ivs, [d[n0:n1] for d in dsts],
+                     (n1 - n0,) + S[1:],
+                     [self._region(t, batch=b)
+                      for t, b in zip(node.inputs, in_batches)],
+                     [self._region(t, batch=(n0, n1))
+                      for t in node.outputs])
+        else:
+            emit(ins, dsts, S,
+                 [self._region(t) for t in node.inputs],
+                 [self._region(t) for t in node.outputs])
 
     def _bind_generic(self, node: Node) -> None:
         fn = KERNELS.get(node.op_type)
@@ -941,12 +1439,40 @@ class ExecutionState:
             max_inflight: int = 1) -> Dict[str, np.ndarray]:
         for name, view in self._input_views:
             np.copyto(view, feeds[name])
+        # width 1 = the hazard graph is a chain: parallel dispatch can
+        # never overlap two steps, so skip its queue/submit overhead
+        # entirely even when workers were requested.
         if max_inflight > 1 and self._dep_counts is not None \
-                and len(self._steps) > 1:
+                and len(self._steps) > 1 and self.width > 1:
             self._run_parallel(max_inflight)
         else:
             for step in self._steps:
                 step()
+        return self._collect_outputs()
+
+    def run_profiled(self, feeds: Mapping[str, np.ndarray]
+                     ) -> Tuple[Dict[str, np.ndarray], Dict[str, dict]]:
+        """Serial run with per-step timing grouped by step kind.
+
+        Returns ``(outputs, {kind: {"steps": n, "ms": total}})`` —
+        the attribution behind ``repro stat --plan`` and
+        :meth:`CompiledExecutable.step_profile`.
+        """
+        for name, view in self._input_views:
+            np.copyto(view, feeds[name])
+        prof: Dict[str, List[float]] = {}
+        for step, kind in zip(self._steps, self._step_kinds):
+            t0 = time.perf_counter()
+            step()
+            dt = time.perf_counter() - t0
+            entry = prof.setdefault(kind, [0, 0.0])
+            entry[0] += 1
+            entry[1] += dt
+        profile = {kind: {"steps": int(n), "ms": total * 1e3}
+                   for kind, (n, total) in prof.items()}
+        return self._collect_outputs(), profile
+
+    def _collect_outputs(self) -> Dict[str, np.ndarray]:
         out: Dict[str, np.ndarray] = {}
         for t, view in self._output_views.items():
             if view is None:
@@ -1046,14 +1572,18 @@ class CompiledExecutable:
     (acquires beyond it wait for a release).  ``elide=False`` disables
     the zero-copy treatment of memopt-``elided`` nodes and pre-padded
     conv reads; it is the ablation the benchmarks use to show what the
-    paper's memory-layout optimization buys at runtime.
+    paper's memory-layout optimization buys at runtime.  ``fuse=False``
+    likewise disables the internal ``fuse_elementwise`` rewrite, the
+    ablation behind the ``compiled_ms`` vs ``fused_ms`` benchmark pair.
     """
 
     def __init__(self, graph: Graph, *, elide: bool = True,
                  workers: Optional[int] = None,
-                 max_states: Optional[int] = None) -> None:
+                 max_states: Optional[int] = None,
+                 fuse: bool = True) -> None:
         self.graph = graph
         self.elide = elide
+        self.fuse = bool(fuse)
         self.workers = resolve_host_workers(workers)
         self.max_states = int(max_states) if max_states is not None \
             else DEFAULT_MAX_STATES
@@ -1064,10 +1594,12 @@ class CompiledExecutable:
         #: Guards the program map only — never held while running.
         self._bind_lock = threading.Lock()
         self._pools: Dict[tuple, Tuple[_ProgramSpec, StatePool]] = {}
+        self._fused_graph: Optional[Graph] = None
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_pools"] = {}  # closures and arenas never travel
+        state["_fused_graph"] = None
         del state["_bind_lock"]
         return state
 
@@ -1076,11 +1608,38 @@ class CompiledExecutable:
         self._bind_lock = threading.Lock()
         self._pools = {}
 
+    def _run_graph(self) -> Graph:
+        """The graph states actually bind: elementwise-fused when
+        ``fuse`` is on and the rewrite found something to fuse.
+
+        Called with ``_bind_lock`` held; the fused clone is cached and
+        invalidated alongside the program map on version changes.
+        Shapes and feeds keep using :attr:`graph` — the fused graph's
+        tensors are a subset (interiors removed), and graph inputs and
+        outputs are preserved by the pass.
+        """
+        if not self.fuse:
+            return self.graph
+        fused = self._fused_graph
+        if fused is None:
+            # Deliberately lazy: the serving path must work without the
+            # transform package in the process (see
+            # test_executor_process_never_imports_search).
+            from repro.transform.elemfuse import _fuse_elementwise
+
+            fused = _fuse_elementwise(self.graph)
+            if not any(n.op_type == "FusedElementwise"
+                       for n in fused.nodes):
+                fused = self.graph
+            self._fused_graph = fused
+        return fused
+
     def _pool_for(self, feeds: Mapping[str, np.ndarray]
                   ) -> Tuple[_ProgramSpec, StatePool]:
         with self._bind_lock:
             if self.graph.version != self._version:
                 self._pools.clear()
+                self._fused_graph = None
                 self._version = self.graph.version
             key = tuple(
                 (name, tuple(np.shape(feeds[name])))
@@ -1096,14 +1655,22 @@ class CompiledExecutable:
                               for name, info in self.graph.tensors.items()}
                 else:
                     shapes = _capture_shapes(self.graph, feeds)
-                spec = _ProgramSpec(self.graph, shapes, elide=self.elide)
+                spec = _ProgramSpec(self._run_graph(), shapes,
+                                    elide=self.elide)
                 shards = self.workers
                 parallel = self.workers > 1
 
                 def factory(spec=spec, shards=shards, parallel=parallel):
                     return ExecutionState(spec, shards=shards,
                                           parallel=parallel)
-                entry = (spec, StatePool(factory, self.max_states))
+                # Request-level analog of the hazard-width gate: states
+                # beyond the physical core count cannot overlap on CPU
+                # — they only multiply arena footprint and cache
+                # pressure (each checkout lands on a cold arena), so a
+                # single-core host serializes on one hot state exactly
+                # like the pre-pool runtime did.
+                cap = max(1, min(self.max_states, os.cpu_count() or 1))
+                entry = (spec, StatePool(factory, cap))
                 self._pools[key] = entry
         return entry
 
@@ -1159,9 +1726,9 @@ class CompiledExecutable:
     def pool_stats(self) -> Dict[str, object]:
         """Aggregate state-pool gauges across all bound programs."""
         with self._bind_lock:
-            pools = [pool for _, pool in self._pools.values()]
+            entries = list(self._pools.values())
         agg: Dict[str, object] = {
-            "programs": len(pools),
+            "programs": len(entries),
             "workers": self.workers,
             "max_states": self.max_states,
             "states_bound": 0,
@@ -1169,15 +1736,55 @@ class CompiledExecutable:
             "peak_in_use": 0,
             "acquires": 0,
             "waits": 0,
+            "width": 1,
+            "fused_groups": 0,
+            "step_kinds": {},
         }
-        for pool in pools:
+        kinds: Dict[str, int] = agg["step_kinds"]
+        for spec, pool in entries:
             s = pool.stats()
             agg["states_bound"] += s["states_bound"]
             agg["in_use"] += s["in_use"]
             agg["peak_in_use"] = max(agg["peak_in_use"], s["peak_in_use"])
             agg["acquires"] += s["acquires"]
             agg["waits"] += s["waits"]
+            agg["width"] = max(agg["width"], spec.max_width())
+            agg["fused_groups"] = max(
+                agg["fused_groups"],
+                sum(1 for n in spec.graph.nodes
+                    if n.op_type == "FusedElementwise"))
+            for kind, count in (spec.step_kind_counts or {}).items():
+                kinds[kind] = max(kinds.get(kind, 0), count)
         return agg
+
+    def step_profile(self, feeds: Optional[Mapping[str, np.ndarray]] = None,
+                     rounds: int = 2) -> Dict[str, dict]:
+        """Per-op-kind serial step timing for one inference.
+
+        Runs ``rounds`` serial profiled inferences (declared-shape zero
+        feeds if none given) and keeps each kind's best total, so
+        first-run binding noise doesn't pollute the attribution.
+        Returns ``{kind: {"steps": n, "ms": total}}``.
+        """
+        if feeds is None:
+            feeds = {name: np.zeros(self.graph.tensors[name].shape,
+                                    dtype=np.float32)
+                     for name in self.graph.inputs}
+        feeds32 = {name: np.asarray(arr, dtype=np.float32)
+                   for name, arr in feeds.items()}
+        _, pool = self._pool_for(feeds32)
+        state = pool.acquire()
+        try:
+            best: Dict[str, dict] = {}
+            for _ in range(max(1, int(rounds))):
+                _, profile = state.run_profiled(feeds32)
+                for kind, entry in profile.items():
+                    cur = best.get(kind)
+                    if cur is None or entry["ms"] < cur["ms"]:
+                        best[kind] = entry
+            return best
+        finally:
+            pool.release(state)
 
 
 _UNARY_OUT: Dict[str, Callable] = {

@@ -171,7 +171,7 @@ class ExecutionEngine:
 
     def infer(self, graph: Graph, feeds, compiled: bool = True,
               elide: bool = True, workers: Optional[int] = None,
-              max_states: Optional[int] = None):
+              max_states: Optional[int] = None, fuse: bool = True):
         """Run one *numerical* inference of ``graph`` on the host.
 
         Where :meth:`run` prices a schedule on the modelled devices,
@@ -192,11 +192,11 @@ class ExecutionEngine:
             from repro.runtime.numerical import execute
             return execute(graph, feeds)
         return self.executable(graph, elide=elide, workers=workers,
-                               max_states=max_states).run(feeds)
+                               max_states=max_states, fuse=fuse).run(feeds)
 
     def executable(self, graph: Graph, elide: bool = True,
                    workers: Optional[int] = None,
-                   max_states: Optional[int] = None):
+                   max_states: Optional[int] = None, fuse: bool = True):
         """The cached :class:`~repro.runtime.compiled.CompiledExecutable`
         for ``graph``, binding one on a miss.
 
@@ -210,14 +210,14 @@ class ExecutionEngine:
         from repro.runtime.compiled import CompiledExecutable
         from repro.runtime.hostpool import resolve_host_workers
         workers = resolve_host_workers(workers)
-        key = (id(graph), graph.version, elide, workers, max_states)
+        key = (id(graph), graph.version, elide, workers, max_states, fuse)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is not None:
                 self._compiled_cache.move_to_end(key)
                 return exe
         built = CompiledExecutable(graph, elide=elide, workers=workers,
-                                   max_states=max_states)
+                                   max_states=max_states, fuse=fuse)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is None:
@@ -244,13 +244,18 @@ class ExecutionEngine:
         The serving layer surfaces this as its host-concurrency view:
         how many execution states are bound, the high-water mark of
         simultaneous in-flight runs, and how often an acquire had to
-        wait for a state (contention).
+        wait for a state (contention).  Also carries the measured
+        hazard-graph ``width`` (1 = chain-shaped, parallel dispatch
+        gated off), the ``fused_groups`` count, and the per-kind step
+        census (``step_kinds``).
         """
         with self._compiled_lock:
             exes = list(self._compiled_cache.values())
         agg: Dict[str, object] = {
             "executables": len(exes), "programs": 0, "states_bound": 0,
-            "in_use": 0, "peak_in_use": 0, "acquires": 0, "waits": 0}
+            "in_use": 0, "peak_in_use": 0, "acquires": 0, "waits": 0,
+            "width": 1, "fused_groups": 0, "step_kinds": {}}
+        kinds: Dict[str, int] = agg["step_kinds"]
         for exe in exes:
             s = exe.pool_stats()
             agg["programs"] += s["programs"]
@@ -259,6 +264,11 @@ class ExecutionEngine:
             agg["peak_in_use"] = max(agg["peak_in_use"], s["peak_in_use"])
             agg["acquires"] += s["acquires"]
             agg["waits"] += s["waits"]
+            agg["width"] = max(agg["width"], s.get("width", 1))
+            agg["fused_groups"] = max(agg["fused_groups"],
+                                      s.get("fused_groups", 0))
+            for kind, count in (s.get("step_kinds") or {}).items():
+                kinds[kind] = max(kinds.get(kind, 0), count)
         return agg
 
     def run(self, graph: Graph) -> RunResult:

@@ -64,7 +64,7 @@ class PlanExecutor:
 
     def infer(self, feeds, compiled: bool = True, elide: bool = True,
               workers: Optional[int] = None,
-              max_states: Optional[int] = None):
+              max_states: Optional[int] = None, fuse: bool = True):
         """Numerically execute the plan's graph on the given feeds.
 
         Routes through the engine's compiled-executable cache, so a
@@ -72,12 +72,14 @@ class PlanExecutor:
         then runs pure kernel dispatch (``compiled=False`` falls back
         to the interpreted oracle).  ``workers`` enables the
         operator-parallel scheduler inside the run; ``max_states`` caps
-        the pool of concurrent execution states.  Concurrent calls are
-        safe and do not serialize.
+        the pool of concurrent execution states; ``fuse=False``
+        disables the executor's internal elementwise fusion.
+        Concurrent calls are safe and do not serialize.
         """
         return self.engine.infer(self.plan.graph, feeds,
                                  compiled=compiled, elide=elide,
-                                 workers=workers, max_states=max_states)
+                                 workers=workers, max_states=max_states,
+                                 fuse=fuse)
 
     def host_stats(self) -> dict:
         """State-pool and concurrency gauges for this plan's engine."""

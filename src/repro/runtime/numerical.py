@@ -26,7 +26,7 @@ oracle the property tests compare every fast path against.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -127,6 +127,38 @@ def _conv_grouped(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
     return out.reshape(n, oh, ow, cout)
 
 
+def conv_window_view(xp: np.ndarray, oh: int, ow: int, kh: int, kw: int,
+                     sh: int, sw: int) -> np.ndarray:
+    """Read-only ``(N, OH, OW, KH, KW, C)`` view of every conv patch.
+
+    Zero-materialization im2col: element ``[n, y, x, i, j, c]`` aliases
+    ``xp[n, y*sh + i, x*sw + j, c]`` through pure stride arithmetic, so
+    no patch matrix is built.  The view is explicitly non-writeable —
+    overlapping windows alias the same storage, and a write through one
+    would silently corrupt its neighbours.
+    """
+    n, _, _, cin = xp.shape
+    sn, srow, scol, sc = xp.strides
+    return np.lib.stride_tricks.as_strided(
+        xp, shape=(n, oh, ow, kh, kw, cin),
+        strides=(sn, srow * sh, scol * sw, srow, scol, sc),
+        writeable=False)
+
+
+def reshape_as_view(arr: np.ndarray, shape) -> np.ndarray:
+    """``arr.reshape(shape)`` only if expressible as a view, else None.
+
+    In-place ``.shape`` assignment is the one numpy reshape API that
+    refuses to copy, which makes it a copy-free viewability probe.
+    """
+    v = arr[...]
+    try:
+        v.shape = shape
+    except AttributeError:
+        return None
+    return v
+
+
 def _conv_regular(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
                   sh, sw, cin, cout) -> np.ndarray:
     if kh == 1 and kw == 1:
@@ -135,12 +167,12 @@ def _conv_regular(xp: np.ndarray, w: np.ndarray, n, oh, ow, kh, kw,
         return np.ascontiguousarray(patch).reshape(-1, cin) @ \
             w.reshape(cin, cout)
     if n * oh * ow * kh * kw * cin <= IM2COL_MAX_ELEMENTS:
-        # im2col + one GEMM.
-        cols = np.empty((n, oh, ow, kh, kw, cin), dtype=np.float32)
-        for i in range(kh):
-            for j in range(kw):
-                cols[:, :, :, i, j, :] = \
-                    xp[:, i:i + oh * sh:sh, j:j + ow * sw:sw, :]
+        # Strided-view im2col + one GEMM.  When the window view is
+        # 2-D-reshapable in place the GEMM reads the input storage
+        # directly; otherwise ``reshape`` performs one vectorized
+        # gather into the same (npix, K) value layout the materialized
+        # loop produced — the GEMM operand is bit-identical either way.
+        cols = conv_window_view(xp, oh, ow, kh, kw, sh, sw)
         return cols.reshape(n * oh * ow, kh * kw * cin) @ \
             w.reshape(kh * kw * cin, cout)
     # Expansion too large: per-tap GEMM accumulation (full cin at once).
@@ -298,6 +330,151 @@ def _run_bn(node: Node, inputs: List[np.ndarray]) -> np.ndarray:
     x, scale, bias, mean, var = inputs
     eps = node.attr("epsilon", 1e-5)
     return (x - mean) / np.sqrt(var + eps) * scale + bias
+
+
+def apply_elementwise(op: str, attrs: Mapping, ins: Sequence[np.ndarray],
+                      out: np.ndarray = None) -> np.ndarray:
+    """One elementwise op with the exact float32 sequence of its kernel.
+
+    The shared evaluation core behind both the ``FusedElementwise``
+    interpreter kernel and the compiled executor's tiled fused closures
+    (:meth:`~repro.runtime.compiled.ExecutionState._bind_fused`): every
+    branch reproduces the corresponding standalone kernel's operations
+    bit for bit, which is what lets fused execution stay byte-identical
+    to the unfused oracle.  ``out``, when given, receives the result
+    (it must not alias any input except where the standalone kernel
+    already tolerates aliasing, e.g. the sigmoid/silu divide).
+    """
+    if op == "Add":
+        return np.add(ins[0], ins[1], out=out)
+    if op == "Mul":
+        return np.multiply(ins[0], ins[1], out=out)
+    if op == "Sub":
+        return np.subtract(ins[0], ins[1], out=out)
+    if op == "Div":
+        return np.divide(ins[0], ins[1], out=out)
+    if op == "Relu":
+        return np.maximum(ins[0], 0.0, out=out)
+    if op == "Clip":
+        return np.clip(ins[0], attrs.get("min", 0.0), attrs.get("max", 6.0),
+                       out=out)
+    if op == "Sigmoid":
+        return stable_sigmoid(ins[0], out=out)
+    if op == "Silu":
+        return stable_silu(ins[0], out=out)
+    if op == "Tanh":
+        return np.tanh(ins[0], out=out)
+    if op == "Gelu":
+        x = ins[0]
+        res = 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x ** 3)))
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+    if op == "Erf":
+        x = ins[0]
+        sign = np.sign(x)
+        ax = np.abs(x)
+        t = 1.0 / (1.0 + 0.3275911 * ax)
+        poly = t * (0.254829592 + t * (-0.284496736 + t * (
+            1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+        res = sign * (1.0 - poly * np.exp(-ax * ax))
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+    if op == "BatchNormalization":
+        x, scale, bias, mean, var = ins
+        # "_denom_input" marks a bind-time substitution (compiled
+        # path): the fifth operand already holds sqrt(var + eps), so
+        # it participates in tile slicing like every other operand.
+        # Recomputing it here yields the same float32 values.
+        if attrs.get("_denom_input"):
+            denom = var
+        else:
+            denom = np.sqrt(var + attrs.get("epsilon", 1e-5))
+        if out is None:
+            return (x - mean) / denom * scale + bias
+        np.subtract(x, mean, out=out)
+        np.divide(out, denom, out=out)
+        np.multiply(out, scale, out=out)
+        np.add(out, bias, out=out)
+        return out
+    raise NotImplementedError(f"no fused elementwise evaluator for {op!r}")
+
+
+def compile_elementwise(op: str, attrs: Mapping):
+    """Bind-time specialization of :func:`apply_elementwise`.
+
+    Returns ``kernel(ins, out) -> ndarray`` performing the exact ufunc
+    sequence of the matching :func:`apply_elementwise` branch, with the
+    op string and attr lookups resolved once.  The compiled executor's
+    fused sweep calls the kernel per tile per entry, so hoisting the
+    if-chain walk and ``attrs.get`` calls out of that loop matters;
+    bit-for-bit agreement with :func:`apply_elementwise` remains the
+    hard contract (same ufuncs, same order, same constants).
+    """
+    if op == "Add":
+        return lambda ins, out: np.add(ins[0], ins[1], out=out)
+    if op == "Mul":
+        return lambda ins, out: np.multiply(ins[0], ins[1], out=out)
+    if op == "Sub":
+        return lambda ins, out: np.subtract(ins[0], ins[1], out=out)
+    if op == "Div":
+        return lambda ins, out: np.divide(ins[0], ins[1], out=out)
+    if op == "Relu":
+        return lambda ins, out: np.maximum(ins[0], 0.0, out=out)
+    if op == "Clip":
+        lo = attrs.get("min", 0.0)
+        hi = attrs.get("max", 6.0)
+        return lambda ins, out: np.clip(ins[0], lo, hi, out=out)
+    if op == "Sigmoid":
+        return lambda ins, out: stable_sigmoid(ins[0], out=out)
+    if op == "Silu":
+        return lambda ins, out: stable_silu(ins[0], out=out)
+    if op == "Tanh":
+        return lambda ins, out: np.tanh(ins[0], out=out)
+    if op == "BatchNormalization":
+        if attrs.get("_denom_input"):
+            def bn_prepared(ins, out):
+                x, scale, bias, mean, denom = ins
+                if out is None:
+                    return (x - mean) / denom * scale + bias
+                np.subtract(x, mean, out=out)
+                np.divide(out, denom, out=out)
+                np.multiply(out, scale, out=out)
+                np.add(out, bias, out=out)
+                return out
+            return bn_prepared
+        eps = attrs.get("epsilon", 1e-5)
+
+        def bn(ins, out):
+            x, scale, bias, mean, var = ins
+            denom = np.sqrt(var + eps)
+            if out is None:
+                return (x - mean) / denom * scale + bias
+            np.subtract(x, mean, out=out)
+            np.divide(out, denom, out=out)
+            np.multiply(out, scale, out=out)
+            np.add(out, bias, out=out)
+            return out
+        return bn
+    # Gelu / Erf allocate temporaries either way; the generic
+    # evaluator's branch is already their whole cost.
+    return lambda ins, out: apply_elementwise(op, attrs, ins, out=out)
+
+
+@kernel("FusedElementwise")
+def _run_fused_elementwise(node: Node, inputs: List[np.ndarray]):
+    expr = node.attr("expr") or []
+    vals: List[np.ndarray] = []
+    for entry in expr:
+        ins = [inputs[ref[1]] if ref[0] == "in" else vals[ref[1]]
+               for ref in entry["inputs"]]
+        vals.append(apply_elementwise(
+            entry["op"], entry.get("attrs") or {}, ins))
+    outs = [vals[i] for i in node.attr("out_ids")]
+    return outs[0] if len(outs) == 1 else tuple(outs)
 
 
 def _pool(node: Node, x: np.ndarray, reducer: str) -> np.ndarray:

@@ -1,0 +1,200 @@
+"""Pass-level suite for elementwise-group fusion.
+
+``fuse_elementwise`` contracts maximal chains/DAGs of pure elementwise
+ops into ``FusedElementwise`` super-nodes.  The contract checked here
+is graph-structural (grouping, interface preservation, interior-tensor
+removal, acyclicity, idempotence) plus *interpreted* byte identity:
+executing the fused graph through the numpy reference must reproduce
+the unfused graph bit for bit.  Compiled-executor identity lives in
+``test_fused_executor.py``.
+"""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.models import build_model, list_models
+from repro.runtime.numerical import execute
+from repro.runtime.verify import random_feeds
+from repro.transform.elemfuse import _fuse_elementwise, fuse_elementwise
+from repro.transform.passes import pass_info, run_pass
+
+SMALL_MODELS = ("toy", "mobilenet-v2", "shufflenet-v2")
+
+
+def _fused_nodes(graph):
+    return [n for n in graph.nodes if n.op_type == "FusedElementwise"]
+
+
+def _chain_graph():
+    b = GraphBuilder("chain", seed=0)
+    x = b.input("x", (1, 8, 8, 4))
+    c = b.conv(x, cout=4, kernel=3, name="c1")
+    y = b.batchnorm(c, name="bn")
+    y = b.relu6(y, name="act")
+    y = b.add(y, c, name="res")
+    b.output(y)
+    return b.build()
+
+
+def _diamond_graph():
+    b = GraphBuilder("diamond", seed=1)
+    x = b.input("x", (1, 8, 8, 4))
+    c = b.conv(x, cout=4, kernel=1, name="c1")
+    r = b.relu(c, name="r")
+    s = b.sigmoid(r, name="s")
+    g = b.gelu(r, name="g")
+    y = b.add(s, g, name="join")
+    b.output(y)
+    return b.build()
+
+
+class TestGrouping:
+    def test_chain_contracts_to_one_node(self):
+        graph = _chain_graph()
+        fused = _fuse_elementwise(graph)
+        fused.validate()
+        groups = _fused_nodes(fused)
+        assert len(groups) == 1
+        # BN + Relu6(Clip) + Add all join; the conv stays out.
+        assert len(groups[0].attr("expr")) == 3
+        assert len(fused.nodes) == len(graph.nodes) - 2
+
+    def test_diamond_contracts_to_one_node(self):
+        fused = _fuse_elementwise(_diamond_graph())
+        fused.validate()
+        groups = _fused_nodes(fused)
+        assert len(groups) == 1
+        assert len(groups[0].attr("expr")) == 4  # relu, sigmoid, gelu, add
+
+    def test_interior_tensors_removed(self):
+        graph = _chain_graph()
+        fused = _fuse_elementwise(graph)
+        # bn and act results are interior to the group: no consumer
+        # outside it, so the planner must never see them.
+        interior = {n.outputs[0] for n in graph.nodes
+                    if n.name in ("bn", "act")}
+        assert interior
+        for t in interior:
+            assert t not in fused.tensors
+
+    def test_interface_preserved(self):
+        graph = _chain_graph()
+        fused = _fuse_elementwise(graph)
+        assert fused.inputs == graph.inputs
+        assert fused.outputs == graph.outputs
+        for t in graph.outputs:
+            assert fused.tensors[t].shape == graph.tensors[t].shape
+
+    def test_cycle_inducing_merge_rejected(self):
+        # relu feeds both a conv and an add; add also consumes the conv
+        # result.  Fusing {relu, add} would make the contracted node
+        # both a producer and a consumer of the conv — a cycle.  The
+        # reachability guard must leave them unfused.
+        b = GraphBuilder("cyc", seed=2)
+        x = b.input("x", (1, 8, 8, 4))
+        a = b.relu(x, name="r")
+        c = b.conv(a, cout=4, kernel=1, name="mid")
+        y = b.add(a, c, name="join")
+        b.output(y)
+        graph = b.build()
+        fused = _fuse_elementwise(graph)
+        fused.validate()
+        assert not _fused_nodes(fused)
+        assert len(fused.nodes) == len(graph.nodes)
+
+    def test_single_elementwise_not_fused(self):
+        b = GraphBuilder("one", seed=3)
+        x = b.input("x", (1, 8, 8, 4))
+        y = b.relu(b.conv(x, cout=4, kernel=1), name="r")
+        b.output(y)
+        fused = _fuse_elementwise(b.build())
+        assert not _fused_nodes(fused)
+
+    def test_idempotent(self):
+        fused = _fuse_elementwise(_chain_graph())
+        again = _fuse_elementwise(fused)
+        assert len(again.nodes) == len(fused.nodes)
+        assert len(_fused_nodes(again)) == len(_fused_nodes(fused))
+
+    def test_expr_is_json_serializable(self):
+        import json
+
+        fused = _fuse_elementwise(_chain_graph())
+        node = _fused_nodes(fused)[0]
+        payload = json.dumps({"expr": node.attr("expr"),
+                              "out_ids": node.attr("out_ids")})
+        assert json.loads(payload)["out_ids"] == node.attr("out_ids")
+
+
+class TestPassRegistry:
+    def test_registered(self):
+        info = pass_info("fuse_elementwise")
+        assert info.idempotent
+        assert "fusion" in info.tags
+
+    def test_run_pass_does_not_mutate_input(self):
+        graph = _chain_graph()
+        before = len(graph.nodes)
+        fused = run_pass("fuse_elementwise", graph)
+        assert len(graph.nodes) == before
+        assert fused is not graph
+        assert _fused_nodes(fused)
+
+    def test_wrapper_matches_raw_pass(self):
+        graph = _chain_graph()
+        a = fuse_elementwise(graph)
+        b = _fuse_elementwise(graph)
+        assert len(a.nodes) == len(b.nodes)
+
+
+class TestInterpretedByteIdentity:
+    @pytest.mark.parametrize("model", list_models())
+    def test_registry_batch1(self, model):
+        graph = build_model(model)
+        fused = _fuse_elementwise(graph)
+        feeds = random_feeds(graph, seed=0)
+        ref = execute(graph, feeds)
+        out = execute(fused, feeds)
+        assert set(out) == set(ref)
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes(), \
+                f"{model}:{name} drifts under interpreted fusion"
+
+    @pytest.mark.parametrize("model", SMALL_MODELS)
+    def test_registry_batch8(self, model):
+        graph = build_model(model)
+        fused = _fuse_elementwise(graph)
+        feeds = random_feeds(graph, seed=0, batch=8)
+        ref = execute(graph, feeds)
+        out = execute(fused, feeds)
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes()
+
+    def test_diamond_identity(self):
+        graph = _diamond_graph()
+        fused = _fuse_elementwise(graph)
+        feeds = random_feeds(graph, seed=4)
+        ref = execute(graph, feeds)
+        out = execute(fused, feeds)
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes()
+
+    def test_group_output_also_consumed_outside(self):
+        # The relu result is consumed by the group *and* by a conv
+        # outside it, so it must survive as a fused output.
+        b = GraphBuilder("esc", seed=5)
+        x = b.input("x", (1, 8, 8, 4))
+        r = b.relu(x, name="r")
+        s = b.sigmoid(r, name="s")
+        b.output(b.conv(r, cout=4, kernel=1, name="tail"))
+        b.output(s)
+        graph = b.build()
+        fused = _fuse_elementwise(graph)
+        fused.validate()
+        node = _fused_nodes(fused)[0]
+        assert len(node.outputs) == 2
+        feeds = random_feeds(graph, seed=5)
+        ref = execute(graph, feeds)
+        out = execute(fused, feeds)
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes()
