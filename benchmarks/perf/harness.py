@@ -32,10 +32,19 @@ noise):
   and cost caches warm).
 * ``numerical.<model>.compiled_batch8_ms`` / ``parallel_ms`` —
   compiled repeat inference at batch 8, serial vs the operator-parallel
-  scheduler at 4 workers (same executable API, ``workers=4``).  The
-  parallel schedule is byte-identical to serial; the delta is pure
-  host-threading yield, so on a single-core runner the two track each
-  other and on multi-core the branchy models (shufflenet) pull ahead.
+  scheduler at 4 workers (same executable API, ``workers=4``, intra-op
+  GEMM sharding pinned off so the metric keeps measuring *operator*
+  parallelism).  The parallel schedule is byte-identical to serial; the
+  delta is pure host-threading yield, so on a single-core runner the
+  two track each other and on multi-core the branchy models
+  (shufflenet) pull ahead.
+* ``numerical.<model>.gemmpar_ms`` / ``gemmpar_batch8_ms`` — the same
+  4-worker compiled inference with the full default policy: operator
+  parallelism *plus* intra-op row-panel GEMM sharding
+  (:mod:`repro.runtime.gemmpar`).  Byte-identical to serial; the delta
+  over ``parallel_ms`` is what sharding the dominant GEMM steps buys,
+  which — like ``host_win`` — is bounded by physical cores (~1x on a
+  1-core runner).
 * ``serve.<model>.batch1_rps`` / ``dynamic_rps`` / ``win`` — modelled
   device throughput of the serving layer's A/B (per-request batch-1 vs
   dynamic micro-batching at max-batch 8 on the GPU-baseline plan), and
@@ -96,6 +105,7 @@ def bench_numerical(model: str, batches: Iterable[int],
     """Time the numpy executor on one model at each batch size."""
     from repro.models.registry import build_model
     from repro.runtime.compiled import CompiledExecutable
+    from repro.runtime.gemmpar import ShardPolicy
     from repro.runtime.numerical import execute
 
     graph = build_model(model)
@@ -137,18 +147,32 @@ def bench_numerical(model: str, batches: Iterable[int],
                 lambda: CompiledExecutable(graph, fuse=False).run(feeds))
             metrics[f"numerical.{model}.fused_peak_mb"] = _peak_mb(
                 lambda: CompiledExecutable(graph).run(feeds))
+            # Full default policy at 4 workers: operator parallelism
+            # plus intra-op GEMM row-panel sharding.
+            exe_gp = CompiledExecutable(graph, workers=4)
+            exe_gp.run(feeds)
+            metrics[f"numerical.{model}.gemmpar_ms"] = _best_of(
+                lambda: exe_gp.run(feeds), rounds)
         elif batch >= 4:
             # Operator-parallel scheduler A/B at the batch size where
-            # batch sharding engages.  Both paths are byte-identical to
+            # batch sharding engages.  All paths are byte-identical to
             # the interpreted oracle; the delta is host threading.
+            # ``parallel_ms`` pins GEMM sharding off so it keeps
+            # measuring operator parallelism alone; ``gemmpar_ms`` adds
+            # the intra-op row-panel shards on top.
             exe_serial = CompiledExecutable(graph, workers=1)
             exe_serial.run(feeds)
             metrics[f"numerical.{model}.compiled_batch{batch}_ms"] = \
                 _best_of(lambda: exe_serial.run(feeds), rounds)
-            exe_par = CompiledExecutable(graph, workers=4)
+            exe_par = CompiledExecutable(graph, workers=4,
+                                         policy=ShardPolicy(gemm_shards=1))
             exe_par.run(feeds)
             metrics[f"numerical.{model}.parallel_ms"] = _best_of(
                 lambda: exe_par.run(feeds), rounds)
+            exe_gp = CompiledExecutable(graph, workers=4)
+            exe_gp.run(feeds)
+            metrics[f"numerical.{model}.gemmpar_batch{batch}_ms"] = \
+                _best_of(lambda: exe_gp.run(feeds), rounds)
     return metrics
 
 
@@ -402,6 +426,65 @@ def compare(baseline: Dict[str, object], current: Dict[str, object],
             status = "ok"
         rows.append((name, base, cur, ratio, status))
     return rows, ok
+
+
+#: Intra-run compiled-vs-interpreted pairs: the compiled executor must
+#: not lose to the interpreted oracle on the same model and batch.
+#: ``fused_ms`` is the default executor configuration at batch 1;
+#: ``compiled_batch{B}_ms`` is the serial compiled path at the repeat
+#: batch.  Keys are (compiled metric suffix, interpreted metric suffix).
+TRIPWIRE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("fused_ms", "batch1_ms"),
+    ("compiled_batch8_ms", "batch8_ms"),
+)
+
+#: Measurement-noise allowance for :func:`tripwires` — best-of-rounds
+#: timings on a shared runner still jitter a few percent.
+TRIPWIRE_SLACK = 1.15
+
+
+def tripwires(results: Dict[str, object],
+              slack: float = TRIPWIRE_SLACK,
+              ) -> Tuple[List[Tuple[str, str, float, float, float, str]],
+                         bool]:
+    """Intra-run invariants on one results payload (no baseline needed).
+
+    For every model measured, each :data:`TRIPWIRE_PAIRS` entry asserts
+    ``compiled <= interpreted * slack``: a compiled executable that runs
+    slower than the interpreter it compiles away is a regression no
+    matter what the historical baseline says (this is what caught the
+    resnet-50 batch-8 channel-sliced tiling pathology).  Pairs whose
+    metrics are absent from the run (e.g. batch 8 not measured) are
+    skipped.  Returns ``(rows, ok)`` with rows of ``(model,
+    compiled_metric, compiled_ms, interpreted_ms, ratio, status)``.
+    """
+    metrics: Dict[str, float] = dict(results.get("metrics", {}))
+    models = sorted({name.split(".")[1] for name in metrics
+                     if name.startswith("numerical.")})
+    rows = []
+    ok = True
+    for model in models:
+        for compiled_key, interp_key in TRIPWIRE_PAIRS:
+            compiled = metrics.get(f"numerical.{model}.{compiled_key}")
+            interp = metrics.get(f"numerical.{model}.{interp_key}")
+            if compiled is None or interp is None:
+                continue
+            ratio = compiled / interp if interp > 0 else float("inf")
+            status = "ok" if ratio <= slack else "SLOWER-THAN-INTERPRETED"
+            if status != "ok":
+                ok = False
+            rows.append((model, compiled_key, compiled, interp, ratio,
+                         status))
+    return rows, ok
+
+
+def format_tripwire_rows(rows) -> str:
+    lines = [f"{'model':16s} {'compiled metric':20s} {'compiled':>10s} "
+             f"{'interp':>10s} {'ratio':>7s}  status"]
+    for model, key, compiled, interp, ratio, status in rows:
+        lines.append(f"{model:16s} {key:20s} {compiled:10.1f} "
+                     f"{interp:10.1f} {ratio:6.2f}x  {status}")
+    return "\n".join(lines)
 
 
 def format_rows(rows) -> str:

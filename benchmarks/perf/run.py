@@ -54,6 +54,14 @@ def main(argv=None) -> int:
         rows, ok = harness.compare(baseline, results,
                                    fail_ratio=args.fail_ratio)
         print(harness.format_rows(rows))
+        trip_rows, trip_ok = harness.tripwires(results)
+        if trip_rows:
+            print("\nIntra-run tripwires (compiled vs interpreted):")
+            print(harness.format_tripwire_rows(trip_rows))
+        if not trip_ok:
+            print("\nFAIL: compiled executor slower than the interpreted "
+                  f"oracle beyond {harness.TRIPWIRE_SLACK}x")
+            return 1
         if not ok:
             print(f"\nFAIL: regression beyond {args.fail_ratio}x "
                   f"vs {args.baseline}")

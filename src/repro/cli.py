@@ -181,6 +181,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "up to N ready steps at once, 0 = one per CPU "
                              "core; the REPRO_HOST_WORKERS environment "
                              "variable sets the default")
+    parser.add_argument("--gemm-shards", dest="gemm_shards",
+                        type=_jobs_arg, default=None,
+                        help="intra-operator GEMM row-panel shards per "
+                             "conv/matmul step (default: follow "
+                             "--host-workers; 1 = off, 0 = one per CPU "
+                             "core, N = force up to N panels); the "
+                             "REPRO_GEMM_SHARDS environment variable sets "
+                             "the default")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable JSON output (stat, serve, "
                              "bench-serve)")
@@ -418,11 +426,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             mode += f", {workers} workers"
         start = time.perf_counter()
         executor.infer(feeds, compiled=args.compiled,
-                       workers=args.host_workers)
+                       workers=args.host_workers,
+                       gemm_shards=args.gemm_shards)
         first_ms = (time.perf_counter() - start) * 1e3
         start = time.perf_counter()
         executor.infer(feeds, compiled=args.compiled,
-                       workers=args.host_workers)
+                       workers=args.host_workers,
+                       gemm_shards=args.gemm_shards)
         repeat_ms = (time.perf_counter() - start) * 1e3
         stats = executor.buffer_stats()
         print(f"host exec [{mode}]: first {first_ms:.1f} ms, "
@@ -527,7 +537,7 @@ def _stat_plan(args: argparse.Namespace) -> int:
         print(f"cannot load plan {args.plan}: {exc}", file=sys.stderr)
         return 2
     info = plan.summary()
-    profile = _plan_step_profile(plan)
+    profile, shard_rows = _plan_step_profile(plan, args.gemm_shards)
     if args.json:
         print(json.dumps({
             "summary": info,
@@ -535,6 +545,7 @@ def _stat_plan(args: argparse.Namespace) -> int:
             "passes": plan.pass_log,
             "buffer_plan": dict(plan.buffer_plan),
             "step_profile": profile,
+            "shard_profile": shard_rows,
             "provenance": {k: v for k, v in plan.provenance.items()
                            if k != "passes"},
         }, indent=2))
@@ -557,26 +568,47 @@ def _stat_plan(args: argparse.Namespace) -> int:
                                 key=lambda kv: -kv[1]["ms"]):
             print(f"  {kind:<12}{row['steps']:>6}{row['ms']:>9.3f}"
                   f"{row['ms'] / total * 100:>7.1f}%")
+    if shard_rows:
+        print(f"Sharded steps ({len(shard_rows)} nodes, "
+              f"per-shard ms):")
+        print(f"  {'node':<28}{'kind':<8}{'shards':>7}{'ms':>9}"
+              f"  per-shard")
+        for row in shard_rows[:10]:
+            per = "/".join(f"{ms:.2f}" for ms in row["shard_ms"])
+            name = row["node"]
+            if len(name) > 27:
+                name = name[:24] + "..."
+            print(f"  {name:<28}{row['kind']:<8}{row['shards']:>7}"
+                  f"{row['ms']:>9.3f}  {per}")
+        if len(shard_rows) > 10:
+            rest = sum(r["ms"] for r in shard_rows[10:])
+            print(f"  ... {len(shard_rows) - 10} more sharded nodes, "
+                  f"{rest:.3f} ms")
     return 0
 
 
-def _plan_step_profile(plan) -> dict:
+def _plan_step_profile(plan, gemm_shards=None):
     """Per-op-kind wall-clock breakdown of one compiled inference.
 
     Binds the plan's graph into a fresh compiled executable and times
     every step, bucketed by kernel class (gemm, dwconv, fused,
-    elementwise, copy, other).  Returns ``{}`` when the graph cannot be
-    bound (e.g. an op with no numpy kernel).
+    elementwise, copy, other), plus the per-node, per-shard timing of
+    every intra-op sharded step.  Steps only shard when sharding is
+    enabled (``--gemm-shards`` / ``REPRO_GEMM_SHARDS``), so the shard
+    table is empty by default.  Returns ``({}, [])`` when the graph
+    cannot be bound (e.g. an op with no numpy kernel).
     """
     from repro.runtime.compiled import CompiledExecutable
+    from repro.runtime.gemmpar import ShardPolicy
     from repro.runtime.verify import random_feeds
 
     try:
-        exe = CompiledExecutable(plan.graph)
+        policy = ShardPolicy.from_env().with_gemm_shards(gemm_shards)
+        exe = CompiledExecutable(plan.graph, policy=policy)
         feeds = random_feeds(plan.graph, seed=0)
-        return exe.step_profile(feeds, rounds=2)
+        return exe.step_profile(feeds, rounds=2, detail=True)
     except Exception:  # pragma: no cover - diagnostic best-effort
-        return {}
+        return {}, []
 
 
 def cmd_passes(args: argparse.Namespace) -> int:
@@ -665,7 +697,8 @@ def cmd_serve(args: argparse.Namespace, nets: List[str]) -> int:
         workers=args.serve_workers, queue_depth=args.queue_depth,
         max_batch_size=args.max_batch, max_wait_ms=max_wait,
         default_deadline_ms=args.deadline_ms,
-        host_workers=host_workers, host_states=args.host_states))
+        host_workers=host_workers, host_states=args.host_states,
+        gemm_shards=args.gemm_shards))
     results = []
     with server:
         for net in nets:

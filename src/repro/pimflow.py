@@ -135,6 +135,15 @@ class PimFlowConfig:
     #: program order — so, like ``jobs``, this knob does not
     #: participate in the configuration fingerprint.
     host_workers: Optional[int] = None
+    #: Intra-operator GEMM shard cap: how many row panels a single
+    #: conv/matmul step may split into on the host pool (None = follow
+    #: ``host_workers``; 0 = one per CPU core; 1 = off; N > 1 = force).
+    #: Defers to the ``REPRO_GEMM_SHARDS`` environment variable when
+    #: unset.  Row-panel splits are byte-identical to the serial kernel
+    #: (see :class:`repro.runtime.gemmpar.ShardPolicy` for the floors
+    #: that guarantee it), so — like ``host_workers`` — this knob does
+    #: not participate in the configuration fingerprint.
+    gemm_shards: Optional[int] = None
     #: Per-job wall-clock limit in parallel mode; a job exceeding it is
     #: retried and eventually recorded as failed.  None = no limit.
     job_timeout_s: Optional[float] = None
@@ -170,6 +179,13 @@ class PimFlowConfig:
         :func:`repro.runtime.hostpool.resolve_host_workers`)."""
         from repro.runtime.hostpool import resolve_host_workers
         return resolve_host_workers(self.host_workers)
+
+    def shard_policy(self):
+        """The :class:`~repro.runtime.gemmpar.ShardPolicy` this config
+        implies: the environment default with ``gemm_shards`` applied
+        on top when set."""
+        from repro.runtime.gemmpar import ShardPolicy
+        return ShardPolicy.from_env().with_gemm_shards(self.gemm_shards)
 
     @property
     def spec(self) -> MechanismSpec:

@@ -73,6 +73,13 @@ import numpy as np
 from repro.graph.graph import Graph
 from repro.graph.node import Node
 from repro.runtime.bufferplan import BufferPlan, plan_buffers
+from repro.runtime.gemmpar import (
+    DEFAULT_SHARD_MIN_BATCH,
+    ShardPolicy,
+    conv_row_segments,
+    plan_row_panels,
+    shard_ranges as _shard_ranges,
+)
 from repro.runtime.hostpool import (
     DEFAULT_MAX_STATES,
     StatePool,
@@ -91,9 +98,10 @@ from repro.runtime.numerical import (
     stable_silu,
 )
 
-#: Batch size below which batch-shardable steps stay whole: slicing a
-#: tiny batch buys no parallelism and costs closure overhead.
-SHARD_MIN_BATCH = 4
+#: Backwards-compatible alias: the batch-shard floor now lives on
+#: :class:`~repro.runtime.gemmpar.ShardPolicy` (``shard_min_batch``),
+#: the single knob surface for every intra-run sharding decision.
+SHARD_MIN_BATCH = DEFAULT_SHARD_MIN_BATCH
 
 #: Float32 elements per fused-expression scratch tile (256 KB): small
 #: enough that a handful of live tiles sit in L2 while the fused sweep
@@ -244,29 +252,50 @@ def _activation_inplace(node: Node) -> Optional[Callable[[np.ndarray], None]]:
     raise ValueError(f"unknown fused activation {kind!r}")
 
 
+#: Minimum contiguous run (elements, ~8 KB of f32) a fused-sweep tile
+#: must keep.  Slicing an inner axis of a batch-N NHWC tensor can
+#: shatter a tile into byte-scale strided runs whose traffic costs far
+#: more than an oversized-but-contiguous tile costs in cache misses.
+_TILE_MIN_RUN = 2048
+
+
 def _tile_plan(shape: Tuple[int, ...]) -> Tuple[int, int]:
     """(axis, chunk) tiling a fused sweep to ~:data:`TILE_ELEMENTS`.
 
-    Picks the outermost axis whose inner block fits a tile, then as
-    many indices of it per chunk as fit; degenerates to one whole-array
-    tile for small tensors and to single innermost-axis rows for
-    tensors with an oversized last dimension.
+    A tile slices one axis and keeps every other axis whole.  The axis
+    is chosen for memory locality, not just tile size: slicing axis
+    ``a`` of a C-order array yields contiguous runs of
+    ``chunk * prod(shape[a+1:])`` elements, and once a run drops below
+    :data:`_TILE_MIN_RUN` (batch-8 NHWC sliced along channels, say) the
+    strided traffic dwarfs any cache win from staying under budget.  So
+    walk axes outermost-first, require the chunk=1 tile to be within 4x
+    budget and the run to reach the floor (growing the chunk if
+    needed), and take the first axis that qualifies.  Per-element
+    ufuncs are tiling-invariant, so the choice never affects bytes.
     """
     if not shape:
         return 0, 1
     total = 1
     for d in shape:
         total *= d
-    # A tile slices one axis and keeps every other axis whole, so its
-    # element count is (total / shape[axis]) * chunk.  Slice the
-    # outermost axis long enough to bring that under budget.
+    if total <= TILE_ELEMENTS:
+        return 0, shape[0]
+    inner = total
     for axis, d in enumerate(shape):
-        if d * TILE_ELEMENTS >= total:
-            chunk = max(1, TILE_ELEMENTS * d // total)
-            return axis, min(chunk, d)
-    # No single axis is long enough: slice the longest one row-by-row.
-    axis = max(range(len(shape)), key=lambda i: shape[i])
-    return axis, 1
+        inner //= d
+        if d == 1:
+            continue
+        if total // d > 4 * TILE_ELEMENTS:
+            continue  # even a chunk=1 tile dwarfs the budget
+        chunk = max(1, TILE_ELEMENTS * d // total)
+        if chunk * inner < _TILE_MIN_RUN:
+            chunk = -(-_TILE_MIN_RUN // inner)
+        if chunk > d:
+            continue  # axis too short to reach a decent run
+        return axis, chunk
+    # Nothing qualifies (oversized inner block below every axis): whole
+    # outermost-index slices keep each tile one maximal contiguous run.
+    return 0, 1
 
 
 def _graph_width(dep_counts: List[int],
@@ -290,21 +319,6 @@ def _graph_width(dep_counts: List[int],
                     nxt.append(j)
         level = nxt
     return width
-
-
-def _shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
-    """``shards`` contiguous, non-empty [start, stop) slices of 0..n."""
-    if shards <= 1:
-        return [(0, n)]
-    base, extra = divmod(n, shards)
-    ranges: List[Tuple[int, int]] = []
-    start = 0
-    for s in range(shards):
-        size = base + (1 if s < extra else 0)
-        if size:
-            ranges.append((start, start + size))
-        start += size
-    return ranges
 
 
 # ----------------------------------------------------------------------
@@ -415,6 +429,9 @@ class _ProgramSpec:
         #: "fused", "copy", "other"), recorded by the first state to
         #: bind; binding is deterministic, so every state agrees.
         self.step_kind_counts: Optional[Dict[str, int]] = None
+        #: Node name -> sub-step count for intra-op sharded steps
+        #: (GEMM row panels), recorded by the first state to bind.
+        self.shard_fanout: Optional[Dict[str, int]] = None
         #: Node name -> toposort position, matching the order the
         #: buffer plan's root lifetimes are expressed in.
         self.node_pos: Dict[str, int] = {
@@ -441,20 +458,21 @@ class _ProgramSpec:
         return self.prepared(
             key, lambda: np.ascontiguousarray(arr.reshape(shape)))
 
-    def step_graph(self, shards: int, accesses):
+    def step_graph(self, key, accesses):
         """The (dep_counts, dependents, width) triple for ``accesses``.
 
-        Binding is deterministic given the shard count, so every state
-        bound at the same ``shards`` records an identical access list;
-        the graph is computed once per shard count and shared.
+        Binding is deterministic given the sharding configuration —
+        ``key`` is the (batch shards, gemm panel width) pair — so every
+        state bound at the same key records an identical access list;
+        the graph is computed once per key and shared.
         """
         with self._lock:
-            graph = self._step_graphs.get(shards)
+            graph = self._step_graphs.get(key)
         if graph is None:
             counts, deps = _build_step_graph(accesses, self.plan)
             graph = (counts, deps, _graph_width(counts, deps))
             with self._lock:
-                graph = self._step_graphs.setdefault(shards, graph)
+                graph = self._step_graphs.setdefault(key, graph)
         return graph
 
     def max_width(self) -> int:
@@ -473,17 +491,27 @@ class ExecutionState:
     ``shards > 1`` splits batch-shardable steps into per-slice
     sub-steps; ``parallel=True`` additionally materializes the step
     dependency graph so :meth:`run` can dispatch ready steps onto the
-    shared host executor.
+    shared host executor.  ``policy`` governs both batch-sharding
+    floors and row-panel GEMM sharding (see
+    :class:`~repro.runtime.gemmpar.ShardPolicy`).
     """
 
     def __init__(self, spec: _ProgramSpec, *, shards: int = 1,
-                 parallel: bool = False) -> None:
+                 parallel: bool = False,
+                 policy: Optional[ShardPolicy] = None) -> None:
         self.spec = spec
         self.shards = max(1, int(shards))
+        self.policy = policy if policy is not None else ShardPolicy()
+        #: Max row panels a GEMM-backed step may split into.
+        self._gemm_width = self.policy.resolve_gemm_width(self.shards)
         graph = spec.graph
         self._scratch = _Scratch()
         self._steps: List[Callable[[], None]] = []
         self._step_kinds: List[str] = []
+        #: Per step: (node name or None, shard index, shard count).
+        #: Shard count > 1 marks intra-op sub-steps (GEMM row panels,
+        #: batch shards) for the profiling and stats surfaces.
+        self._step_meta: List[Tuple[Optional[str], int, int]] = []
         self._accesses: List[Tuple[List[_Region], List[_Region]]] = []
         #: Tensors whose bytes live in a state-private buffer instead
         #: of the arena, mapped to the buffer's owning tensor name.
@@ -506,6 +534,12 @@ class ExecutionState:
             for kind in self._step_kinds:
                 counts[kind] = counts.get(kind, 0) + 1
             spec.step_kind_counts = counts
+        if spec.shard_fanout is None:
+            fanout: Dict[str, int] = {}
+            for name, _idx, total in self._step_meta:
+                if name is not None and total > 1:
+                    fanout[name] = total
+            spec.shard_fanout = fanout
         self._dep_counts: Optional[List[int]] = None
         self._dependents: Optional[List[List[int]]] = None
         #: Max antichain width of the hazard graph; 1 until a parallel
@@ -515,7 +549,8 @@ class ExecutionState:
         self.width = 1
         if parallel:
             self._dep_counts, self._dependents, self.width = \
-                spec.step_graph(self.shards, self._accesses)
+                spec.step_graph((self.shards, self._gemm_width),
+                                self._accesses)
 
     # ------------------------------------------------------------------
     # View resolution
@@ -622,15 +657,18 @@ class ExecutionState:
     def _add_step(self, fn: Callable[[], None],
                   reads: List[Optional[_Region]],
                   writes: List[Optional[_Region]],
-                  kind: str = "other") -> None:
+                  kind: str = "other",
+                  node: Optional[str] = None,
+                  shard: Tuple[int, int] = (0, 1)) -> None:
         self._steps.append(fn)
         self._step_kinds.append(kind)
+        self._step_meta.append((node, shard[0], shard[1]))
         self._accesses.append((
             [r for r in reads if r is not None],
             [w for w in writes if w is not None]))
 
     def _shard_count(self, n: int) -> int:
-        if self.shards <= 1 or n < SHARD_MIN_BATCH:
+        if self.shards <= 1 or n < self.policy.shard_min_batch:
             return 1
         return min(self.shards, n)
 
@@ -774,6 +812,78 @@ class ExecutionState:
         pad_spec = ((0, 0), (pt, pb), (pl, pr), (0, 0))
         return (lambda: np.pad(x, pad_spec)), False
 
+    def _emit_conv_panels(self, node: Node, x_name: str, out_name: str,
+                          panels: List[Tuple[int, int]], oh: int, ow: int,
+                          dst2d: np.ndarray, w2d: np.ndarray,
+                          bias: Optional[np.ndarray],
+                          act: Optional[Callable[[np.ndarray], None]], *,
+                          a2d: Optional[np.ndarray] = None,
+                          gather_src: Optional[np.ndarray] = None,
+                          gather_k: int = 0) -> bool:
+        """Bind one conv GEMM as per-row-panel sub-steps.
+
+        Each panel is ``dst2d[m0:m1] = a2d[m0:m1] @ w2d`` — the exact
+        serial kernel restricted to a row slice, so the bytes cannot
+        differ (see :mod:`repro.runtime.gemmpar` for the planner's
+        bit-safety floors).  Panels are aligned to ``ow``, so each
+        declares disjoint per-image output-row write boxes and the
+        hazard builder leaves them unordered: they overlap on the pool,
+        and downstream consumers of one panel's rows may start before
+        the last panel lands.  ``a2d`` feeds panels straight off the
+        bind-time im2col view; otherwise each panel gathers its rows of
+        ``gather_src`` (an (n, oh, ow, ...) window view, ``gather_k``
+        columns) into thread-local scratch first.  Returns False —
+        caller falls back to the serial step — when the destination is
+        not an arena rectangle (without disjoint boxes the scheduler
+        would serialize the panels for nothing).
+        """
+        out_reg = self._region(out_name)
+        if out_reg is None or out_reg[2] is None:
+            return False
+        reg_kind, reg_key, obox = out_reg
+        o_img, o_y = obox[0][0], obox[1][0]
+        scratch = self._scratch
+        x_reg = self._region(x_name)
+        total = len(panels)
+        for idx, (m0, m1) in enumerate(panels):
+            segs = conv_row_segments(m0, m1, oh, ow)
+            writes: List[Optional[_Region]] = [
+                (reg_kind, reg_key,
+                 ((o_img + img, o_img + img + 1),
+                  (o_y + y0, o_y + y1)) + obox[2:])
+                for img, y0, y1 in segs]
+            dpan = dst2d[m0:m1]
+            if a2d is not None:
+                apan = a2d[m0:m1]
+
+                def step(apan=apan, dpan=dpan) -> None:
+                    np.matmul(apan, w2d, out=dpan)
+                    if bias is not None:
+                        np.add(dpan, bias, out=dpan)
+                    if act is not None:
+                        act(dpan)
+            else:
+                rows = m1 - m0
+                scratch.need_a = max(scratch.need_a, rows * gather_k)
+
+                def step(dpan=dpan, segs=segs, rows=rows) -> None:
+                    cols = scratch.view_a((rows, gather_k))
+                    cur = 0
+                    for img, y0, y1 in segs:
+                        nrow = (y1 - y0) * ow
+                        seg = gather_src[img, y0:y1]
+                        np.copyto(cols[cur:cur + nrow].reshape(seg.shape),
+                                  seg)
+                        cur += nrow
+                    np.matmul(cols, w2d, out=dpan)
+                    if bias is not None:
+                        np.add(dpan, bias, out=dpan)
+                    if act is not None:
+                        act(dpan)
+            self._add_step(step, [x_reg], writes, kind="gemm",
+                           node=node.name, shard=(idx, total))
+        return True
+
     def _bind_conv(self, node: Node) -> None:
         spec = self.spec
         w_name = node.inputs[1]
@@ -870,14 +980,19 @@ class ExecutionState:
             return
 
         # Regular convolution: GEMM with the result written in place
-        # when the destination is contiguous, staged otherwise.  Never
-        # batch-sharded: BLAS kernel choice depends on M, and a split M
-        # is not guaranteed to reproduce the serial reduction bits.
+        # when the destination is contiguous, staged otherwise.  With a
+        # static input window and a contiguous destination the GEMM may
+        # split into row panels (M-dimension only — each output row
+        # keeps its serial full-K accumulation, and the planner's
+        # floors keep every panel on BLAS's normal kernel path, so the
+        # bytes never change; see gemmpar).
         npix = n * oh * ow
         dst_contig = dst.flags.c_contiguous
         dst2d = dst.reshape(npix, cout) if dst_contig else None
         if not dst_contig:
             scratch.need_b = max(scratch.need_b, npix * cout)
+        can_shard = (self._gemm_width > 1 and dst2d is not None
+                     and static)
 
         def gemm(a2d: np.ndarray, w2d: np.ndarray) -> None:
             if dst2d is not None:
@@ -890,6 +1005,18 @@ class ExecutionState:
         if kh == 1 and kw == 1:
             w2d = spec.packed_weight(w, (cin, cout))
             scratch.need_a = max(scratch.need_a, npix * cin)
+            if can_shard:
+                patch = get_xp()[:, :oh * sh:sh, :ow * sw:sw, :]
+                patch2d = patch.reshape(npix, cin) \
+                    if patch.flags.c_contiguous else None
+                panels = plan_row_panels(npix, cin, cout,
+                                         self._gemm_width, self.policy,
+                                         align=ow)
+                if len(panels) > 1 and self._emit_conv_panels(
+                        node, x_name, out_name, panels, oh, ow,
+                        dst2d, w2d, bias, act, a2d=patch2d,
+                        gather_src=patch, gather_k=cin):
+                    return
 
             def step() -> None:
                 patch = get_xp()[:, :oh * sh:sh, :ow * sw:sw, :]
@@ -919,6 +1046,15 @@ class ExecutionState:
             if static:
                 win = conv_window_view(get_xp(), oh, ow, kh, kw, sh, sw)
                 a2d = reshape_as_view(win, (npix, K))
+                if can_shard:
+                    panels = plan_row_panels(npix, K, cout,
+                                             self._gemm_width,
+                                             self.policy, align=ow)
+                    if len(panels) > 1 and self._emit_conv_panels(
+                            node, x_name, out_name, panels, oh, ow,
+                            dst2d, w2d, bias, act, a2d=a2d,
+                            gather_src=win, gather_k=K):
+                        return
                 if a2d is not None:
                     def step(a2d=a2d) -> None:
                         gemm(a2d, w2d)
@@ -973,6 +1109,44 @@ class ExecutionState:
         reads = [self._region(t) for t in node.inputs]
         writes = [self._region(node.outputs[0])]
         if dst.flags.c_contiguous:
+            if self._gemm_width > 1 and a.ndim == 2 and b.ndim == 2 \
+                    and dst.ndim == 2:
+                m, k = a.shape
+                panels = plan_row_panels(m, k, dst.shape[1],
+                                         self._gemm_width, self.policy)
+                out_reg = self._region(node.outputs[0])
+                if len(panels) > 1 and out_reg is not None \
+                        and out_reg[2] is not None:
+                    # Row panels of the identical serial kernel: each
+                    # output row keeps one full-K accumulation, panels
+                    # write disjoint row boxes, so order is free and
+                    # bytes are fixed.  A 2-D bias carrying the M axis
+                    # is sliced with the panel; broadcast biases pass
+                    # whole (per-element either way).
+                    bias_rows = (bias is not None
+                                 and getattr(bias, "ndim", 0) == 2
+                                 and bias.shape[0] == m)
+                    total = len(panels)
+                    for idx, (m0, m1) in enumerate(panels):
+                        apan = a[m0:m1]
+                        dpan = dst[m0:m1]
+                        bpan = bias[m0:m1] if bias_rows else bias
+
+                        def step(apan=apan, dpan=dpan,
+                                 bpan=bpan) -> None:
+                            np.matmul(apan, b, out=dpan)
+                            if bpan is not None:
+                                np.add(dpan, bpan, out=dpan)
+                            if act is not None:
+                                act(dpan)
+                        self._add_step(
+                            step, reads,
+                            [self._subregion(node.outputs[0], 0,
+                                             m0, m1 - m0)],
+                            kind="gemm", node=node.name,
+                            shard=(idx, total))
+                    return
+
             def step() -> None:
                 np.matmul(a, b, out=dst)
                 if bias is not None:
@@ -1451,26 +1625,37 @@ class ExecutionState:
         return self._collect_outputs()
 
     def run_profiled(self, feeds: Mapping[str, np.ndarray]
-                     ) -> Tuple[Dict[str, np.ndarray], Dict[str, dict]]:
+                     ) -> Tuple[Dict[str, np.ndarray], Dict[str, dict],
+                                List[dict]]:
         """Serial run with per-step timing grouped by step kind.
 
-        Returns ``(outputs, {kind: {"steps": n, "ms": total}})`` —
-        the attribution behind ``repro stat --plan`` and
-        :meth:`CompiledExecutable.step_profile`.
+        Returns ``(outputs, {kind: {"steps": n, "ms": total}},
+        shard_rows)`` — the attribution behind ``repro stat --plan``
+        and :meth:`CompiledExecutable.step_profile`.  ``shard_rows``
+        aggregates intra-op sharded steps per node:
+        ``{"node", "kind", "shards", "ms", "shard_ms": [per-shard]}``.
         """
         for name, view in self._input_views:
             np.copyto(view, feeds[name])
         prof: Dict[str, List[float]] = {}
-        for step, kind in zip(self._steps, self._step_kinds):
+        sharded: Dict[str, dict] = {}
+        for step, kind, (nname, sidx, stotal) in zip(
+                self._steps, self._step_kinds, self._step_meta):
             t0 = time.perf_counter()
             step()
             dt = time.perf_counter() - t0
             entry = prof.setdefault(kind, [0, 0.0])
             entry[0] += 1
             entry[1] += dt
+            if nname is not None and stotal > 1:
+                row = sharded.setdefault(nname, {
+                    "node": nname, "kind": kind, "shards": stotal,
+                    "ms": 0.0, "shard_ms": [0.0] * stotal})
+                row["ms"] += dt * 1e3
+                row["shard_ms"][sidx] += dt * 1e3
         profile = {kind: {"steps": int(n), "ms": total * 1e3}
                    for kind, (n, total) in prof.items()}
-        return self._collect_outputs(), profile
+        return self._collect_outputs(), profile, list(sharded.values())
 
     def _collect_outputs(self) -> Dict[str, np.ndarray]:
         out: Dict[str, np.ndarray] = {}
@@ -1580,11 +1765,16 @@ class CompiledExecutable:
     def __init__(self, graph: Graph, *, elide: bool = True,
                  workers: Optional[int] = None,
                  max_states: Optional[int] = None,
-                 fuse: bool = True) -> None:
+                 fuse: bool = True,
+                 policy: Optional[ShardPolicy] = None) -> None:
         self.graph = graph
         self.elide = elide
         self.fuse = bool(fuse)
         self.workers = resolve_host_workers(workers)
+        #: Sharding knobs for every state this executable binds; the
+        #: default honors ``REPRO_GEMM_SHARDS``.
+        self.policy = policy if policy is not None \
+            else ShardPolicy.from_env()
         self.max_states = int(max_states) if max_states is not None \
             else DEFAULT_MAX_STATES
         if self.max_states < 1:
@@ -1659,10 +1849,13 @@ class CompiledExecutable:
                                     elide=self.elide)
                 shards = self.workers
                 parallel = self.workers > 1
+                policy = self.policy
 
-                def factory(spec=spec, shards=shards, parallel=parallel):
+                def factory(spec=spec, shards=shards, parallel=parallel,
+                            policy=policy):
                     return ExecutionState(spec, shards=shards,
-                                          parallel=parallel)
+                                          parallel=parallel,
+                                          policy=policy)
                 # Request-level analog of the hazard-width gate: states
                 # beyond the physical core count cannot overlap on CPU
                 # — they only multiply arena footprint and cache
@@ -1739,6 +1932,9 @@ class CompiledExecutable:
             "width": 1,
             "fused_groups": 0,
             "step_kinds": {},
+            "gemm_shards": self.policy.resolve_gemm_width(self.workers),
+            "gemm_sharded_steps": 0,
+            "gemm_shard_max": 1,
         }
         kinds: Dict[str, int] = agg["step_kinds"]
         for spec, pool in entries:
@@ -1755,16 +1951,24 @@ class CompiledExecutable:
                     if n.op_type == "FusedElementwise"))
             for kind, count in (spec.step_kind_counts or {}).items():
                 kinds[kind] = max(kinds.get(kind, 0), count)
+            fanout = spec.shard_fanout or {}
+            agg["gemm_sharded_steps"] = max(
+                agg["gemm_sharded_steps"], len(fanout))
+            agg["gemm_shard_max"] = max(
+                agg["gemm_shard_max"], *fanout.values(), 1)
         return agg
 
     def step_profile(self, feeds: Optional[Mapping[str, np.ndarray]] = None,
-                     rounds: int = 2) -> Dict[str, dict]:
+                     rounds: int = 2, detail: bool = False):
         """Per-op-kind serial step timing for one inference.
 
         Runs ``rounds`` serial profiled inferences (declared-shape zero
         feeds if none given) and keeps each kind's best total, so
         first-run binding noise doesn't pollute the attribution.
-        Returns ``{kind: {"steps": n, "ms": total}}``.
+        Returns ``{kind: {"steps": n, "ms": total}}``; with
+        ``detail=True`` returns ``(kinds, shard_rows)`` where
+        ``shard_rows`` lists each intra-op sharded node's per-shard
+        timing (best round by node total), sorted slowest-first.
         """
         if feeds is None:
             feeds = {name: np.zeros(self.graph.tensors[name].shape,
@@ -1776,13 +1980,22 @@ class CompiledExecutable:
         state = pool.acquire()
         try:
             best: Dict[str, dict] = {}
+            best_rows: Dict[str, dict] = {}
             for _ in range(max(1, int(rounds))):
-                _, profile = state.run_profiled(feeds32)
+                _, profile, shard_rows = state.run_profiled(feeds32)
                 for kind, entry in profile.items():
                     cur = best.get(kind)
                     if cur is None or entry["ms"] < cur["ms"]:
                         best[kind] = entry
-            return best
+                for row in shard_rows:
+                    cur = best_rows.get(row["node"])
+                    if cur is None or row["ms"] < cur["ms"]:
+                        best_rows[row["node"]] = row
+            if not detail:
+                return best
+            rows = sorted(best_rows.values(),
+                          key=lambda r: r["ms"], reverse=True)
+            return best, rows
         finally:
             pool.release(state)
 

@@ -171,7 +171,8 @@ class ExecutionEngine:
 
     def infer(self, graph: Graph, feeds, compiled: bool = True,
               elide: bool = True, workers: Optional[int] = None,
-              max_states: Optional[int] = None, fuse: bool = True):
+              max_states: Optional[int] = None, fuse: bool = True,
+              policy=None):
         """Run one *numerical* inference of ``graph`` on the host.
 
         Where :meth:`run` prices a schedule on the modelled devices,
@@ -180,23 +181,29 @@ class ExecutionEngine:
         default path; ``compiled=False`` falls back to the interpreted
         :func:`~repro.runtime.numerical.execute` oracle.  Executables
         are cached per (graph identity, version, elide, workers,
-        max_states) so repeat inference pays binding cost once.
+        max_states, fuse, policy) so repeat inference pays binding cost
+        once.
 
         ``workers`` sets the operator-parallel dispatch width inside
         the run (None defers to ``REPRO_HOST_WORKERS``, default
         serial); ``max_states`` caps the executable's pool of
-        concurrent execution states.  Calls are thread-safe without
-        serializing — concurrent callers run on distinct pooled states.
+        concurrent execution states; ``policy`` is the
+        :class:`~repro.runtime.gemmpar.ShardPolicy` governing intra-op
+        GEMM sharding (None defers to ``REPRO_GEMM_SHARDS``).  Calls
+        are thread-safe without serializing — concurrent callers run on
+        distinct pooled states.
         """
         if not compiled:
             from repro.runtime.numerical import execute
             return execute(graph, feeds)
         return self.executable(graph, elide=elide, workers=workers,
-                               max_states=max_states, fuse=fuse).run(feeds)
+                               max_states=max_states, fuse=fuse,
+                               policy=policy).run(feeds)
 
     def executable(self, graph: Graph, elide: bool = True,
                    workers: Optional[int] = None,
-                   max_states: Optional[int] = None, fuse: bool = True):
+                   max_states: Optional[int] = None, fuse: bool = True,
+                   policy=None):
         """The cached :class:`~repro.runtime.compiled.CompiledExecutable`
         for ``graph``, binding one on a miss.
 
@@ -208,16 +215,21 @@ class ExecutionEngine:
         evicted first.
         """
         from repro.runtime.compiled import CompiledExecutable
+        from repro.runtime.gemmpar import ShardPolicy
         from repro.runtime.hostpool import resolve_host_workers
         workers = resolve_host_workers(workers)
-        key = (id(graph), graph.version, elide, workers, max_states, fuse)
+        if policy is None:
+            policy = ShardPolicy.from_env()
+        key = (id(graph), graph.version, elide, workers, max_states, fuse,
+               policy)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is not None:
                 self._compiled_cache.move_to_end(key)
                 return exe
         built = CompiledExecutable(graph, elide=elide, workers=workers,
-                                   max_states=max_states, fuse=fuse)
+                                   max_states=max_states, fuse=fuse,
+                                   policy=policy)
         with self._compiled_lock:
             exe = self._compiled_cache.get(key)
             if exe is None:
@@ -246,15 +258,18 @@ class ExecutionEngine:
         simultaneous in-flight runs, and how often an acquire had to
         wait for a state (contention).  Also carries the measured
         hazard-graph ``width`` (1 = chain-shaped, parallel dispatch
-        gated off), the ``fused_groups`` count, and the per-kind step
-        census (``step_kinds``).
+        gated off), the ``fused_groups`` count, the per-kind step
+        census (``step_kinds``), and the intra-op GEMM shard fan-out
+        (``gemm_sharded_steps`` nodes split, ``gemm_shard_max`` widest
+        split).
         """
         with self._compiled_lock:
             exes = list(self._compiled_cache.values())
         agg: Dict[str, object] = {
             "executables": len(exes), "programs": 0, "states_bound": 0,
             "in_use": 0, "peak_in_use": 0, "acquires": 0, "waits": 0,
-            "width": 1, "fused_groups": 0, "step_kinds": {}}
+            "width": 1, "fused_groups": 0, "step_kinds": {},
+            "gemm_sharded_steps": 0, "gemm_shard_max": 1}
         kinds: Dict[str, int] = agg["step_kinds"]
         for exe in exes:
             s = exe.pool_stats()
@@ -267,6 +282,10 @@ class ExecutionEngine:
             agg["width"] = max(agg["width"], s.get("width", 1))
             agg["fused_groups"] = max(agg["fused_groups"],
                                       s.get("fused_groups", 0))
+            agg["gemm_sharded_steps"] = max(
+                agg["gemm_sharded_steps"], s.get("gemm_sharded_steps", 0))
+            agg["gemm_shard_max"] = max(
+                agg["gemm_shard_max"], s.get("gemm_shard_max", 1))
             for kind, count in (s.get("step_kinds") or {}).items():
                 kinds[kind] = max(kinds.get(kind, 0), count)
         return agg

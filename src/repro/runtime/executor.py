@@ -64,7 +64,8 @@ class PlanExecutor:
 
     def infer(self, feeds, compiled: bool = True, elide: bool = True,
               workers: Optional[int] = None,
-              max_states: Optional[int] = None, fuse: bool = True):
+              max_states: Optional[int] = None, fuse: bool = True,
+              gemm_shards: Optional[int] = None):
         """Numerically execute the plan's graph on the given feeds.
 
         Routes through the engine's compiled-executable cache, so a
@@ -73,13 +74,19 @@ class PlanExecutor:
         to the interpreted oracle).  ``workers`` enables the
         operator-parallel scheduler inside the run; ``max_states`` caps
         the pool of concurrent execution states; ``fuse=False``
-        disables the executor's internal elementwise fusion.
-        Concurrent calls are safe and do not serialize.
+        disables the executor's internal elementwise fusion;
+        ``gemm_shards`` caps intra-op GEMM row-panel sharding (None
+        defers to ``REPRO_GEMM_SHARDS``).  Concurrent calls are safe
+        and do not serialize.
         """
+        policy = None
+        if gemm_shards is not None:
+            from repro.runtime.gemmpar import ShardPolicy
+            policy = ShardPolicy.from_env().with_gemm_shards(gemm_shards)
         return self.engine.infer(self.plan.graph, feeds,
                                  compiled=compiled, elide=elide,
                                  workers=workers, max_states=max_states,
-                                 fuse=fuse)
+                                 fuse=fuse, policy=policy)
 
     def host_stats(self) -> dict:
         """State-pool and concurrency gauges for this plan's engine."""

@@ -76,6 +76,11 @@ class ServerConfig:
     #: concurrently instead of serializing on one arena.  None = the
     #: runtime default (:data:`repro.runtime.hostpool.DEFAULT_MAX_STATES`).
     host_states: Optional[int] = None
+    #: Intra-operator GEMM shard cap inside each host inference (None
+    #: defers to ``REPRO_GEMM_SHARDS``; 1 = off; see
+    #: :class:`repro.runtime.gemmpar.ShardPolicy`).  The CLI flag
+    #: ``--gemm-shards`` sets this.
+    gemm_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -191,6 +196,7 @@ class InferenceServer:
             "max_wait_ms": self.config.max_wait_ms,
             "host_workers": self.config.host_workers,
             "host_states": self.config.host_states,
+            "gemm_shards": self.config.gemm_shards,
         }
         return snap
 
@@ -250,7 +256,8 @@ class InferenceServer:
                 # concurrently.
                 outputs.append(loaded.executor.infer(
                     req.feeds, workers=self.config.host_workers,
-                    max_states=self.config.host_states))
+                    max_states=self.config.host_states,
+                    gemm_shards=self.config.gemm_shards))
         finally:
             self.metrics.record_host_end()
         host_ms = (time.perf_counter() - start) * 1e3

@@ -164,8 +164,25 @@ class TestStridedIm2col:
 
 class TestWidthGate:
     def test_chain_graph_stays_serial(self):
-        # mobilenet-v2 is a pure chain: hazard-graph width 1, so even
-        # with workers the dispatch must take the serial fast path.
+        # mobilenet-v2 is a pure chain: hazard-graph width 1 at the
+        # operator level, so with intra-op GEMM sharding pinned off the
+        # dispatch must take the serial fast path even with workers.
+        from repro.runtime.gemmpar import ShardPolicy
+
+        graph = build_model("mobilenet-v2")
+        feeds = random_feeds(graph, seed=0)
+        exe = CompiledExecutable(graph, workers=4,
+                                 policy=ShardPolicy(gemm_shards=1))
+        out = exe.run(feeds)
+        ref = execute(graph, feeds)
+        for name in ref:
+            assert ref[name].tobytes() == out[name].tobytes()
+        assert exe.pool_stats()["width"] == 1
+
+    def test_chain_graph_widens_with_gemm_shards(self):
+        # The same chain gains schedulable width once row-panel GEMM
+        # sharding engages: disjoint per-panel writes carry no hazard
+        # edges, so the shards of one conv overlap on the pool.
         graph = build_model("mobilenet-v2")
         feeds = random_feeds(graph, seed=0)
         exe = CompiledExecutable(graph, workers=4)
@@ -173,7 +190,9 @@ class TestWidthGate:
         ref = execute(graph, feeds)
         for name in ref:
             assert ref[name].tobytes() == out[name].tobytes()
-        assert exe.pool_stats()["width"] == 1
+        stats = exe.pool_stats()
+        assert stats["width"] > 1
+        assert stats["gemm_sharded_steps"] > 0
 
     def test_branchy_graph_reports_width(self):
         b = GraphBuilder("wide", seed=7)
